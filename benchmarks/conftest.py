@@ -1,0 +1,35 @@
+"""Shared machinery for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper: it runs
+the relevant workload once (``benchmark.pedantic(..., rounds=1)``), and
+writes the paper-style rows/series to ``benchmarks/results/<id>.txt``
+so the output survives pytest's capture. Timing numbers from
+pytest-benchmark tell you what each reproduction costs to run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a named result artifact and echo it to stdout."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return write

@@ -1,0 +1,55 @@
+"""Ablation: bucket depth granularity (2 vs 3 vs 4 MTUs).
+
+The paper argues one extra MTU of bucket (3000 -> 4500 B) buys most of
+the quality improvement and that further increases have diminishing
+returns "at least not for moderate EF loads". We sweep 2/3/4 MTUs at a
+fixed token rate near the encoding average.
+"""
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.report import render_table
+from repro.units import mbps
+
+DEPTHS = (3000.0, 4500.0, 6000.0)
+
+
+def run_ablation():
+    results = {}
+    for depth in DEPTHS:
+        results[depth] = run_experiment(
+            ExperimentSpec(
+                clip="lost",
+                codec="mpeg1",
+                encoding_rate_bps=mbps(1.7),
+                token_rate_bps=mbps(1.8),
+                bucket_depth_bytes=depth,
+                seed=13,
+            )
+        )
+    return results
+
+
+def build_text(results) -> str:
+    rows = [
+        (
+            f"{depth:.0f} ({depth / 1500:.0f} MTU)",
+            f"{100 * r.lost_frame_fraction:.2f}",
+            f"{r.quality_score:.3f}",
+        )
+        for depth, r in sorted(results.items())
+    ]
+    return (
+        "Bucket-depth ablation (Lost @1.7M, token rate 1.8 Mbps):\n"
+        + render_table(["depth", "frame loss (%)", "VQM"], rows)
+    )
+
+
+def test_ablation_bucket_depth(benchmark, record_result):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record_result("ablation_bucket_depth", build_text(results))
+
+    s = {d: r.quality_score for d, r in results.items()}
+    # 2 -> 3 MTUs is the big win...
+    assert s[3000.0] - s[4500.0] > 0.2
+    # ...and 3 -> 4 MTUs adds little on top.
+    assert s[4500.0] - s[6000.0] < 0.1

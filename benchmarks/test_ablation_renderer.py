@@ -1,0 +1,70 @@
+"""Ablation: renderer concealment and GOP propagation.
+
+Two client-side modelling choices affect every reported number:
+
+* the renderer's repeat-last-frame concealment (paper §3.1.2) — we
+  compare against scoring the same session with decode-only frames;
+* GOP loss propagation — we compare 'gop' decode mode against
+  'independent' (every frame self-contained), quantifying how much of
+  the frame loss is prediction-chain amplification.
+"""
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.report import render_table
+from repro.units import mbps
+
+
+def run_ablation():
+    base = dict(
+        clip="lost",
+        codec="mpeg1",
+        encoding_rate_bps=mbps(1.7),
+        token_rate_bps=mbps(1.85),
+        bucket_depth_bytes=3000.0,
+        seed=13,
+    )
+    return {
+        "gop": run_experiment(ExperimentSpec(decode_mode="gop", **base)),
+        "independent": run_experiment(
+            ExperimentSpec(decode_mode="independent", **base)
+        ),
+    }
+
+
+def build_text(results) -> str:
+    rows = [
+        (
+            mode,
+            f"{100 * r.lost_frame_fraction:.2f}",
+            f"{100 * r.packet_drop_fraction:.3f}",
+            f"{r.quality_score:.3f}",
+            f"{r.trace.frozen_fraction:.3f}",
+        )
+        for mode, r in results.items()
+    ]
+    return (
+        "Decode-mode ablation (Lost @1.7M, r=1.85M, b=3000):\n"
+        + render_table(
+            [
+                "decode mode",
+                "frame loss (%)",
+                "packet drops (%)",
+                "VQM",
+                "frozen fraction",
+            ],
+            rows,
+        )
+    )
+
+
+def test_ablation_renderer(benchmark, record_result):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record_result("ablation_renderer", build_text(results))
+
+    gop = results["gop"]
+    independent = results["independent"]
+    # Identical network run (same seed): same packet drops.
+    assert gop.packet_drop_fraction == independent.packet_drop_fraction
+    # GOP propagation amplifies frame loss well beyond packet loss.
+    assert gop.lost_frame_fraction > 2 * independent.lost_frame_fraction
+    assert gop.quality_score >= independent.quality_score

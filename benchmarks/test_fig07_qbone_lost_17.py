@@ -1,0 +1,41 @@
+"""Figure 07: QBone streaming, Lost clip at 1.7 Mbps encoding.
+
+Video quality and frame loss vs token rate, for bucket depths 3000 and
+4500 bytes, streamed by the VideoCharger model across the QBone path.
+"""
+
+from figure_common import qbone_figure_sweep, summarize_figure
+from repro.core.analysis import find_quality_cutoff
+from repro.units import mbps
+
+
+def run_sweep():
+    return qbone_figure_sweep("lost", 1.7)
+
+
+def test_fig07_qbone_lost_17(benchmark, record_result):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_result(
+        "fig07_qbone_lost_17",
+        summarize_figure(
+            sweep,
+            "Figure 07: QBone (Lost clip / 1.7 Mbps encoding): "
+            "video quality & frame loss vs token rate",
+        ),
+    )
+
+    for depth in (3000.0, 4500.0):
+        rates, losses, scores = sweep.series(depth)
+        # Below the encoding rate the service is useless.
+        assert scores[rates < mbps(1.7)][0] >= 0.6
+        # Loss trends down with rate; quality reaches ~0 in-sweep.
+        assert losses[0] > losses[-1]
+        assert scores[-1] <= 0.1
+
+    # The deeper bucket reaches good quality at a lower token rate.
+    r3, _, s3 = sweep.series(3000.0)
+    r4, _, s4 = sweep.series(4500.0)
+    cut3 = find_quality_cutoff(r3, s3, threshold=0.15)
+    cut4 = find_quality_cutoff(r4, s4, threshold=0.15)
+    assert cut3 is not None and cut4 is not None
+    assert cut4 <= cut3

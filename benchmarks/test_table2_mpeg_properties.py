@@ -1,0 +1,66 @@
+"""Table 2: MPEG encoding properties of clips Lost and Dark.
+
+Regenerates the per-encoding statistics the paper tabulates: total
+bytes, frame count, duration, average frame size, and the max/avg/min
+instantaneous rates ("computed after every frame").
+"""
+
+from repro.core.report import render_table
+from repro.units import mbps
+from repro.video.clips import encode_clip
+
+#: Paper values for sanity ratios (avg frame bytes per encoding rate).
+PAPER_AVG_FRAME_BYTES = {1.7: 7101, 1.5: 6253, 1.0: 4168}
+
+
+def build_table2() -> str:
+    rows = []
+    for clip in ("lost", "dark"):
+        for rate in (1.7, 1.5, 1.0):
+            encoded = encode_clip(clip, "mpeg1", mbps(rate))
+            stats = encoded.rate_stats()
+            rows.append(
+                (
+                    clip,
+                    f"{rate:.1f}M",
+                    f"{stats['bytes_total']}",
+                    f"{stats['n_frames']}",
+                    f"{stats['duration_s']:.2f}",
+                    f"{stats['avg_frame_bytes']:.0f}",
+                    f"{stats['rate_max_bps']:.0f}",
+                    f"{stats['rate_avg_bps']:.2f}",
+                    f"{stats['rate_min_bps']:.0f}",
+                )
+            )
+    return render_table(
+        [
+            "Clip",
+            "Rate",
+            "Bytes",
+            "Frames",
+            "Length (s)",
+            "Avg frame (B)",
+            "Max bps",
+            "Avg bps",
+            "Min bps",
+        ],
+        rows,
+    )
+
+
+def test_table2_mpeg_properties(benchmark, record_result):
+    table = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    record_result("table2_mpeg_properties", table)
+
+    # Shape checks against the paper's Table 2.
+    lost17 = encode_clip("lost", "mpeg1", mbps(1.7)).rate_stats()
+    assert lost17["n_frames"] == 2150
+    assert abs(lost17["duration_s"] - 71.74) < 0.05
+    assert abs(lost17["avg_frame_bytes"] - PAPER_AVG_FRAME_BYTES[1.7]) < 150
+    ratio = lost17["rate_max_bps"] / lost17["rate_avg_bps"]
+    assert 1.15 <= ratio <= 1.30  # paper: 1.20
+
+    dark10 = encode_clip("dark", "mpeg1", mbps(1.0)).rate_stats()
+    assert dark10["n_frames"] == 4219
+    assert abs(dark10["duration_s"] - 140.77) < 0.05
+    assert abs(dark10["avg_frame_bytes"] - PAPER_AVG_FRAME_BYTES[1.0]) < 100

@@ -1,0 +1,58 @@
+"""Table 3: properties of the Windows Media encoded clips.
+
+The paper's WMV encodings requested 1015.5 kbps but achieved 771.7
+(Lost) and 680.4 (Dark) kbps — VBR undershoot. We regenerate expected
+vs achieved bitrate and frame rate per clip.
+"""
+
+from repro.core.report import render_table
+from repro.units import kbps
+from repro.video.clips import WMV_MAX_RATE_BPS, encode_clip
+
+PAPER_AVERAGE_KBPS = {"lost": 771.7, "dark": 680.4}
+
+
+def build_table3() -> str:
+    rows = []
+    for clip in ("lost", "dark"):
+        encoded = encode_clip(clip, "wmv")
+        stats = encoded.rate_stats()
+        rows.append(
+            (
+                clip,
+                f"{stats['bytes_total']}",
+                f"{WMV_MAX_RATE_BPS / 1e3:.1f}",
+                f"{stats['rate_avg_bps'] / 1e3:.1f}",
+                f"{PAPER_AVERAGE_KBPS[clip]:.1f}",
+                f"{encoded.fps:.1f}",
+            )
+        )
+    return render_table(
+        [
+            "Clip",
+            "Bytes encoded",
+            "Bit rate expected (kbps)",
+            "Bit rate average (kbps)",
+            "paper average (kbps)",
+            "fps",
+        ],
+        rows,
+    )
+
+
+def test_table3_wmv_properties(benchmark, record_result):
+    table = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    record_result("table3_wmv_properties", table)
+
+    for clip in ("lost", "dark"):
+        stats = encode_clip(clip, "wmv").rate_stats()
+        # Achieved average sits well below the requested peak...
+        assert stats["rate_avg_bps"] < WMV_MAX_RATE_BPS
+        # ...within ~25% of the paper's measured averages.
+        assert abs(stats["rate_avg_bps"] - kbps(PAPER_AVERAGE_KBPS[clip])) < kbps(
+            PAPER_AVERAGE_KBPS[clip] * 0.25
+        )
+    # Lost (busier content) achieves a higher average than Dark.
+    lost = encode_clip("lost", "wmv").rate_stats()["rate_avg_bps"]
+    dark = encode_clip("dark", "wmv").rate_stats()["rate_avg_bps"]
+    assert lost > dark

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Conditioning lab: taming a bursty server on the local testbed.
+
+Reproduces the paper's local-testbed storyline interactively: the WMT
+server's packet-group trains are hostile to a small EF bucket; watch
+what each remedy does — a deeper bucket, a Linux shaper in front of
+the policer, and TCP streaming.
+
+Usage::
+
+    python examples/conditioning_lab.py
+"""
+
+from repro import ExperimentSpec, run_experiment
+from repro.core.report import render_table
+from repro.units import mbps
+
+SCENARIOS = [
+    ("bare UDP, b=3000", dict(transport="udp", bucket_depth_bytes=3000.0)),
+    ("bare UDP, b=4500", dict(transport="udp", bucket_depth_bytes=4500.0)),
+    (
+        "UDP + shaper, b=3000",
+        dict(transport="udp", use_shaper=True, bucket_depth_bytes=3000.0),
+    ),
+    ("TCP, b=4500", dict(transport="tcp", bucket_depth_bytes=4500.0)),
+    (
+        "TCP + shaper, b=3000",
+        dict(transport="tcp", use_shaper=True, bucket_depth_bytes=3000.0),
+    ),
+]
+
+TOKEN_RATES_MBPS = (1.1, 1.5, 2.0)
+
+
+def main() -> None:
+    print("WMT server streaming the Lost clip (WMV ~0.8 Mbps average) "
+          "over the local DiffServ testbed.\n")
+    rows = []
+    for name, overrides in SCENARIOS:
+        for rate in TOKEN_RATES_MBPS:
+            result = run_experiment(
+                ExperimentSpec(
+                    clip="lost",
+                    codec="wmv",
+                    server="wmt",
+                    testbed="local",
+                    token_rate_bps=mbps(rate),
+                    seed=4,
+                    **overrides,
+                )
+            )
+            rows.append(
+                (
+                    name,
+                    f"{rate:.1f}",
+                    f"{100 * result.lost_frame_fraction:.1f}",
+                    f"{result.trace.rebuffer_events}",
+                    f"{result.quality_score:.3f}",
+                )
+            )
+    print(
+        render_table(
+            ["configuration", "token rate (Mbps)", "frame loss (%)",
+             "stalls", "VQM"],
+            rows,
+        )
+    )
+    print(
+        "\nReadings: bare UDP needs ~2x the stream's bandwidth AND the "
+        "deeper bucket; shaping makes even a 1.1 Mbps / 2-MTU service "
+        "clean; TCP trades loss for (occasional) rebuffering."
+    )
+
+
+if __name__ == "__main__":
+    main()

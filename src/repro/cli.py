@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Three subcommands mirror the library's main entry points::
+
+    python -m repro run   --clip lost --encoding 1.7 --rate 1.9 --depth 3000
+    python -m repro sweep --clip lost --encoding 1.7 \
+        --rates 1.7,1.8,1.9,2.0 --depths 3000,4500 [--csv out.csv]
+    python -m repro clips
+
+``run`` prints the headline measurements (and a MOS verdict) for one
+experiment; ``sweep`` prints a paper-style figure (optionally writing
+the raw CSV); ``clips`` lists the registered clips and their encoding
+statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.export import result_to_json, sweep_to_csv
+from repro.core.report import render_sweep, render_table
+from repro.core.sweep import token_rate_sweep
+from repro.units import mbps, to_mbps
+from repro.video.clips import CLIPS, encode_clip
+from repro.vqm.mos import describe
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clip", default="lost", help="clip name (lost, dark, test-<n>)")
+    parser.add_argument("--codec", default="mpeg1", choices=["mpeg1", "wmv"])
+    parser.add_argument(
+        "--encoding", type=float, default=None,
+        help="encoding rate in Mbps (codec default if omitted)",
+    )
+    parser.add_argument(
+        "--server", default="videocharger",
+        choices=["videocharger", "wmt", "largeudp"],
+    )
+    parser.add_argument("--transport", default="udp", choices=["udp", "tcp"])
+    parser.add_argument(
+        "--testbed", default="qbone", choices=["qbone", "local", "af"]
+    )
+    parser.add_argument("--shaper", action="store_true", help="insert the Linux shaper")
+    parser.add_argument(
+        "--reference", default="transmitted", choices=["transmitted", "fixed"]
+    )
+    parser.add_argument("--cross", type=float, default=0.0, help="cross traffic (Mbps)")
+    parser.add_argument("--adaptation", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _spec_from_args(args, token_rate_mbps: float, depth: float) -> ExperimentSpec:
+    return ExperimentSpec(
+        clip=args.clip,
+        codec=args.codec,
+        encoding_rate_bps=mbps(args.encoding) if args.encoding else None,
+        server=args.server,
+        transport=args.transport,
+        testbed=args.testbed,
+        token_rate_bps=mbps(token_rate_mbps),
+        bucket_depth_bytes=depth,
+        use_shaper=args.shaper,
+        cross_traffic_bps=mbps(args.cross),
+        reference=args.reference,
+        adaptation=args.adaptation,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args) -> int:
+    spec = _spec_from_args(args, args.rate, args.depth)
+    result = run_experiment(spec)
+    if args.json:
+        print(result_to_json(result))
+        return 0
+    print(
+        f"clip={spec.clip} codec={spec.codec} server={spec.server} "
+        f"testbed={spec.testbed} r={args.rate} Mbps b={args.depth:.0f} B"
+    )
+    print(f"frame loss:        {100 * result.lost_frame_fraction:.2f}%")
+    print(f"packet drops:      {100 * result.packet_drop_fraction:.2f}%")
+    print(f"frozen display:    {100 * result.trace.frozen_fraction:.2f}%")
+    print(f"rebuffer stalls:   {result.trace.rebuffer_events}")
+    print(describe(result.quality_score))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    rates = [mbps(float(r)) for r in args.rates.split(",")]
+    depths = [float(d) for d in args.depths.split(",")]
+    base = _spec_from_args(args, to_mbps(rates[0]), depths[0])
+    sweep = token_rate_sweep(base, rates, depths)
+    print(render_sweep(sweep, title=f"sweep: {args.clip} ({args.codec})"))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep_to_csv(sweep))
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_clips(_args) -> int:
+    rows = []
+    for name, clip in CLIPS.items():
+        stats = encode_clip(name, "mpeg1", mbps(1.7)).rate_stats()
+        rows.append(
+            (
+                name,
+                f"{clip.n_frames}",
+                f"{clip.duration_s:.2f}",
+                f"{clip.fps:.2f}",
+                f"{to_mbps(stats['rate_max_bps']):.2f}",
+                clip.description,
+            )
+        )
+    print(
+        render_table(
+            ["clip", "frames", "duration (s)", "fps", "max rate @1.7M", "description"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the SIGCOMM 2001 DiffServ/video-quality study",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    _add_spec_arguments(run_parser)
+    run_parser.add_argument("--rate", type=float, required=True, help="token rate (Mbps)")
+    run_parser.add_argument("--depth", type=float, default=3000.0, help="bucket depth (bytes)")
+    run_parser.add_argument("--json", action="store_true", help="emit JSON")
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = commands.add_parser("sweep", help="token-rate sweep (one figure)")
+    _add_spec_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--rates", required=True, help="comma-separated token rates (Mbps)"
+    )
+    sweep_parser.add_argument(
+        "--depths", default="3000,4500", help="comma-separated bucket depths (bytes)"
+    )
+    sweep_parser.add_argument("--csv", help="also write raw CSV here")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    clips_parser = commands.add_parser("clips", help="list registered clips")
+    clips_parser.set_defaults(func=_cmd_clips)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Domain errors (unknown clip, invalid configuration) print a
+    one-line message and exit 2 instead of dumping a traceback.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Playout buffer and timing capture.
+
+This is our equivalent of the paper's DirectShow "storage filter": it
+sits where the renderer would, recording for every video frame its
+completion (arrival) time and nominal presentation time. The renderer
+emulation (:mod:`repro.client.renderer`) replays those records into a
+display sequence offline, exactly as the paper's PERL script did.
+
+Frame completion semantics:
+
+* **UDP** — a frame is complete when all of its streamed bytes have
+  arrived (packets carry byte counts per frame; fragment loss is
+  resolved upstream by the reassembler). A frame with any missing
+  bytes never completes.
+* **TCP** — the receiver delivers bytes in order; a frame completes
+  when its last byte is delivered (late, perhaps, but never lost).
+* **Decodability** — completed frames are then filtered through the
+  GOP prediction chain: a completed P frame whose anchor was lost is
+  still undisplayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet
+from repro.units import UDP_IP_HEADER
+from repro.video.gop import GopStructure, decodable_frames
+from repro.video.mpeg import EncodedClip
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One row of the storage filter's "parallel ASCII file"."""
+
+    frame_id: int
+    arrival_time: Optional[float]  # completion time; None = never arrived
+    presentation_time: float
+    decodable: bool
+
+
+@dataclass
+class ClientRecord:
+    """Everything the offline analysis needs about one session."""
+
+    n_frames: int
+    fps: float
+    records: list[FrameRecord]
+    startup_delay: float
+    first_arrival_time: float
+
+    @property
+    def lost_frame_fraction(self) -> float:
+        """Fraction of source frames that never became displayable.
+
+        This is the "fraction of lost frames" series of the paper's
+        figures: frames that never completed *or* completed but were
+        undecodable.
+        """
+        lost = sum(
+            1
+            for r in self.records
+            if r.arrival_time is None or not r.decodable
+        )
+        return lost / self.n_frames if self.n_frames else 0.0
+
+    def arrival_array(self) -> np.ndarray:
+        """Per-frame arrival times; NaN for lost frames."""
+        out = np.full(self.n_frames, np.nan)
+        for r in self.records:
+            if r.arrival_time is not None and r.decodable:
+                out[r.frame_id] = r.arrival_time
+        return out
+
+    def presentation_array(self) -> np.ndarray:
+        """Per-frame nominal presentation times."""
+        return np.array([r.presentation_time for r in self.records])
+
+
+class PlayoutClient:
+    """Receives video data, tracks per-frame completion, reports loss.
+
+    Parameters
+    ----------
+    engine / clip:
+        The shared engine and the clip being streamed (provides frame
+        byte counts and the GOP structure for decodability).
+    startup_delay:
+        Client-side buffering before playback starts, measured from
+        the first arrival.
+    decode_mode:
+        ``"gop"`` (default) propagates anchor loss through the GOP;
+        ``"independent"`` treats every frame as self-contained (used
+        by ablations).
+    expected_frame_bytes:
+        Override of per-frame expected payload (for thinned streams);
+        defaults to the clip's frame sizes. Packets carrying a
+        ``frame_total`` annotation override per frame at runtime.
+    loss_report_interval:
+        When a feedback callback is registered via
+        :meth:`set_feedback`, loss fractions are reported at this
+        period (the RTCP-ish channel the adaptive servers listen to).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        clip: EncodedClip,
+        startup_delay: float = 2.0,
+        decode_mode: str = "gop",
+        gop: Optional[GopStructure] = None,
+        expected_frame_bytes: Optional[np.ndarray] = None,
+        loss_report_interval: float = 1.0,
+    ):
+        if decode_mode not in ("gop", "independent"):
+            raise ValueError(f"bad decode_mode {decode_mode!r}")
+        self.engine = engine
+        self.clip = clip
+        self.startup_delay = startup_delay
+        self.decode_mode = decode_mode
+        self.gop = gop or GopStructure()
+        self.loss_report_interval = loss_report_interval
+
+        n = clip.n_frames
+        if expected_frame_bytes is None:
+            expected_frame_bytes = np.array(
+                [f.size_bytes for f in clip.frames], dtype=np.int64
+            )
+        self._expected = expected_frame_bytes.astype(np.int64).copy()
+        self._received_bytes = np.zeros(n, dtype=np.int64)
+        self._completion = np.full(n, np.nan)
+        self._first_arrival: Optional[float] = None
+        self._feedback = None
+        self._interval_expected_packets = 0
+        self._interval_lost_packets = 0
+        self._interval_delays: list[float] = []
+        self.received_packets = 0
+
+    # ------------------------------------------------------------------
+    # feedback channel
+    # ------------------------------------------------------------------
+    def set_feedback(self, callback) -> None:
+        """Register ``callback(loss_fraction, mean_delay_s)`` reports."""
+        self._feedback = callback
+        self.engine.schedule(self.loss_report_interval, self._report)
+
+    def note_policer_drop(self, packet: Packet) -> None:
+        """Experiment harness hook: a packet of ours died upstream.
+
+        Loss is otherwise invisible to a UDP client until sequence
+        gaps; counting at the drop point keeps the model simple.
+        """
+        self._interval_lost_packets += 1
+        self._interval_expected_packets += 1
+
+    def _report(self) -> None:
+        if self._feedback is not None:
+            total = self._interval_expected_packets
+            loss = (
+                self._interval_lost_packets / total if total > 0 else 0.0
+            )
+            delays = self._interval_delays
+            mean_delay = sum(delays) / len(delays) if delays else 0.0
+            self._feedback(loss, mean_delay)
+            self._interval_expected_packets = 0
+            self._interval_lost_packets = 0
+            self._interval_delays = []
+            self.engine.schedule(self.loss_report_interval, self._report)
+
+    # ------------------------------------------------------------------
+    # data paths
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """UDP data path (PacketSink interface)."""
+        self.received_packets += 1
+        self._interval_expected_packets += 1
+        self._interval_delays.append(self.engine.now - packet.created_at)
+        if packet.frame_id is None:
+            return
+        if "datagram_bytes" in packet.annotations:
+            payload = packet.annotations["datagram_bytes"] - (
+                packet.fragment_count * UDP_IP_HEADER
+            )
+        else:
+            payload = packet.size - UDP_IP_HEADER
+        if "frame_total" in packet.annotations:
+            self._expected[packet.frame_id] = packet.annotations["frame_total"]
+        self._credit(packet.frame_id, payload)
+
+    def on_tcp_deliver(self, frame_id: int, n_bytes: int, time: float) -> None:
+        """TCP data path (wired to :class:`TcpReceiver`)."""
+        if frame_id < 0:
+            return
+        if self._first_arrival is None:
+            self._first_arrival = time
+        self._received_bytes[frame_id] += n_bytes
+        if (
+            np.isnan(self._completion[frame_id])
+            and self._received_bytes[frame_id] >= self._expected[frame_id]
+        ):
+            self._completion[frame_id] = time
+
+    def _credit(self, frame_id: int, payload: int) -> None:
+        if self._first_arrival is None:
+            self._first_arrival = self.engine.now
+        self._received_bytes[frame_id] += payload
+        if (
+            np.isnan(self._completion[frame_id])
+            and self._received_bytes[frame_id] >= self._expected[frame_id]
+        ):
+            self._completion[frame_id] = self.engine.now
+
+    # ------------------------------------------------------------------
+    # offline record
+    # ------------------------------------------------------------------
+    def finalize(self) -> ClientRecord:
+        """Close the session and emit the storage-filter record."""
+        n = self.clip.n_frames
+        t0 = self._first_arrival if self._first_arrival is not None else 0.0
+        complete_ids = [
+            f for f in range(n) if not np.isnan(self._completion[f])
+        ]
+        if self.decode_mode == "gop":
+            decodable = decodable_frames(complete_ids, n, self.gop)
+        else:
+            decodable = np.zeros(n, dtype=bool)
+            decodable[complete_ids] = True
+        records = []
+        for f in range(n):
+            arrival = (
+                None if np.isnan(self._completion[f]) else float(self._completion[f])
+            )
+            records.append(
+                FrameRecord(
+                    frame_id=f,
+                    arrival_time=arrival,
+                    presentation_time=t0 + self.startup_delay + f / self.clip.fps,
+                    decodable=bool(decodable[f]),
+                )
+            )
+        return ClientRecord(
+            n_frames=n,
+            fps=self.clip.fps,
+            records=records,
+            startup_delay=self.startup_delay,
+            first_arrival_time=t0,
+        )

@@ -1,0 +1,32 @@
+"""Experiment orchestration — the paper's methodology as a library.
+
+This is the layer a "user" of the paper's study would touch: describe
+a configuration (:class:`~repro.core.experiment.ExperimentSpec`), run
+it end to end (stream → police → receive → render → VQM), sweep the
+token-bucket parameters (`sweep`), and analyze/print the results
+(`analysis`, `report`).
+"""
+
+from repro.core.experiment import ExperimentSpec, ExperimentResult, run_experiment
+from repro.core.sweep import SweepPoint, SweepResult, token_rate_sweep
+from repro.core.analysis import (
+    find_quality_cutoff,
+    nonlinearity_index,
+    empirical_burst_excess,
+)
+from repro.core.report import render_table, render_sweep, render_rate_series
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "SweepPoint",
+    "SweepResult",
+    "token_rate_sweep",
+    "find_quality_cutoff",
+    "nonlinearity_index",
+    "empirical_burst_excess",
+    "render_table",
+    "render_sweep",
+    "render_rate_series",
+]

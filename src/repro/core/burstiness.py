@@ -1,0 +1,113 @@
+"""Burstiness analysis toolkit.
+
+The paper's entire parameter-selection question — which (token rate,
+bucket depth) pair a flow needs — is a statement about the flow's
+*arrival curve*. This module computes the empirical quantities a user
+would derive from a packet trace of their own stream:
+
+* :func:`burstiness_curve` — minimum bucket depth for zero policer
+  drops, as a function of token rate (the (sigma, rho) trade-off
+  frontier);
+* :func:`required_depth` / :func:`required_rate` — the two axes of
+  that frontier individually;
+* :func:`ascii_curve` — a terminal plot of the frontier, used by the
+  examples.
+
+These work on :class:`~repro.sim.tracer.TraceRecord` sequences, so any
+tap in a topology can be analyzed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.analysis import empirical_burst_excess
+from repro.sim.tracer import TraceRecord
+from repro.units import to_mbps
+
+
+def burstiness_curve(
+    records: Sequence[TraceRecord],
+    rates_bps: Sequence[float],
+) -> np.ndarray:
+    """Minimum zero-drop bucket depth at each token rate.
+
+    Returns an array aligned with ``rates_bps``. Monotone
+    non-increasing by construction.
+    """
+    if not len(rates_bps):
+        raise ValueError("need at least one rate")
+    return np.array(
+        [empirical_burst_excess(records, rate) for rate in rates_bps]
+    )
+
+
+def required_depth(
+    records: Sequence[TraceRecord],
+    rate_bps: float,
+    headroom_bytes: float = 0.0,
+) -> float:
+    """Bucket depth guaranteeing zero drops at ``rate_bps``.
+
+    ``headroom_bytes`` adds a safety margin for jitter accumulated
+    between the measurement point and the policer (the paper's CDV
+    problem).
+    """
+    return empirical_burst_excess(records, rate_bps) + headroom_bytes
+
+
+def required_rate(
+    records: Sequence[TraceRecord],
+    depth_bytes: float,
+    precision_bps: float = 1e4,
+) -> float:
+    """Lowest token rate with zero drops at a given bucket depth.
+
+    Bisects on the (monotone in rate) burst excess. Raises if even an
+    absurdly high rate cannot satisfy the depth — which happens exactly
+    when some single burst exceeds the bucket (the large-datagram
+    servers' problem).
+    """
+    if not records:
+        return 0.0
+    if depth_bytes <= 0:
+        raise ValueError("depth must be positive")
+    span = records[-1].time - records[0].time
+    total = sum(r.size for r in records)
+    low = total * 8.0 / span if span > 0 else 1.0
+    high = 1e12
+    if empirical_burst_excess(records, high) > depth_bytes:
+        raise ValueError(
+            "some atomic burst exceeds the bucket depth; no token rate "
+            "can prevent drops"
+        )
+    # The excess at the mean rate may already satisfy the depth.
+    if empirical_burst_excess(records, low) <= depth_bytes:
+        return low
+    while high - low > precision_bps:
+        mid = (low + high) / 2.0
+        if empirical_burst_excess(records, mid) <= depth_bytes:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def ascii_curve(
+    rates_bps: Sequence[float],
+    depths_bytes: Sequence[float],
+    width: int = 50,
+) -> str:
+    """Terminal rendering of a burstiness frontier."""
+    rates = np.asarray(rates_bps, dtype=float)
+    depths = np.asarray(depths_bytes, dtype=float)
+    if rates.shape != depths.shape:
+        raise ValueError("rates and depths must align")
+    top = depths.max() if depths.max() > 0 else 1.0
+    lines = ["token rate (Mbps) | min zero-drop bucket depth (bytes)"]
+    for rate, depth in zip(rates, depths):
+        bar = "#" * int(round(width * depth / top))
+        lines.append(f"{to_mbps(rate):17.3f} | {depth:8.0f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""ASCII rendering of tables and figure series.
+
+The benches print the same rows/series the paper reports; these
+helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.sweep import SweepResult
+from repro.units import to_mbps
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Monospace table with column auto-sizing."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_sweep(sweep: SweepResult, title: str = "") -> str:
+    """One paper figure as text: per depth, loss and score vs rate."""
+    blocks = []
+    if title:
+        blocks.append(title)
+    spec = sweep.base_spec
+    blocks.append(
+        f"clip={spec.clip} codec={spec.codec} server={spec.server} "
+        f"transport={spec.transport} testbed={spec.testbed} "
+        f"reference={spec.reference}"
+    )
+    for depth in sweep.depths():
+        rates, losses, scores = sweep.series(depth)
+        rows = [
+            (
+                f"{to_mbps(r):.3f}",
+                f"{100 * l:.2f}",
+                f"{s:.3f}",
+            )
+            for r, l, s in zip(rates, losses, scores)
+        ]
+        blocks.append(f"token bucket depth = {depth:.0f} bytes")
+        blocks.append(
+            render_table(
+                ["token rate (Mbps)", "frame loss (%)", "VQM score"], rows
+            )
+        )
+    return "\n".join(blocks)
+
+
+def render_rate_series(
+    bin_starts: np.ndarray,
+    rates_bps: np.ndarray,
+    label: str = "",
+    max_rows: int = 40,
+) -> str:
+    """Figure 6-style instantaneous-rate series, decimated to fit."""
+    if len(bin_starts) != len(rates_bps):
+        raise ValueError("series must align")
+    n = len(bin_starts)
+    step = max(1, n // max_rows)
+    rows = [
+        (f"{bin_starts[i]:.1f}", f"{to_mbps(rates_bps[i]):.3f}")
+        for i in range(0, n, step)
+    ]
+    header = f"{label}\n" if label else ""
+    return header + render_table(["t (s)", "rate (Mbps)"], rows)

@@ -1,0 +1,97 @@
+"""Parameter sweeps: the engine behind every figure.
+
+The paper's figures plot video quality and frame loss against the
+token rate, one curve pair per bucket depth. :func:`token_rate_sweep`
+runs the cross product and returns a :class:`SweepResult` exposing the
+series in figure-ready form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.experiment import ExperimentResult, ExperimentSpec, run_experiment
+from repro.vqm.tool import VqmTool
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (token rate, bucket depth) sample."""
+
+    token_rate_bps: float
+    bucket_depth_bytes: float
+    result: ExperimentResult
+
+    @property
+    def quality_score(self) -> float:
+        """VQM clip score of this point."""
+        return self.result.quality_score
+
+    @property
+    def lost_frame_fraction(self) -> float:
+        """Frame loss fraction of this point."""
+        return self.result.lost_frame_fraction
+
+
+@dataclass
+class SweepResult:
+    """All samples of one figure's sweep."""
+
+    base_spec: ExperimentSpec
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def depths(self) -> list[float]:
+        """Distinct bucket depths, sorted."""
+        return sorted({p.bucket_depth_bytes for p in self.points})
+
+    def series(
+        self, bucket_depth_bytes: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(token_rates, lost_frame_fractions, quality_scores)``.
+
+        The two curves of one depth, sorted by token rate — exactly the
+        pair of curves each paper figure draws per depth.
+        """
+        selected = sorted(
+            (p for p in self.points if p.bucket_depth_bytes == bucket_depth_bytes),
+            key=lambda p: p.token_rate_bps,
+        )
+        if not selected:
+            raise KeyError(f"no points at depth {bucket_depth_bytes}")
+        rates = np.array([p.token_rate_bps for p in selected])
+        losses = np.array([p.lost_frame_fraction for p in selected])
+        scores = np.array([p.quality_score for p in selected])
+        return rates, losses, scores
+
+
+def token_rate_sweep(
+    base_spec: ExperimentSpec,
+    token_rates_bps: Sequence[float],
+    bucket_depths_bytes: Iterable[float] = (3000.0, 4500.0),
+    vqm_tool: Optional[VqmTool] = None,
+) -> SweepResult:
+    """Run ``base_spec`` at every (rate, depth) combination.
+
+    The VQM tool is shared across runs (it is stateless), and the
+    per-clip feature caches make the marginal cost of each run the
+    simulation itself.
+    """
+    if not token_rates_bps:
+        raise ValueError("need at least one token rate")
+    tool = vqm_tool or VqmTool()
+    sweep = SweepResult(base_spec=base_spec)
+    for depth in bucket_depths_bytes:
+        for rate in token_rates_bps:
+            spec = base_spec.with_token_bucket(rate, depth)
+            result = run_experiment(spec, vqm_tool=tool)
+            sweep.points.append(
+                SweepPoint(
+                    token_rate_bps=rate,
+                    bucket_depth_bytes=depth,
+                    result=result,
+                )
+            )
+    return sweep

@@ -1,0 +1,49 @@
+"""Differentiated Services edge and core components.
+
+Implements the machinery of RFC 2474/2475 that the paper exercises:
+DSCP codepoints (`dscp`), the token bucket (`token_bucket`), edge
+policers and shapers (`policer`, `shaper`), multi-field classification
+and marking (`classifier`, `marker`), strict-priority scheduling
+(`scheduler`) and the frame-relay interface model of the local testbed
+(`frame_relay`).
+"""
+
+from repro.diffserv.dscp import DSCP, EF, BE, AF11, AF12, AF13, phb_name
+from repro.diffserv.token_bucket import TokenBucket
+from repro.diffserv.policer import Policer, PolicerAction, PolicerStats
+from repro.diffserv.shaper import Shaper
+from repro.diffserv.classifier import FlowProfile, MultiFieldClassifier
+from repro.diffserv.marker import Marker
+from repro.diffserv.scheduler import PriorityScheduler
+from repro.diffserv.frame_relay import FrameRelayInterface, FrameRelayConfig
+from repro.diffserv.meters import Color, SrTcmMeter, TrTcmMeter, MeterStats
+from repro.diffserv.red import RedProfile, WredQueue
+from repro.diffserv.af_marker import AfMarker
+
+__all__ = [
+    "DSCP",
+    "EF",
+    "BE",
+    "AF11",
+    "AF12",
+    "AF13",
+    "phb_name",
+    "TokenBucket",
+    "Policer",
+    "PolicerAction",
+    "PolicerStats",
+    "Shaper",
+    "FlowProfile",
+    "MultiFieldClassifier",
+    "Marker",
+    "PriorityScheduler",
+    "FrameRelayInterface",
+    "FrameRelayConfig",
+    "Color",
+    "SrTcmMeter",
+    "TrTcmMeter",
+    "MeterStats",
+    "RedProfile",
+    "WredQueue",
+    "AfMarker",
+]

@@ -1,0 +1,60 @@
+"""Color-aware AF edge marker.
+
+The AF PHB's edge behaviour (paper §2.1): instead of dropping
+non-conformant packets, "it primarily calls for policing actions that
+mark packets with different 'colors' (DSCPs) depending on their level
+of non-conformance". An :class:`AfMarker` wraps a three-color meter
+and stamps AF drop-precedence codepoints; nothing is dropped at the
+edge — congestion (the WRED queue) decides downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.diffserv.dscp import DSCP
+from repro.diffserv.meters import Color, SrTcmMeter
+from repro.diffserv.policer import PolicerStats
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet
+
+#: AF class-1 codepoints by meter color.
+AF1_BY_COLOR = {
+    Color.GREEN: DSCP.AF11,
+    Color.YELLOW: DSCP.AF12,
+    Color.RED: DSCP.AF13,
+}
+
+
+class AfMarker:
+    """Ingress stage: meter + color marking (no drops).
+
+    Exposes a :class:`PolicerStats` so experiment plumbing that reads
+    drop statistics works unchanged — conformant counts green packets,
+    remarked counts yellow+red.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        cir_bps: float,
+        cbs_bytes: float,
+        ebs_bytes: float,
+        colors_to_dscp: Optional[dict] = None,
+    ):
+        self.engine = engine
+        self.meter = SrTcmMeter(cir_bps, cbs_bytes, ebs_bytes)
+        self.colors_to_dscp = colors_to_dscp or dict(AF1_BY_COLOR)
+        self.stats = PolicerStats()
+        self._on_drop = None  # parity with Policer wiring
+
+    def __call__(self, packet: Packet) -> Packet:
+        color = self.meter.color(packet.size, self.engine.now)
+        packet.dscp = int(self.colors_to_dscp[color])
+        packet.annotations["af_color"] = color.name.lower()
+        if color is Color.GREEN:
+            self.stats.conformant_packets += 1
+            self.stats.conformant_bytes += packet.size
+        else:
+            self.stats.remarked_packets += 1
+        return packet

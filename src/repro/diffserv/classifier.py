@@ -1,0 +1,68 @@
+"""Multi-field classification.
+
+At router 1 of the local testbed "the profile specifies the source
+address of the video server and the destination address of the video
+client, which will then trigger the creation of a classifier entry at
+the router to extract the corresponding set of packets."
+
+Our packets carry a ``flow_id`` standing in for the (src, dst) address
+pair, so a :class:`FlowProfile` matches on flow id (and optionally on
+an already-present DSCP, which is how interior routers classify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.packet import Packet
+
+
+@dataclass(frozen=True)
+class FlowProfile:
+    """Match criteria for one classifier entry.
+
+    ``None`` fields are wildcards. ``flow_id`` models the src/dst
+    address pair; ``dscp`` matches a codepoint already on the packet.
+    """
+
+    flow_id: Optional[str] = None
+    dscp: Optional[int] = None
+
+    def matches(self, packet: Packet) -> bool:
+        """Whether the packet matches this profile."""
+        if self.flow_id is not None and packet.flow_id != self.flow_id:
+            return False
+        if self.dscp is not None and packet.dscp != self.dscp:
+            return False
+        return True
+
+
+class MultiFieldClassifier:
+    """Ordered list of (profile, stage) entries.
+
+    Used as a router ingress stage: the first matching profile's stage
+    processes the packet; non-matching packets pass through untouched
+    (best-effort treatment).
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[FlowProfile, Callable[[Packet], Optional[Packet]]]] = []
+        self.matched_packets = 0
+        self.unmatched_packets = 0
+
+    def add_entry(
+        self,
+        profile: FlowProfile,
+        stage: Callable[[Packet], Optional[Packet]],
+    ) -> None:
+        """Append a classification entry (first match wins)."""
+        self._entries.append((profile, stage))
+
+    def __call__(self, packet: Packet) -> Optional[Packet]:
+        for profile, stage in self._entries:
+            if profile.matches(packet):
+                self.matched_packets += 1
+                return stage(packet)
+        self.unmatched_packets += 1
+        return packet

@@ -1,0 +1,81 @@
+"""DiffServ codepoints (RFC 2474, RFC 2597, RFC 3246).
+
+The paper configures its policers to mark conformant packets with the
+EF DSCP and forward them to the routers' high-priority queues. We
+reproduce the standard codepoint values; note the paper's text quotes
+"101100" for EF, but RFC 3246 (and its predecessor RFC 2598, current at
+the time) define EF as 101110 — we use the RFC value and note the
+discrepancy here rather than silently diverging from the standard.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class DSCP(IntEnum):
+    """Standard DiffServ codepoint values (6-bit field)."""
+
+    BE = 0b000000  # best effort / default PHB
+    EF = 0b101110  # expedited forwarding (RFC 3246)
+    AF11 = 0b001010
+    AF12 = 0b001100
+    AF13 = 0b001110
+    AF21 = 0b010010
+    AF22 = 0b010100
+    AF23 = 0b010110
+    AF31 = 0b011010
+    AF32 = 0b011100
+    AF33 = 0b011110
+    AF41 = 0b100010
+    AF42 = 0b100100
+    AF43 = 0b100110
+
+
+# Convenience aliases used throughout the library.
+EF = DSCP.EF
+BE = DSCP.BE
+AF11 = DSCP.AF11
+AF12 = DSCP.AF12
+AF13 = DSCP.AF13
+
+_PHB_NAMES = {
+    DSCP.BE: "Default",
+    DSCP.EF: "Expedited Forwarding",
+    DSCP.AF11: "Assured Forwarding class 1, low drop",
+    DSCP.AF12: "Assured Forwarding class 1, medium drop",
+    DSCP.AF13: "Assured Forwarding class 1, high drop",
+    DSCP.AF21: "Assured Forwarding class 2, low drop",
+    DSCP.AF22: "Assured Forwarding class 2, medium drop",
+    DSCP.AF23: "Assured Forwarding class 2, high drop",
+    DSCP.AF31: "Assured Forwarding class 3, low drop",
+    DSCP.AF32: "Assured Forwarding class 3, medium drop",
+    DSCP.AF33: "Assured Forwarding class 3, high drop",
+    DSCP.AF41: "Assured Forwarding class 4, low drop",
+    DSCP.AF42: "Assured Forwarding class 4, medium drop",
+    DSCP.AF43: "Assured Forwarding class 4, high drop",
+}
+
+
+def phb_name(dscp: int) -> str:
+    """Human-readable PHB name for a codepoint value."""
+    try:
+        return _PHB_NAMES[DSCP(dscp)]
+    except ValueError:
+        return f"Unknown DSCP {dscp:#08b}"
+
+
+def is_ef(dscp: int | None) -> bool:
+    """True when the codepoint selects the EF PHB."""
+    return dscp == DSCP.EF
+
+
+def af_drop_precedence(dscp: int) -> int:
+    """Drop precedence (1..3) of an AF codepoint.
+
+    Raises ``ValueError`` for non-AF codepoints.
+    """
+    code = DSCP(dscp)
+    if code in (DSCP.BE, DSCP.EF):
+        raise ValueError(f"{code.name} is not an AF codepoint")
+    return (int(code) >> 1) & 0b11

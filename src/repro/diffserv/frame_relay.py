@@ -1,0 +1,133 @@
+"""Frame relay interface model (Table 1 of the paper).
+
+The local testbed connected its routers with frame relay circuits
+configured by three parameters: Committed Information Rate (CIR),
+Committed Burst Size (Bc), and Excess Burst Size (Be). With Be = 0 and
+Bc/CIR = 1 s, "the main purpose of the configurations used was to
+emulate a set of constant rate links" — so the interface behaves as a
+CIR-rate serial link whose short-term credit is bounded by Bc.
+
+We model the interface as a token-bucket-shaped serial link: traffic is
+serialized at the access rate but only admitted at CIR on average, with
+a credit window of Bc (+ Be) bits. With the paper's settings this
+degenerates to a constant-rate link, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.diffserv.shaper import Shaper
+from repro.sim.engine import Engine
+from repro.sim.link import Link
+from repro.sim.packet import PacketSink
+from repro.sim.queues import DropTailQueue, PriorityQueueSet
+
+
+@dataclass(frozen=True)
+class FrameRelayConfig:
+    """One row of the paper's Table 1.
+
+    Rates/bursts are in bits (per second for CIR), matching how frame
+    relay gear is configured.
+    """
+
+    cir_bps: float
+    bc_bits: float
+    be_bits: float
+    interface_type: str  # "V.35" or "HSSI"
+    access_rate_bps: Optional[float] = None
+
+    #: Physical ceilings per interface type; V.35 tops out around E1
+    #: ("the main bandwidth bottleneck of the system"), HSSI at 52 Mbps.
+    INTERFACE_MAX_RATES = {"V.35": 2.048e6, "HSSI": 52e6}
+
+    def __post_init__(self) -> None:
+        if self.cir_bps <= 0:
+            raise ValueError("CIR must be positive")
+        if self.bc_bits <= 0:
+            raise ValueError("Bc must be positive")
+        if self.be_bits < 0:
+            raise ValueError("Be cannot be negative")
+        max_rate = self.INTERFACE_MAX_RATES.get(self.interface_type)
+        if max_rate is None:
+            raise ValueError(f"unknown interface type {self.interface_type!r}")
+        if self.cir_bps > max_rate:
+            raise ValueError(
+                f"CIR {self.cir_bps} exceeds {self.interface_type} "
+                f"maximum {max_rate}"
+            )
+
+    @property
+    def committed_interval_s(self) -> float:
+        """Tc = Bc / CIR, the credit measurement interval."""
+        return self.bc_bits / self.cir_bps
+
+    @property
+    def physical_rate_bps(self) -> float:
+        """Access (serialization) rate of the interface."""
+        if self.access_rate_bps is not None:
+            return self.access_rate_bps
+        return self.INTERFACE_MAX_RATES[self.interface_type]
+
+
+#: The three interfaces of Table 1: CIR = Bc = 2e6, Be = 0.
+TABLE1_CONFIGS = {
+    ("router1", "FR0"): FrameRelayConfig(2e6, 2e6, 0, "V.35"),
+    ("router2", "FR1"): FrameRelayConfig(2e6, 2e6, 0, "HSSI"),
+    ("router3", "FR0"): FrameRelayConfig(2e6, 2e6, 0, "V.35"),
+}
+
+
+class FrameRelayInterface:
+    """CIR-enforced output interface.
+
+    Composition: a CIR+Bc(+Be) token-bucket shaper feeding a serial
+    link at the physical access rate. Packets therefore leave at line
+    rate but no faster than CIR on average — the behaviour frame relay
+    access gear exhibits.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: FrameRelayConfig,
+        sink: Optional[PacketSink] = None,
+        queue: Optional[Union[DropTailQueue, PriorityQueueSet]] = None,
+        propagation_delay: float = 0.0,
+        name: str = "fr-if",
+    ):
+        self.engine = engine
+        self.config = config
+        self.name = name
+        self.link = Link(
+            engine,
+            rate_bps=config.physical_rate_bps,
+            queue=queue,
+            propagation_delay=propagation_delay,
+            name=f"{name}.link",
+        )
+        depth_bytes = (config.bc_bits + config.be_bits) / 8.0
+        self.shaper = Shaper(
+            engine,
+            rate_bps=config.cir_bps,
+            depth_bytes=depth_bytes,
+            sink=self.link,
+            name=f"{name}.shaper",
+        )
+        if sink is not None:
+            self.connect(sink)
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self.link.connect(sink)
+
+    def receive(self, packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        self.shaper.receive(packet)
+
+    @property
+    def transmitted_packets(self) -> int:
+        """Packets that left the interface so far."""
+        return self.link.transmitted_packets

@@ -1,0 +1,42 @@
+"""DSCP markers.
+
+A marker unconditionally stamps packets with a codepoint. The QBone
+experiments used one at the video server itself: "The packets generated
+by the server were pre-marked as EF packets by the server and were
+policed at the border Cisco router of the remote site."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.diffserv.dscp import DSCP
+from repro.sim.packet import Packet
+
+
+class Marker:
+    """Stamp every passing packet with a fixed DSCP.
+
+    Usable both as a router ingress stage (callable) and as an inline
+    sink in a component chain (``receive``/``connect``).
+    """
+
+    def __init__(self, dscp: DSCP = DSCP.EF):
+        self.dscp = dscp
+        self.marked_packets = 0
+        self._sink = None
+
+    def connect(self, sink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    def __call__(self, packet: Packet) -> Optional[Packet]:
+        packet.dscp = int(self.dscp)
+        self.marked_packets += 1
+        return packet
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        self(packet)
+        if self._sink is not None:
+            self._sink.receive(packet)

@@ -1,0 +1,119 @@
+"""Two- and three-color traffic meters (RFC 2697 / RFC 2698).
+
+The paper's AF experiments need color-aware policing: instead of
+dropping non-conformant packets, the meter marks them with a higher
+drop precedence and lets congestion decide. Two standard meters are
+implemented:
+
+* :class:`SrTcmMeter` — single-rate three color marker (RFC 2697):
+  one token rate (CIR) with committed (CBS) and excess (EBS) buckets;
+  green within CBS, yellow within EBS, red beyond.
+* :class:`TrTcmMeter` — two-rate three color marker (RFC 2698):
+  committed (CIR/CBS) and peak (PIR/PBS) buckets; red above peak,
+  yellow above committed, green otherwise.
+
+Both operate in color-blind mode (every packet arrives uncolored),
+which matches a first-hop ingress meter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.diffserv.token_bucket import TokenBucket
+
+
+class Color(enum.Enum):
+    """Meter verdicts, ordered by increasing drop precedence."""
+
+    GREEN = 1
+    YELLOW = 2
+    RED = 3
+
+
+@dataclass
+class MeterStats:
+    green_packets: int = 0
+    yellow_packets: int = 0
+    red_packets: int = 0
+
+    def count(self, color: Color) -> None:
+        """Record one metered packet of the given color."""
+        if color is Color.GREEN:
+            self.green_packets += 1
+        elif color is Color.YELLOW:
+            self.yellow_packets += 1
+        else:
+            self.red_packets += 1
+
+    @property
+    def total_packets(self) -> int:
+        """Total packets processed."""
+        return self.green_packets + self.yellow_packets + self.red_packets
+
+
+class SrTcmMeter:
+    """Single-rate three color marker (RFC 2697, color-blind).
+
+    Both buckets refill from the same CIR: the committed bucket first,
+    overflow tokens spilling into the excess bucket — implemented here
+    as two buckets whose combined refill never exceeds CIR.
+    """
+
+    def __init__(self, cir_bps: float, cbs_bytes: float, ebs_bytes: float):
+        if ebs_bytes < 0:
+            raise ValueError("EBS cannot be negative")
+        self.cir_bps = cir_bps
+        self._committed = TokenBucket(cir_bps, cbs_bytes)
+        # The excess bucket only fills when the committed one is full;
+        # we approximate the RFC's coupled refill by refilling the
+        # excess bucket at CIR but draining it for yellow traffic only.
+        self._excess = (
+            TokenBucket(cir_bps, ebs_bytes) if ebs_bytes > 0 else None
+        )
+        self.stats = MeterStats()
+
+    def color(self, size_bytes: int, now: float) -> Color:
+        """Meter one packet and consume the matching tokens."""
+        if self._committed.try_consume(size_bytes, now):
+            verdict = Color.GREEN
+        elif self._excess is not None and self._excess.try_consume(
+            size_bytes, now
+        ):
+            verdict = Color.YELLOW
+        else:
+            verdict = Color.RED
+        self.stats.count(verdict)
+        return verdict
+
+
+class TrTcmMeter:
+    """Two-rate three color marker (RFC 2698, color-blind)."""
+
+    def __init__(
+        self,
+        cir_bps: float,
+        cbs_bytes: float,
+        pir_bps: float,
+        pbs_bytes: float,
+    ):
+        if pir_bps < cir_bps:
+            raise ValueError("PIR must be at least CIR")
+        self._committed = TokenBucket(cir_bps, cbs_bytes)
+        self._peak = TokenBucket(pir_bps, pbs_bytes)
+        self.stats = MeterStats()
+
+    def color(self, size_bytes: int, now: float) -> Color:
+        """Meter one packet (RFC 2698 order: peak test first)."""
+        if not self._peak.conforms(size_bytes, now):
+            # Tokens refresh lazily inside conforms(); red consumes
+            # nothing from either bucket.
+            self.stats.count(Color.RED)
+            return Color.RED
+        self._peak.force_consume(size_bytes, now)
+        if self._committed.try_consume(size_bytes, now):
+            self.stats.count(Color.GREEN)
+            return Color.GREEN
+        self.stats.count(Color.YELLOW)
+        return Color.YELLOW

@@ -1,0 +1,117 @@
+"""Edge policers.
+
+The policer is an ingress stage: conformant packets are marked with a
+DSCP (EF in all the paper's experiments) and passed on; non-conformant
+packets are handled according to the configured
+:class:`PolicerAction` — dropped (the paper's EF configuration),
+re-marked to best effort, or demoted to a lower AF color.
+
+This models both the policy component of the local testbed's router 1
+and the Cisco CAR configuration at the QBone ingress.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.diffserv.dscp import DSCP
+from repro.diffserv.token_bucket import TokenBucket
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet
+
+
+class PolicerAction(enum.Enum):
+    """What happens to a non-conformant packet."""
+
+    DROP = "drop"
+    REMARK_BE = "remark-be"
+    DEMOTE = "demote"  # AF-style coloring to a configurable codepoint
+
+
+@dataclass
+class PolicerStats:
+    """Counters the experiments read after a run."""
+
+    conformant_packets: int = 0
+    conformant_bytes: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+    remarked_packets: int = 0
+    dropped_frame_ids: set = field(default_factory=set)
+
+    @property
+    def total_packets(self) -> int:
+        """Total packets processed."""
+        return self.conformant_packets + self.dropped_packets + self.remarked_packets
+
+    @property
+    def drop_fraction(self) -> float:
+        """Dropped / total packets (0 when idle)."""
+        total = self.total_packets
+        return self.dropped_packets / total if total else 0.0
+
+
+class Policer:
+    """Token-bucket policer usable as a router ingress stage.
+
+    Parameters
+    ----------
+    engine:
+        Supplies arrival timestamps for the token arithmetic.
+    rate_bps / depth_bytes:
+        Token bucket profile (the paper's "service parameters").
+    action:
+        Treatment of non-conformant packets.
+    conform_dscp:
+        Codepoint applied to conformant packets (EF by default).
+    demote_dscp:
+        Codepoint for :attr:`PolicerAction.DEMOTE`.
+    on_drop:
+        Optional callback fired with each dropped packet, used by
+        experiments to attribute frame loss to the policer.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate_bps: float,
+        depth_bytes: float,
+        action: PolicerAction = PolicerAction.DROP,
+        conform_dscp: DSCP = DSCP.EF,
+        demote_dscp: DSCP = DSCP.AF12,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ):
+        self.engine = engine
+        self.bucket = TokenBucket(rate_bps, depth_bytes)
+        self.action = action
+        self.conform_dscp = conform_dscp
+        self.demote_dscp = demote_dscp
+        self.stats = PolicerStats()
+        self._on_drop = on_drop
+
+    def __call__(self, packet: Packet) -> Optional[Packet]:
+        """Ingress-stage interface: return the packet or None if dropped."""
+        now = self.engine.now
+        if self.bucket.try_consume(packet.size, now):
+            self.stats.conformant_packets += 1
+            self.stats.conformant_bytes += packet.size
+            packet.dscp = int(self.conform_dscp)
+            return packet
+        if self.action is PolicerAction.DROP:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            if packet.frame_id is not None:
+                self.stats.dropped_frame_ids.add(packet.frame_id)
+            if self._on_drop is not None:
+                self._on_drop(packet)
+            return None
+        if self.action is PolicerAction.REMARK_BE:
+            self.stats.remarked_packets += 1
+            packet.dscp = int(DSCP.BE)
+            return packet
+        # PolicerAction.DEMOTE
+        self.stats.remarked_packets += 1
+        packet.dscp = int(self.demote_dscp)
+        return packet

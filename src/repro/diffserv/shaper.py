@@ -1,0 +1,109 @@
+"""Token-bucket shaper.
+
+"A shaper is a token bucket, which instead of simply dropping
+(policing) non-conformant packets, is configured to delay them until
+the earliest time at which they are deemed conformant." (paper, §3.2)
+
+The local testbed placed a Linux box running such a shaper in front of
+the policing router to tame the bursty WMT server output. The shaper
+holds non-conformant packets in a bounded FIFO and releases them at
+token-arrival times, preserving order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.diffserv.token_bucket import TokenBucket
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet, PacketSink
+from repro.sim.queues import DropTailQueue
+
+
+class Shaper:
+    """Delay-based traffic conditioner.
+
+    Parameters
+    ----------
+    engine:
+        Event engine (release times are scheduled on it).
+    rate_bps / depth_bytes:
+        Shaping profile. With ``depth_bytes`` of one MTU this is a pure
+        leaky-bucket pacer.
+    sink:
+        Downstream receiver of (now conformant) packets.
+    max_queue_packets:
+        Backlog bound; packets arriving to a full shaper queue are
+        dropped (counted in ``queue.dropped_packets``).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate_bps: float,
+        depth_bytes: float,
+        sink: Optional[PacketSink] = None,
+        max_queue_packets: int = 2000,
+        name: str = "shaper",
+    ):
+        self.engine = engine
+        self.bucket = TokenBucket(rate_bps, depth_bytes)
+        self.queue = DropTailQueue(max_packets=max_queue_packets)
+        self.name = name
+        self._sink = sink
+        self._release_pending = False
+        self.released_packets = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    @property
+    def backlog(self) -> int:
+        """Packets currently waiting for tokens."""
+        return len(self.queue)
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet; forward immediately if conformant, else queue."""
+        now = self.engine.now
+        if self.backlog == 0 and self.bucket.try_consume(packet.size, now):
+            self._deliver(packet)
+            return
+        self.queue.enqueue(packet)
+        self._schedule_release()
+
+    def _deliver(self, packet: Packet) -> None:
+        if self._sink is None:
+            raise RuntimeError(f"{self.name}: not connected")
+        self.released_packets += 1
+        self._sink.receive(packet)
+
+    def _schedule_release(self) -> None:
+        if self._release_pending:
+            return
+        head = self.queue.peek()
+        if head is None:
+            return
+        wait = self.bucket.time_until_conformant(head.size, self.engine.now)
+        # Tiny epsilon so a downstream policer with the *same* profile,
+        # whose refill arithmetic differs by float rounding, never sees
+        # the packet a hair before its tokens exist.
+        wait += 1e-7
+        if wait == float("inf"):
+            # The packet can never conform (bigger than the bucket).
+            # Drop it rather than deadlocking the queue.
+            self.queue.dequeue()
+            self.queue.dropped_packets += 1
+            self._schedule_release()
+            return
+        self._release_pending = True
+        self.engine.schedule(wait, self._release_head)
+
+    def _release_head(self) -> None:
+        self._release_pending = False
+        packet = self.queue.dequeue()
+        if packet is None:
+            return
+        self.bucket.force_consume(packet.size, self.engine.now)
+        self._deliver(packet)
+        self._schedule_release()

@@ -1,0 +1,106 @@
+"""The token bucket: the paper's central control knob.
+
+Tokens are credits to transmit bytes (the convention of RFC 2212/2697/
+2698, which the paper adopts). The bucket fills continuously at
+``rate_bps / 8`` bytes per second up to ``depth_bytes``; a packet of
+``n`` bytes is conformant iff ``n`` tokens are available at its arrival
+instant, in which case they are consumed.
+
+The implementation is lazy: tokens are topped up on demand from the
+elapsed time, so no periodic refill events load the engine.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """Byte-denominated token bucket.
+
+    Parameters
+    ----------
+    rate_bps:
+        Token generation rate in **bits** per second (matching how the
+        paper quotes token rates).
+    depth_bytes:
+        Bucket capacity in bytes. The paper uses 3000 (two Ethernet
+        MTUs) and 4500 (three MTUs).
+    start_full:
+        Whether the bucket starts full (the usual convention; matches
+        router behaviour after an idle period).
+    """
+
+    def __init__(self, rate_bps: float, depth_bytes: float, start_full: bool = True):
+        if rate_bps <= 0:
+            raise ValueError(f"token rate must be positive, got {rate_bps}")
+        if depth_bytes <= 0:
+            raise ValueError(f"bucket depth must be positive, got {depth_bytes}")
+        self.rate_bps = rate_bps
+        self.depth_bytes = float(depth_bytes)
+        self._tokens = self.depth_bytes if start_full else 0.0
+        self._last_update = 0.0
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        """Token rate converted to bytes per second."""
+        return self.rate_bps / 8.0
+
+    def tokens_at(self, now: float) -> float:
+        """Token level at time ``now`` without consuming anything."""
+        self._refill(now)
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_update:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_update}"
+            )
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._tokens = min(
+                self.depth_bytes, self._tokens + elapsed * self.rate_bytes_per_s
+            )
+            self._last_update = now
+
+    def conforms(self, size_bytes: int, now: float) -> bool:
+        """Check conformance without consuming tokens."""
+        self._refill(now)
+        return self._tokens >= size_bytes
+
+    def try_consume(self, size_bytes: int, now: float) -> bool:
+        """Consume tokens for a conformant packet; False if non-conformant.
+
+        A packet larger than the bucket depth can never conform — the
+        paper leans on exactly this: with a 3000-byte bucket, a burst of
+        three 1500-byte packets always loses its third packet.
+        """
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self._refill(now)
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            return True
+        return False
+
+    def time_until_conformant(self, size_bytes: int, now: float) -> float:
+        """Seconds until ``size_bytes`` tokens will have accumulated.
+
+        Used by the shaper to schedule delayed release. Returns 0 when
+        already conformant and ``inf`` when the packet exceeds the
+        bucket depth (it will never conform).
+        """
+        self._refill(now)
+        if size_bytes > self.depth_bytes:
+            return float("inf")
+        deficit = size_bytes - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate_bytes_per_s
+
+    def force_consume(self, size_bytes: int, now: float) -> None:
+        """Consume tokens unconditionally (may not go below zero).
+
+        Shapers call this at release time: the release instant was
+        computed to be exactly when the tokens become available.
+        """
+        self._refill(now)
+        self._tokens = max(0.0, self._tokens - size_bytes)

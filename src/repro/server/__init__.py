@@ -1,0 +1,30 @@
+"""Streaming server models.
+
+One module per server family the paper experimented with:
+
+* `videocharger` — IBM VideoCharger: small messages, deliberate pacing,
+  UDP; the QBone workhorse.
+* `wmt` — Windows Media Technologies: per-frame packet bursts, UDP or
+  TCP transport, optional multi-rate adaptation; the local-testbed
+  server.
+* `largeudp` — Netshow Theater / ThunderCastIP: huge datagrams
+  fragmented into packet trains, plus the rate-adaptation loop that
+  policing famously confused.
+* `transport` — the simplified TCP machinery `wmt` uses in TCP mode.
+"""
+
+from repro.server.base import StreamingServer, ServerStats
+from repro.server.videocharger import VideoChargerServer
+from repro.server.wmt import WindowsMediaServer
+from repro.server.largeudp import LargeDatagramServer
+from repro.server.transport import TcpSender, TcpReceiver
+
+__all__ = [
+    "StreamingServer",
+    "ServerStats",
+    "VideoChargerServer",
+    "WindowsMediaServer",
+    "LargeDatagramServer",
+    "TcpSender",
+    "TcpReceiver",
+]

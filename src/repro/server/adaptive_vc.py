@@ -1,0 +1,160 @@
+"""Multi-rate MPEG streaming server (the paper's future-work feature).
+
+"Note that the MPEG servers we used do not support multi-rate
+encoding, i.e., the ability to dynamically select a given video
+quality when multiple copies encoded at different rates are available.
+... we expect such a capability to be available in future MPEG
+servers." (paper §3.3.1)
+
+This server implements that capability: it holds the clip encoded at
+several rates, streams frame by frame, and steps down to a cheaper
+encoding when client feedback reports loss (stepping back up after a
+sustained clean period). Unlike the misled large-datagram adaptation,
+this control loop reacts to loss by *reducing* load — the behaviour
+that makes policed EF services usable at token rates between the
+encodings' requirements.
+
+Simplification: the server re-chunks the stream so presentation slot
+``f`` carries exactly the active encoding's transport-slot-``f``
+bytes; frame completion and GOP decodability then operate on those
+slot-aligned frames.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.diffserv.dscp import DSCP
+from repro.sim.engine import Engine
+from repro.sim.packet import PacketSink
+from repro.video.mpeg import EncodedClip
+from repro.video.packetizer import MTU_PAYLOAD, PayloadChunk
+from repro.server.base import StreamingServer
+
+
+class AdaptiveVideoChargerServer(StreamingServer):
+    """Feedback-driven multi-rate streamer.
+
+    Parameters
+    ----------
+    encodings:
+        The available encodings, any order; they must share frame
+        count and fps. Streaming starts on the highest-rate one.
+    step_down_loss / step_up_after_clean_s:
+        Control-loop constants: loss fraction that triggers a
+        downgrade, and seconds of clean reports before an upgrade.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        encodings: Sequence[EncodedClip],
+        sink: PacketSink,
+        flow_id: str = "video",
+        premark_dscp: Optional[DSCP] = DSCP.EF,
+        message_bytes: int = MTU_PAYLOAD,
+        step_down_loss: float = 0.01,
+        step_up_after_clean_s: float = 8.0,
+    ):
+        if not encodings:
+            raise ValueError("need at least one encoding")
+        ladder = sorted(encodings, key=lambda e: e.target_rate_bps)
+        n_frames = {e.n_frames for e in ladder}
+        if len(n_frames) != 1:
+            raise ValueError("encodings must cover the same frames")
+        super().__init__(engine, ladder[-1], sink, flow_id, large_datagrams=False)
+        self.ladder = ladder
+        self.premark_dscp = premark_dscp
+        self.message_bytes = message_bytes
+        self.step_down_loss = step_down_loss
+        self.step_up_after_clean_s = step_up_after_clean_s
+        self._level = len(ladder) - 1  # start at the top
+        self._frame_idx = 0
+        self._clean_reports = 0
+        # Exponential backoff on upward probes: every failed probe
+        # (a step-down soon after a step-up) lengthens the clean
+        # period required before the next try.
+        self._required_clean_s = step_up_after_clean_s
+        self._last_step_up_at = -1e9
+        #: Which ladder level served each frame (for VQM compositing).
+        self.selection = np.full(ladder[0].n_frames, self._level, dtype=np.int64)
+
+    @property
+    def active_encoding(self) -> EncodedClip:
+        """The ladder rung currently being streamed."""
+        return self.ladder[self._level]
+
+    @property
+    def current_level(self) -> int:
+        """Index of the active ladder rung (0 = lowest rate)."""
+        return self._level
+
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        self._send_frame()
+
+    def _send_frame(self) -> None:
+        if self._frame_idx >= self.active_encoding.n_frames:
+            return
+        encoding = self.active_encoding
+        frame_id = self._frame_idx
+        self.selection[frame_id] = self._level
+        slot_bytes = int(encoding.transport_slots[frame_id])
+        slot_duration = 1.0 / encoding.fps
+        # Frame bytes leave as evenly spaced single-packet messages,
+        # each annotated with the frame's as-sent total so the client
+        # can detect completion without knowing the ladder state.
+        payload_total = slot_bytes
+        n_messages = max(1, -(-slot_bytes // self.message_bytes))
+        spacing = slot_duration / n_messages
+        remaining = slot_bytes
+        for i in range(n_messages):
+            chunk_len = min(self.message_bytes, remaining)
+            if chunk_len <= 0:
+                break
+            chunk = PayloadChunk(frame_id=frame_id, n_bytes=chunk_len)
+            self.engine.schedule(
+                i * spacing,
+                lambda c=chunk, t=payload_total: self._send_message(c, t),
+            )
+            remaining -= chunk_len
+        self._frame_idx += 1
+        self.engine.schedule(slot_duration, self._send_frame)
+
+    def _send_message(self, chunk: PayloadChunk, frame_total: int) -> None:
+        packets = self.packetizer.packetize_chunk(chunk, self.engine.now)
+        for packet in packets:
+            packet.annotations["frame_total"] = frame_total
+            if self.premark_dscp is not None:
+                packet.dscp = int(self.premark_dscp)
+        self._emit_packets(packets)
+
+    # ------------------------------------------------------------------
+    def report_loss(self, loss_fraction: float) -> None:
+        """Client feedback hook (wired at ~1 Hz by the experiment)."""
+        if loss_fraction > self.step_down_loss:
+            if self._level > 0:
+                self._level -= 1
+                self.stats.rate_changes += 1
+                # A step-down shortly after a probe: back off harder.
+                if self.engine.now - self._last_step_up_at < 2 * self._required_clean_s:
+                    self._required_clean_s *= 2.0
+            self._clean_reports = 0
+            return
+        if loss_fraction == 0.0:
+            self._clean_reports += 1
+            if (
+                self._clean_reports >= self._required_clean_s
+                and self._level < len(self.ladder) - 1
+            ):
+                self._level += 1
+                self.stats.rate_changes += 1
+                self._clean_reports = 0
+                self._last_step_up_at = self.engine.now
+
+    @property
+    def finished(self) -> bool:
+        """True once every frame has been handed to the network."""
+        return self._frame_idx >= self.active_encoding.n_frames

@@ -1,0 +1,113 @@
+"""Large-datagram server model (Netshow Theater / ThunderCastIP).
+
+These servers "are configured to generate large datagrams that can be
+up to 16280 bytes long, and which are then fragmented into smaller
+(1500-byte) packets by the IP stack on the server itself", producing
+large back-to-back packet trains. Under an EF policer with a one-or-
+two-MTU bucket this is catastrophic: some fragment of nearly every
+datagram is non-conformant, and one lost fragment voids the datagram.
+
+The paper also describes how policing *misled* their rate adaptation:
+low delivered-packet delay read as "bandwidth available", so the
+server reacted to (policer) loss by **increasing** its rate to make up
+for it, which increased loss, "until performance got so poor that the
+server would back down to very low transmission rates", cycling until
+the client broke the connection. :meth:`report_feedback` implements
+exactly that pathology; the resulting end-to-end behaviour is bi-modal
+(useless below peak-rate allocation, perfect above), which is what the
+``sec4_large_datagram_bimodal`` bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.diffserv.dscp import DSCP
+from repro.sim.engine import Engine
+from repro.sim.packet import PacketSink
+from repro.video.mpeg import EncodedClip
+from repro.video.packetizer import PayloadChunk
+from repro.server.base import StreamingServer
+
+
+class LargeDatagramServer(StreamingServer):
+    """Frame-per-datagram UDP streamer with a loss-misled adaptation loop.
+
+    Parameters
+    ----------
+    adaptation:
+        Enable the pathological rate-control loop (on by default — it
+        is the point of this model).
+    speedup_factor / collapse_rate:
+        Adaptation constants: multiplicative rate increase on loss with
+        low delay, and the floor multiplier after a collapse.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        clip: EncodedClip,
+        sink: PacketSink,
+        flow_id: str = "video",
+        premark_dscp: Optional[DSCP] = DSCP.EF,
+        adaptation: bool = True,
+        speedup_factor: float = 1.2,
+        collapse_rate: float = 0.25,
+        abort_after_collapses: int = 4,
+    ):
+        super().__init__(engine, clip, sink, flow_id, large_datagrams=True)
+        self.premark_dscp = premark_dscp
+        self.adaptation = adaptation
+        self.speedup_factor = speedup_factor
+        self.collapse_rate = collapse_rate
+        self.abort_after_collapses = abort_after_collapses
+        self.rate_multiplier = 1.0
+        self.collapses = 0
+        self._frame_idx = 0
+
+    def _begin(self) -> None:
+        self._send_frame()
+
+    def _send_frame(self) -> None:
+        if self.stats.aborted or self._frame_idx >= self.clip.n_frames:
+            return
+        frame = self.clip.frames[self._frame_idx]
+        chunk = PayloadChunk(frame_id=frame.frame_id, n_bytes=frame.size_bytes)
+        packets = self.packetizer.packetize_chunk(chunk, self.engine.now)
+        if self.premark_dscp is not None:
+            for packet in packets:
+                packet.dscp = int(self.premark_dscp)
+        self._emit_packets(packets)
+        self._frame_idx += 1
+        # Frame pacing scales with the adaptation multiplier: "making
+        # up for losses" means pushing frames out faster.
+        interval = 1.0 / (self.clip.fps * self.rate_multiplier)
+        self.engine.schedule(interval, self._send_frame)
+
+    # ------------------------------------------------------------------
+    def report_feedback(self, loss_fraction: float, mean_delay_s: float) -> None:
+        """Client report hook implementing the misled control loop."""
+        if not self.adaptation or self.stats.aborted:
+            return
+        if loss_fraction > 0.5:
+            # Performance collapsed; back way down.
+            self.rate_multiplier = self.collapse_rate
+            self.collapses += 1
+            if self.collapses >= self.abort_after_collapses:
+                # The client gives up on the session ("the client
+                # decided to break the connection, as it was deemed too
+                # unreliable").
+                self.stats.aborted = True
+            return
+        if loss_fraction > 0.0 and mean_delay_s < 0.05:
+            # Loss but low delay: reads as "bandwidth available, just
+            # resend more" — speed up.
+            self.rate_multiplier = min(3.0, self.rate_multiplier * self.speedup_factor)
+        elif loss_fraction == 0.0:
+            # Clean interval: drift back toward nominal pacing.
+            self.rate_multiplier = max(1.0, self.rate_multiplier * 0.9)
+
+    @property
+    def finished(self) -> bool:
+        """True once every frame has been handed to the network."""
+        return self._frame_idx >= self.clip.n_frames

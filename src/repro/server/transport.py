@@ -1,0 +1,256 @@
+"""Simplified TCP for the WMT server's TCP streaming mode.
+
+A deliberately reduced Reno-style implementation — enough congestion
+machinery to reproduce the *behavioural* contrast the paper reports
+(TCP's ack-clocked self-pacing produced a smoother flow than UDP and
+therefore much better quality under policing), without modelling every
+corner of RFC 5681.
+
+Simplifications (documented, deliberate):
+
+* fixed MSS segments; byte-stream sequence numbers advance per segment;
+* the reverse (ack) path is an uncongested fixed delay — the testbed's
+  return path was idle;
+* no delayed acks, no SACK; fast retransmit on 3 duplicate acks;
+  a coarse retransmission timeout as backstop;
+* receiver buffer is unbounded (the client machine was provisioned for
+  capture).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet, PacketSink
+from repro.units import TCP_IP_HEADER
+
+#: Segment payload (Ethernet MTU minus TCP/IP headers).
+MSS = 1460
+
+#: Coarse retransmission timeout (seconds).
+DEFAULT_RTO = 0.6
+
+
+@dataclass
+class TcpStats:
+    """Sender-side counters."""
+
+    segments_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+
+
+class TcpSender:
+    """Tahoe-style sender pushing a byte stream into the network.
+
+    The application calls :meth:`write` to append stream bytes (tagged
+    with the frame that owns them). The sender transmits segments under
+    a congestion window with slow start / congestion avoidance, and
+    recovers from loss go-back-N style: both fast retransmit (3 dup
+    acks) and the coarse timeout rewind the send pointer to the oldest
+    unacknowledged segment. Go-back-N wastes some bandwidth next to a
+    SACK-capable stack, but it cannot deadlock and its smoothness under
+    a policer is what the experiment needs.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: PacketSink,
+        flow_id: str = "video-tcp",
+        ack_path_delay: float = 0.01,
+        initial_cwnd_segments: int = 2,
+        rto: float = DEFAULT_RTO,
+    ):
+        self.engine = engine
+        self.sink = sink
+        self.flow_id = flow_id
+        self.ack_path_delay = ack_path_delay
+        self.rto = rto
+        self.stats = TcpStats()
+
+        self._buffer: deque[tuple[int, int]] = deque()  # (frame_id, bytes)
+        self._buffered_bytes = 0
+        self._created_next = 0  # next new segment sequence to create
+        self._send_next = 0  # next segment to (re)transmit
+        self._send_una = 0  # oldest unacknowledged segment
+        self._segments: dict[int, tuple[int, int]] = {}  # seq -> (frame, size)
+        self._cwnd = float(initial_cwnd_segments)
+        self._ssthresh = 64.0
+        self._dupacks = 0
+        self._rto_event = None
+        self._receiver: Optional["TcpReceiver"] = None
+
+    # -- wiring ----------------------------------------------------------
+    def attach_receiver(self, receiver: "TcpReceiver") -> None:
+        """Pair this sender with its receiver (wires the ack path)."""
+        self._receiver = receiver
+        receiver._sender = self
+
+    # -- application interface --------------------------------------------
+    def write(self, frame_id: int, n_bytes: int) -> None:
+        """Append application bytes for one frame to the send buffer."""
+        if n_bytes <= 0:
+            return
+        self._buffer.append((frame_id, n_bytes))
+        self._buffered_bytes += n_bytes
+        self._try_send()
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Application bytes waiting in the send buffer."""
+        return self._buffered_bytes
+
+    @property
+    def cwnd_segments(self) -> float:
+        """Current congestion window, in segments."""
+        return self._cwnd
+
+    # -- transmission ------------------------------------------------------
+    def _inflight(self) -> int:
+        return self._send_next - self._send_una
+
+    def _try_send(self) -> None:
+        while self._inflight() < int(self._cwnd):
+            if self._send_next < self._created_next:
+                # Go-back-N recovery: resend an existing segment.
+                self._transmit(self._send_next, retransmission=True)
+            elif self._buffered_bytes > 0:
+                frame_id, size = self._pop_segment_payload()
+                self._segments[self._created_next] = (frame_id, size)
+                self._created_next += 1
+                self._transmit(self._send_next, retransmission=False)
+            else:
+                return
+            self._send_next += 1
+
+    def _pop_segment_payload(self) -> tuple[int, int]:
+        """Take up to one MSS from the buffer (single frame per segment)."""
+        frame_id, avail = self._buffer[0]
+        take = min(MSS, avail)
+        if take == avail:
+            self._buffer.popleft()
+        else:
+            self._buffer[0] = (frame_id, avail - take)
+        self._buffered_bytes -= take
+        return frame_id, take
+
+    def _transmit(self, seq: int, retransmission: bool) -> None:
+        frame_id, size = self._segments[seq]
+        packet = Packet(
+            packet_id=self.engine.next_packet_id(),
+            flow_id=self.flow_id,
+            size=size + TCP_IP_HEADER,
+            created_at=self.engine.now,
+            frame_id=frame_id,
+            sequence=seq,
+            is_retransmission=retransmission,
+        )
+        self.stats.segments_sent += 1
+        if retransmission:
+            self.stats.retransmissions += 1
+        self.sink.receive(packet)
+        self._arm_rto()
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self._rto_event = self.engine.schedule(self.rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._rto_event = None
+        if self._send_una >= self._created_next:
+            return  # everything acked
+        self.stats.timeouts += 1
+        self._ssthresh = max(2.0, self._cwnd / 2.0)
+        self._cwnd = 1.0
+        self._dupacks = 0
+        self._send_next = self._send_una  # go back N
+        self._try_send()
+
+    # -- ack processing -----------------------------------------------------
+    def on_ack(self, cumulative_seq: int) -> None:
+        """Receiver acks every segment below ``cumulative_seq``."""
+        if cumulative_seq > self._send_una:
+            newly = cumulative_seq - self._send_una
+            for seq in range(self._send_una, cumulative_seq):
+                self._segments.pop(seq, None)
+            self._send_una = cumulative_seq
+            self._send_next = max(self._send_next, cumulative_seq)
+            self._dupacks = 0
+            if self._cwnd < self._ssthresh:
+                self._cwnd += newly  # slow start
+            else:
+                self._cwnd += newly / self._cwnd  # congestion avoidance
+            if self._send_una < self._created_next:
+                self._arm_rto()
+            elif self._rto_event is not None:
+                self._rto_event.cancel()
+                self._rto_event = None
+            self._try_send()
+            return
+        # Duplicate ack.
+        self._dupacks += 1
+        if self._dupacks == 3:
+            self.stats.fast_retransmits += 1
+            self._ssthresh = max(2.0, self._cwnd / 2.0)
+            self._cwnd = max(1.0, self._ssthresh)
+            self._dupacks = 0
+            self._send_next = self._send_una  # go back N
+        self._try_send()
+
+    @property
+    def all_acked(self) -> bool:
+        """True when every created segment is acknowledged."""
+        return self._send_una >= self._created_next and self._buffered_bytes == 0
+
+
+class TcpReceiver:
+    """Receiving endpoint: reorders segments and delivers bytes in order.
+
+    ``on_deliver(frame_id, n_bytes, time)`` fires for every segment the
+    moment it becomes in-order deliverable, in sequence order — the
+    client uses it to time frame completion.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        on_deliver: Callable[[int, int, float], None],
+    ):
+        self.engine = engine
+        self.on_deliver = on_deliver
+        self._expected = 0
+        self._out_of_order: dict[int, tuple[int, int]] = {}
+        self._sender: Optional[TcpSender] = None
+        self.received_segments = 0
+
+    def receive(self, packet: Packet) -> None:
+        """PacketSink interface: accept a TCP segment off the network."""
+        if packet.sequence is None:
+            raise ValueError("TcpReceiver got a packet without a sequence")
+        self.received_segments += 1
+        seq = packet.sequence
+        if seq >= self._expected and seq not in self._out_of_order:
+            self._out_of_order[seq] = (
+                packet.frame_id if packet.frame_id is not None else -1,
+                packet.size - TCP_IP_HEADER,
+            )
+        while self._expected in self._out_of_order:
+            frame_id, size = self._out_of_order.pop(self._expected)
+            self.on_deliver(frame_id, size, self.engine.now)
+            self._expected += 1
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        if self._sender is None:
+            raise RuntimeError("receiver not attached to a sender")
+        cumulative = self._expected
+        self.engine.schedule(
+            self._sender.ack_path_delay,
+            lambda c=cumulative: self._sender.on_ack(c),
+        )

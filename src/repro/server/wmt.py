@@ -1,0 +1,207 @@
+"""Windows Media Technologies (WMT) server model.
+
+The local-testbed server. Key behaviours reproduced from the paper:
+
+* **Serialized packet-group trains.** The sender's loop drains one
+  *group* of back-to-back packets per timer tick (~13 ms): groups of
+  two packets normally, and — depending on how the frame falls across
+  the sender's socket-buffer boundaries — a three-packet group at the
+  head of roughly a tenth of the large frames. Group structure is what
+  separates the paper's two bucket depths: a 3-packet group needs
+  4500 bytes of tokens *at one instant*, so a 3000-byte bucket clips
+  it at **any** token rate (the paper could not reach quality 0 at
+  depth 3000 even with twice the maximum encoding rate), while a
+  4500-byte bucket passes it and is then limited only by the train's
+  average drain, which the token rate does fix. Long I-frame trains
+  additionally stress the bucket at low token rates, giving the
+  gradual quality-vs-rate slope of the local-testbed figures.
+
+* **UDP or TCP streaming.** MMS ran over either; TCP's ack clocking
+  smooths the flow and retransmits policer drops, trading loss for
+  delay.
+
+* **Optional multi-rate thinning.** WMV files can hold multiple
+  bitrates; when client feedback reports sustained loss the server
+  steps down to a thinner stream (scaling frame payloads), and creeps
+  back up when the path looks clean. Off by default, as in the paper's
+  main runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Optional
+
+from repro.diffserv.dscp import DSCP
+from repro.sim.engine import Engine
+from repro.sim.packet import PacketSink
+from repro.video.mpeg import EncodedClip
+from repro.video.packetizer import MTU_PAYLOAD, PayloadChunk
+from repro.server.base import StreamingServer
+from repro.server.transport import TcpSender
+
+
+class WindowsMediaServer(StreamingServer):
+    """WMT server: frame-burst streamer with UDP and TCP modes.
+
+    Parameters
+    ----------
+    transport:
+        ``"udp"`` (default) or ``"tcp"``. In TCP mode ``tcp_sender``
+        must be provided (wired to a receiver at the client).
+    premark_dscp:
+        DSCP stamped at the server; the local testbed instead marked at
+        router 1, so the default is ``None``.
+    adaptation:
+        Enable multi-rate thinning driven by :meth:`report_loss`.
+    group_gap_s:
+        Sender timer granularity: gap between consecutive packet
+        groups in UDP mode (groups of different frames never overlap —
+        the send loop is serialized).
+    big_frame_threshold / big_head_probability:
+        Frames of at least this many payload bytes start with a
+        3-packet group with this probability (socket-buffer phase).
+    """
+
+    #: Thinning levels as payload scale factors (full, 3/4, 1/2, 1/3).
+    THINNING_LEVELS = (1.0, 0.75, 0.5, 0.33)
+
+    def __init__(
+        self,
+        engine: Engine,
+        clip: EncodedClip,
+        sink: PacketSink,
+        flow_id: str = "video",
+        transport: str = "udp",
+        tcp_sender: Optional[TcpSender] = None,
+        premark_dscp: Optional[DSCP] = None,
+        adaptation: bool = False,
+        group_gap_s: float = 0.013,
+        big_frame_threshold: int = 6500,
+        big_head_probability: float = 0.10,
+    ):
+        super().__init__(engine, clip, sink, flow_id, large_datagrams=False)
+        if transport not in ("udp", "tcp"):
+            raise ValueError(f"transport must be 'udp' or 'tcp', got {transport!r}")
+        if transport == "tcp" and tcp_sender is None:
+            raise ValueError("TCP mode needs a tcp_sender")
+        if group_gap_s < 0:
+            raise ValueError("group gap cannot be negative")
+        if not 0.0 <= big_head_probability <= 1.0:
+            raise ValueError("big_head_probability must be in [0,1]")
+        self.transport = transport
+        self.tcp_sender = tcp_sender
+        self.premark_dscp = premark_dscp
+        self.adaptation = adaptation
+        self.group_gap_s = group_gap_s
+        self.big_frame_threshold = big_frame_threshold
+        self.big_head_probability = big_head_probability
+        self._level = 0
+        self._frame_idx = 0
+        self._clean_reports = 0
+        # Serialized send loop: one group leaves per timer tick.
+        self._group_queue: deque[PayloadChunk] = deque()
+        self._drain_scheduled = False
+        self._last_group_time = -1e9
+
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        self._send_frame()
+
+    def _send_frame(self) -> None:
+        if self._frame_idx >= self.clip.n_frames:
+            return
+        frame = self.clip.frames[self._frame_idx]
+        scale = self.THINNING_LEVELS[self._level]
+        payload = max(64, int(frame.size_bytes * scale))
+        if self.transport == "udp":
+            self._send_frame_udp(frame.frame_id, payload)
+        else:
+            self.tcp_sender.write(frame.frame_id, payload)
+            self.stats.messages_sent += 1
+            self.stats.bytes_sent += payload
+        self._frame_idx += 1
+        self.engine.schedule(1.0 / self.clip.fps, self._send_frame)
+
+    def _head_is_big(self, frame_id: int, payload: int) -> bool:
+        """Whether this frame's head write spans three packets.
+
+        Deterministic per frame (CRC of the frame id), modelling how
+        the frame's bytes happen to fall across the sender's buffer
+        boundaries.
+        """
+        if payload < self.big_frame_threshold:
+            return False
+        draw = (zlib.crc32(f"wmt-head-{frame_id}".encode()) & 0xFFFF) / 0xFFFF
+        return draw < self.big_head_probability
+
+    def _send_frame_udp(self, frame_id: int, payload: int) -> None:
+        """Queue one frame's packet groups onto the serialized send loop."""
+        head_packets = 3 if self._head_is_big(frame_id, payload) else 2
+        remaining = payload
+        first = True
+        while remaining > 0:
+            group_packets = head_packets if first else 2
+            group_len = min(group_packets * MTU_PAYLOAD, remaining)
+            self._group_queue.append(
+                PayloadChunk(frame_id=frame_id, n_bytes=group_len)
+            )
+            remaining -= group_len
+            first = False
+        self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled or not self._group_queue:
+            return
+        self._drain_scheduled = True
+        # Timer-granularity jitter: real send loops tick unevenly.
+        gap = self.group_gap_s * float(
+            self.engine.rng("wmt-send-loop").uniform(0.85, 1.15)
+        )
+        next_at = max(self.engine.now, self._last_group_time + gap)
+        self.engine.schedule(next_at - self.engine.now, self._drain_group)
+
+    def _drain_group(self) -> None:
+        """One timer tick of the send loop: emit one group."""
+        self._drain_scheduled = False
+        if not self._group_queue:
+            return
+        chunk = self._group_queue.popleft()
+        self._last_group_time = self.engine.now
+        packets = self.packetizer.packetize_chunk(chunk, self.engine.now)
+        if self.premark_dscp is not None:
+            for packet in packets:
+                packet.dscp = int(self.premark_dscp)
+        self._emit_packets(packets)
+        self._schedule_drain()
+
+    # ------------------------------------------------------------------
+    # adaptation feedback channel (client loss reports, ~1/s)
+    # ------------------------------------------------------------------
+    def report_loss(self, loss_fraction: float) -> None:
+        """Client feedback hook; thins or fattens the stream."""
+        if not self.adaptation:
+            return
+        if loss_fraction > 0.02:
+            if self._level < len(self.THINNING_LEVELS) - 1:
+                self._level += 1
+                self.stats.rate_changes += 1
+            self._clean_reports = 0
+        elif loss_fraction == 0.0:
+            self._clean_reports += 1
+            # Step back up after 5 s of clean reports.
+            if self._clean_reports >= 5 and self._level > 0:
+                self._level -= 1
+                self.stats.rate_changes += 1
+                self._clean_reports = 0
+
+    @property
+    def current_level(self) -> int:
+        """Active thinning level index (0 = full rate)."""
+        return self._level
+
+    @property
+    def finished(self) -> bool:
+        """True once every frame has been handed to the network."""
+        return self._frame_idx >= self.clip.n_frames

@@ -1,0 +1,32 @@
+"""Discrete-event network simulation substrate.
+
+This package supplies the packet-level machinery on which everything
+else is built: an event loop (`engine`), packets (`packet`), queues
+(`queues`), serial links (`link`), forwarding nodes (`node`), and
+measurement taps (`tracer`).
+
+The design follows the classic sink-chain style: every traffic-handling
+component implements ``receive(packet)`` and pushes packets to one or
+more downstream sinks, scheduling future work on the shared
+:class:`~repro.sim.engine.Engine`.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet, PacketSink
+from repro.sim.queues import DropTailQueue, PriorityQueueSet
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.tracer import FlowTracer, TraceRecord
+
+__all__ = [
+    "Engine",
+    "Packet",
+    "PacketSink",
+    "DropTailQueue",
+    "PriorityQueueSet",
+    "Link",
+    "Host",
+    "Router",
+    "FlowTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,148 @@
+"""Event loop for the discrete-event simulator.
+
+A single :class:`Engine` instance owns the simulation clock and a heap
+of pending events. Components schedule callbacks with
+:meth:`Engine.schedule` (relative delay) or :meth:`Engine.schedule_at`
+(absolute time) and the engine fires them in timestamp order.
+
+Determinism: ties on the timestamp are broken by insertion order, so a
+run with the same seed and the same schedule calls replays identically.
+Randomness is centralized in :meth:`Engine.rng`, which hands out named,
+independently-seeded ``numpy`` generators; two components drawing from
+differently named streams never perturb each other's sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from typing import Callable, Optional
+
+import numpy as np
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A scheduled callback. Users normally never touch these directly."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams handed out by :meth:`rng`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._seed = seed
+        self._rngs: dict[str, np.random.Generator] = {}
+        self._packet_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event heap time went backwards")
+            self.now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run events until the heap drains or the clock passes ``until``.
+
+        ``max_events`` is a runaway guard: a simulation that schedules
+        itself forever without advancing time raises instead of hanging.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            if not self.step():
+                break
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a scheduling loop"
+                )
+        if until is not None and self.now < until:
+            self.now = until
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # shared services
+    # ------------------------------------------------------------------
+    def rng(self, stream: str) -> np.random.Generator:
+        """Return the named random stream, creating it on first use.
+
+        Streams are derived from the master seed and the stream name, so
+        adding a new consumer never changes the draws seen by existing
+        ones.
+        """
+        if stream not in self._rngs:
+            # CRC32, not hash(): Python string hashing is salted per
+            # process and would break run-to-run reproducibility.
+            key = zlib.crc32(stream.encode()) & 0x7FFFFFFF
+            child = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(key,)
+            )
+            self._rngs[stream] = np.random.default_rng(child)
+        return self._rngs[stream]
+
+    def next_packet_id(self) -> int:
+        """Globally unique packet identifier for this engine."""
+        return next(self._packet_ids)

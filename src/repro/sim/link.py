@@ -1,0 +1,109 @@
+"""Serial transmission links.
+
+A :class:`Link` models the output side of a router interface: a queue
+feeding a serializer of fixed rate, followed by a propagation delay.
+This is where bandwidth bottlenecks (the paper's 2 Mbps V.35 hop) and
+queueing delay arise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet, PacketSink
+from repro.sim.queues import DropTailQueue, PriorityQueueSet
+from repro.units import transmission_time
+
+
+class Link:
+    """Point-to-point serial link with an attached output queue.
+
+    Parameters
+    ----------
+    engine:
+        The shared event engine.
+    rate_bps:
+        Serialization rate in bits per second.
+    sink:
+        Downstream component receiving packets after transmission +
+        propagation. May be set later via :meth:`connect`.
+    queue:
+        Output queue. Defaults to a 1000-packet drop-tail FIFO. Pass a
+        :class:`PriorityQueueSet` to get EF prioritization.
+    propagation_delay:
+        One-way propagation latency in seconds.
+    name:
+        Label used in error messages and stats dumps.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate_bps: float,
+        sink: Optional[PacketSink] = None,
+        queue: Optional[Union[DropTailQueue, PriorityQueueSet]] = None,
+        propagation_delay: float = 0.0,
+        name: str = "link",
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"{name}: rate must be positive, got {rate_bps}")
+        if propagation_delay < 0:
+            raise ValueError(f"{name}: propagation delay cannot be negative")
+        self.engine = engine
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        self.queue = queue if queue is not None else DropTailQueue(max_packets=1000)
+        self.name = name
+        self._sink = sink
+        self._busy = False
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    @property
+    def sink(self) -> Optional[PacketSink]:
+        """The downstream receiver (or None if unconnected)."""
+        return self._sink
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    @property
+    def utilization_bytes(self) -> int:
+        """Total bytes pushed through the link so far."""
+        return self.transmitted_bytes
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet for transmission (PacketSink interface)."""
+        self.queue.enqueue(packet)
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = transmission_time(packet.size, self.rate_bps)
+        self.engine.schedule(tx_time, lambda p=packet: self._finish_transmission(p))
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.size
+        if self._sink is None:
+            raise RuntimeError(f"{self.name}: transmitted into an unconnected link")
+        if self.propagation_delay > 0:
+            sink = self._sink
+            self.engine.schedule(
+                self.propagation_delay, lambda p=packet, s=sink: s.receive(p)
+            )
+        else:
+            self._sink.receive(packet)
+        self._start_next()

@@ -1,0 +1,122 @@
+"""Measurement taps.
+
+A :class:`FlowTracer` is a transparent pass-through sink that records
+(time, packet) observations for one or all flows. Experiments insert
+tracers at the points the paper instrumented: the server output, the
+policer output, and the client input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet, PacketSink
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed packet: when it passed and what it was."""
+
+    time: float
+    packet_id: int
+    flow_id: str
+    size: int
+    frame_id: Optional[int]
+    datagram_id: Optional[int]
+
+
+class FlowTracer:
+    """Pass-through observer that logs packets of interest.
+
+    Parameters
+    ----------
+    engine:
+        Supplies the observation timestamps.
+    sink:
+        Downstream component; every packet is forwarded untouched.
+    flow_id:
+        Restrict logging to one flow; ``None`` logs everything.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: Optional[PacketSink] = None,
+        flow_id: Optional[str] = None,
+        name: str = "tracer",
+    ):
+        self.engine = engine
+        self._sink = sink
+        self.flow_id = flow_id
+        self.name = name
+        self.records: List[TraceRecord] = []
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        if self.flow_id is None or packet.flow_id == self.flow_id:
+            self.records.append(
+                TraceRecord(
+                    time=self.engine.now,
+                    packet_id=packet.packet_id,
+                    flow_id=packet.flow_id,
+                    size=packet.size,
+                    frame_id=packet.frame_id,
+                    datagram_id=packet.datagram_id,
+                )
+            )
+        if self._sink is not None:
+            self._sink.receive(packet)
+
+    # ------------------------------------------------------------------
+    # summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def packet_count(self) -> int:
+        """Number of packets recorded."""
+        return len(self.records)
+
+    @property
+    def byte_count(self) -> int:
+        """Total bytes recorded."""
+        return sum(r.size for r in self.records)
+
+    def rate_timeseries(self, bin_seconds: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+        """Instantaneous transmission rate, binned.
+
+        Returns ``(bin_start_times, rates_bps)`` — the series behind the
+        paper's Figure 6.
+        """
+        if not self.records:
+            return np.array([]), np.array([])
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        times = np.array([r.time for r in self.records])
+        sizes = np.array([r.size for r in self.records], dtype=float)
+        start = times.min()
+        bins = np.floor((times - start) / bin_seconds).astype(int)
+        n_bins = int(bins.max()) + 1
+        byte_sums = np.bincount(bins, weights=sizes, minlength=n_bins)
+        rates = byte_sums * 8.0 / bin_seconds
+        bin_starts = start + np.arange(n_bins) * bin_seconds
+        return bin_starts, rates
+
+    def mean_rate_bps(self) -> float:
+        """Average rate over the observed span (0 if < 2 packets)."""
+        if len(self.records) < 2:
+            return 0.0
+        span = self.records[-1].time - self.records[0].time
+        if span <= 0:
+            return 0.0
+        return self.byte_count * 8.0 / span
+
+    def frame_ids_seen(self) -> set[int]:
+        """Distinct video frame ids observed on this tap."""
+        return {r.frame_id for r in self.records if r.frame_id is not None}

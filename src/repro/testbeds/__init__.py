@@ -1,0 +1,27 @@
+"""Network testbed topologies.
+
+`local` rebuilds the paper's Figure 4 testbed (Linux shaper, three
+DiffServ routers, a ~2 Mbps V.35 bottleneck); `qbone` rebuilds the
+Figure 5 wide-area path (remote campus, CAR-policed border router,
+lightly-loaded backbone); `crosstraffic` provides the interfering
+sources.
+"""
+
+from repro.testbeds.crosstraffic import CbrSource, PoissonSource, OnOffSource
+from repro.testbeds.jitter import JitterElement
+from repro.testbeds.local import LocalTestbed, LocalTestbedConfig
+from repro.testbeds.qbone import QBoneTestbed, QBoneTestbedConfig
+from repro.testbeds.af_bottleneck import AfBottleneck, AfBottleneckConfig
+
+__all__ = [
+    "CbrSource",
+    "PoissonSource",
+    "OnOffSource",
+    "JitterElement",
+    "LocalTestbed",
+    "LocalTestbedConfig",
+    "QBoneTestbed",
+    "QBoneTestbedConfig",
+    "AfBottleneck",
+    "AfBottleneckConfig",
+]

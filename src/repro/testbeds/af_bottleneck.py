@@ -1,0 +1,117 @@
+"""AF PHB testbed: a color-marked flow through a WRED bottleneck.
+
+The paper ran "some preliminary experiments ... using the AF PHB that
+are not reported ..., as the results were heavily dependent on the
+level of cross traffic and its impact on the performance given to
+marked packets". This topology lets the reproduction demonstrate
+exactly that dependence: the video flow is srTCM-colored at the edge
+and shares a WRED bottleneck with best-effort cross traffic; its
+yellow/red packets live or die with the congestion level.
+
+Path: server → campus LAN → edge router (AF marker) → bottleneck link
+with a WRED queue (+ cross traffic) → client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diffserv.af_marker import AfMarker
+from repro.diffserv.dscp import DSCP
+from repro.diffserv.marker import Marker
+from repro.diffserv.red import WredQueue
+from repro.sim.engine import Engine
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.tracer import FlowTracer
+from repro.testbeds.crosstraffic import PoissonSource
+from repro.units import mbps
+
+
+@dataclass
+class AfBottleneckConfig:
+    """Knobs of the AF path."""
+
+    committed_rate_bps: float = mbps(1.7)  # srTCM CIR for the video flow
+    cbs_bytes: float = 3000.0
+    ebs_bytes: float = 9000.0
+    bottleneck_rate_bps: float = mbps(6.0)
+    cross_traffic_rate_bps: float = 0.0
+    queue_packets: int = 120
+    hop_delay_s: float = 0.004
+    flow_id: str = "video"
+
+
+@dataclass
+class AfBottleneck:
+    """Assembled AF path (same surface as the EF testbeds)."""
+
+    engine: Engine
+    config: AfBottleneckConfig
+    ingress: object = field(init=False)
+    client_host: Host = field(init=False)
+    policer: AfMarker = field(init=False)  # stats-compatible marker
+    server_tap: FlowTracer = field(init=False)
+    client_tap: FlowTracer = field(init=False)
+    wred: WredQueue = field(init=False)
+    cross_sources: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        engine = self.engine
+        cfg = self.config
+
+        self.client_host = Host("client")
+        self.client_tap = FlowTracer(
+            engine, sink=self.client_host, flow_id=cfg.flow_id, name="client-tap"
+        )
+
+        self.wred = WredQueue(
+            max_packets=cfg.queue_packets, rng=engine.rng("wred")
+        )
+        bottleneck = Link(
+            engine,
+            rate_bps=cfg.bottleneck_rate_bps,
+            sink=self.client_tap,
+            queue=self.wred,
+            propagation_delay=cfg.hop_delay_s,
+            name="af-bottleneck",
+        )
+        if cfg.cross_traffic_rate_bps > 0:
+            # Cross traffic is another AF customer: committed (AF11)
+            # marking, so it competes with the video flow inside the
+            # same WRED class rather than absorbing every drop as best
+            # effort would.
+            cross_marker = Marker(DSCP.AF11)
+            cross_marker.connect(bottleneck)
+            source = PoissonSource(
+                engine,
+                cross_marker,
+                rate_bps=cfg.cross_traffic_rate_bps,
+                flow_id="cross-af",
+                packet_size=1000,
+            )
+            source.start()
+            self.cross_sources.append(source)
+
+        edge = Router("af-edge")
+        self.policer = AfMarker(
+            engine,
+            cir_bps=cfg.committed_rate_bps,
+            cbs_bytes=cfg.cbs_bytes,
+            ebs_bytes=cfg.ebs_bytes,
+        )
+        edge.add_ingress_stage(self._mark_video_only)
+        edge.set_default_route(bottleneck)
+
+        campus_lan = Link(
+            engine, rate_bps=mbps(100), sink=edge, name="af-campus-lan"
+        )
+        self.server_tap = FlowTracer(
+            engine, sink=campus_lan, flow_id=cfg.flow_id, name="server-tap"
+        )
+        self.ingress = self.server_tap
+
+    def _mark_video_only(self, packet):
+        if packet.flow_id == self.config.flow_id:
+            return self.policer(packet)
+        return packet

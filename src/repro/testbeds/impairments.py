@@ -1,0 +1,177 @@
+"""Generic path impairment elements (failure injection).
+
+The paper's losses all come from one mechanism — the edge policer.
+These elements let experiments inject *other* loss/delay processes at
+any point of a topology, which is how the ablation benches separate
+"how much loss" from "what loss pattern":
+
+* :class:`RandomLossElement` — iid Bernoulli packet loss;
+* :class:`GilbertLossElement` — two-state (Gilbert-Elliott) bursty
+  loss with configurable burstiness at the same average rate;
+* :class:`DelaySpikeElement` — occasional multi-millisecond delay
+  spikes (order-preserving), a heavier-tailed cousin of
+  :class:`~repro.testbeds.jitter.JitterElement`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet, PacketSink
+
+
+class RandomLossElement:
+    """Drops each packet independently with probability ``loss_rate``."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: Optional[PacketSink] = None,
+        loss_rate: float = 0.01,
+        rng_stream: str = "random-loss",
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.engine = engine
+        self._sink = sink
+        self.loss_rate = loss_rate
+        self.rng_stream = rng_stream
+        self.dropped_packets = 0
+        self.passed_packets = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        if self._sink is None:
+            raise RuntimeError("loss element not connected")
+        if self.engine.rng(self.rng_stream).random() < self.loss_rate:
+            self.dropped_packets += 1
+            return
+        self.passed_packets += 1
+        self._sink.receive(packet)
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Fraction of packets this element has dropped so far."""
+        total = self.dropped_packets + self.passed_packets
+        return self.dropped_packets / total if total else 0.0
+
+
+class GilbertLossElement:
+    """Two-state bursty loss (Gilbert-Elliott, loss only in BAD state).
+
+    Parameters
+    ----------
+    mean_loss_rate:
+        Long-run fraction of packets dropped.
+    mean_burst_packets:
+        Average run length of consecutive drops. 1.0 degenerates to
+        iid loss; larger values cluster the same loss budget into
+        bursts.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: Optional[PacketSink] = None,
+        mean_loss_rate: float = 0.01,
+        mean_burst_packets: float = 5.0,
+        rng_stream: str = "gilbert-loss",
+    ):
+        if not 0.0 <= mean_loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if mean_burst_packets < 1.0:
+            raise ValueError("mean burst length must be >= 1 packet")
+        self.engine = engine
+        self._sink = sink
+        self.rng_stream = rng_stream
+        # BAD state drops every packet. Exit probability fixes the
+        # burst length; entry probability then fixes the average rate:
+        # stationary P(bad) = p_enter / (p_enter + p_exit).
+        self.p_exit = 1.0 / mean_burst_packets
+        if mean_loss_rate > 0:
+            self.p_enter = (
+                mean_loss_rate * self.p_exit / (1.0 - mean_loss_rate)
+            )
+        else:
+            self.p_enter = 0.0
+        self._bad = False
+        self.dropped_packets = 0
+        self.passed_packets = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        if self._sink is None:
+            raise RuntimeError("loss element not connected")
+        rng = self.engine.rng(self.rng_stream)
+        if self._bad:
+            if rng.random() < self.p_exit:
+                self._bad = False
+        elif rng.random() < self.p_enter:
+            self._bad = True
+        if self._bad:
+            self.dropped_packets += 1
+            return
+        self.passed_packets += 1
+        self._sink.receive(packet)
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Fraction of packets this element has dropped so far."""
+        total = self.dropped_packets + self.passed_packets
+        return self.dropped_packets / total if total else 0.0
+
+
+class DelaySpikeElement:
+    """Occasional large delay spikes, order preserved.
+
+    With probability ``spike_probability`` a packet (and, through the
+    ordering constraint, everything behind it) is held for
+    ``spike_delay_s`` — a route flap or burst of higher-priority
+    traffic.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: Optional[PacketSink] = None,
+        spike_probability: float = 0.001,
+        spike_delay_s: float = 0.05,
+        rng_stream: str = "delay-spike",
+    ):
+        if not 0.0 <= spike_probability <= 1.0:
+            raise ValueError("spike probability must be in [0, 1]")
+        if spike_delay_s < 0:
+            raise ValueError("spike delay cannot be negative")
+        self.engine = engine
+        self._sink = sink
+        self.spike_probability = spike_probability
+        self.spike_delay_s = spike_delay_s
+        self.rng_stream = rng_stream
+        self._last_release = 0.0
+        self.spikes = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        if self._sink is None:
+            raise RuntimeError("delay element not connected")
+        delay = 0.0
+        if self.engine.rng(self.rng_stream).random() < self.spike_probability:
+            delay = self.spike_delay_s
+            self.spikes += 1
+        release = max(self.engine.now + delay, self._last_release)
+        self._last_release = release
+        sink = self._sink
+        self.engine.schedule_at(release, lambda p=packet: sink.receive(p))

@@ -1,0 +1,151 @@
+"""The local DiffServ testbed (paper Figure 4, Table 1).
+
+Path: WMT server → 10 Mbps campus Ethernet → optional Linux traffic
+shaper → router 1 (classifier + EF policer, priority queues) →
+HSSI frame-relay hop to router 2 → V.35 frame-relay hop (the ~2 Mbps
+E1-class bottleneck, "the main bandwidth bottleneck of the system") to
+router 3 → client Ethernet → client.
+
+Routers 2 and 3 only classify on the EF codepoint and serve it from
+the high-priority queue; all policing happens at router 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.diffserv.policer import Policer, PolicerAction
+from repro.diffserv.scheduler import PriorityScheduler
+from repro.diffserv.shaper import Shaper
+from repro.sim.engine import Engine
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.tracer import FlowTracer
+from repro.testbeds.crosstraffic import OnOffSource
+from repro.units import mbps
+
+
+@dataclass
+class LocalTestbedConfig:
+    """Knobs of the local path."""
+
+    token_rate_bps: float = mbps(1.2)
+    bucket_depth_bytes: float = 3000.0
+    policer_action: PolicerAction = PolicerAction.DROP
+    use_shaper: bool = False
+    shaper_rate_bps: Optional[float] = None  # defaults to token rate
+    shaper_depth_bytes: float = 3000.0
+    lan_rate_bps: float = mbps(10)
+    hssi_rate_bps: float = mbps(2.0)  # CIR per Table 1
+    v35_rate_bps: float = mbps(2.0)  # CIR per Table 1; E1 ceiling
+    hop_delay_s: float = 0.001
+    cross_traffic_peak_bps: float = 0.0  # on/off best-effort at router 2
+    flow_id: str = "video"
+
+
+@dataclass
+class LocalTestbed:
+    """Assembled local path (see module docstring)."""
+
+    engine: Engine
+    config: LocalTestbedConfig
+    ingress: object = field(init=False)
+    client_host: Host = field(init=False)
+    policer: Policer = field(init=False)
+    shaper: Optional[Shaper] = field(init=False, default=None)
+    server_tap: FlowTracer = field(init=False)
+    client_tap: FlowTracer = field(init=False)
+    cross_sources: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        engine = self.engine
+        cfg = self.config
+
+        self.client_host = Host("client")
+        self.client_tap = FlowTracer(
+            engine, sink=self.client_host, flow_id=cfg.flow_id, name="client-tap"
+        )
+        client_lan = Link(
+            engine,
+            rate_bps=cfg.lan_rate_bps,
+            sink=self.client_tap,
+            name="client-lan",
+        )
+
+        # Router 3: classify EF -> priority queue on the client LAN.
+        router3 = Router("router3")
+        router3.set_default_route(client_lan)
+
+        v35 = Link(
+            engine,
+            rate_bps=cfg.v35_rate_bps,
+            sink=router3,
+            queue=PriorityScheduler(),
+            propagation_delay=cfg.hop_delay_s,
+            name="v35",
+        )
+
+        # Router 2: EF prioritization onto the V.35 bottleneck.
+        router2 = Router("router2")
+        router2.set_default_route(v35)
+        if cfg.cross_traffic_peak_bps > 0:
+            source = OnOffSource(
+                engine,
+                v35,
+                peak_rate_bps=cfg.cross_traffic_peak_bps,
+                flow_id="cross-local",
+            )
+            source.start()
+            self.cross_sources.append(source)
+
+        hssi = Link(
+            engine,
+            rate_bps=cfg.hssi_rate_bps,
+            sink=router2,
+            queue=PriorityScheduler(),
+            propagation_delay=cfg.hop_delay_s,
+            name="hssi",
+        )
+
+        # Router 1: the policy edge — classify the video flow, police
+        # it, mark conformant packets EF, and drop the rest.
+        router1 = Router("router1")
+        self.policer = Policer(
+            engine,
+            rate_bps=cfg.token_rate_bps,
+            depth_bytes=cfg.bucket_depth_bytes,
+            action=cfg.policer_action,
+        )
+        router1.add_ingress_stage(self._police_video_only)
+        router1.set_default_route(hssi)
+        self.router1 = router1
+
+        first_hop: object = router1
+        if cfg.use_shaper:
+            shaper_rate = cfg.shaper_rate_bps or cfg.token_rate_bps
+            self.shaper = Shaper(
+                engine,
+                rate_bps=shaper_rate,
+                depth_bytes=cfg.shaper_depth_bytes,
+                sink=router1,
+                name="linux-shaper",
+            )
+            first_hop = self.shaper
+
+        server_lan = Link(
+            engine,
+            rate_bps=cfg.lan_rate_bps,
+            sink=first_hop,
+            name="server-lan",
+        )
+        self.server_tap = FlowTracer(
+            engine, sink=server_lan, flow_id=cfg.flow_id, name="server-tap"
+        )
+        self.ingress = self.server_tap
+
+    def _police_video_only(self, packet):
+        """Router 1 ingress: police the video flow, pass the rest."""
+        if packet.flow_id == self.config.flow_id:
+            return self.policer(packet)
+        return packet

@@ -1,0 +1,69 @@
+"""Unit helpers shared across the library.
+
+All simulation code uses SI base units internally:
+
+* time        -- seconds (float)
+* data size   -- bytes (int) unless a name says otherwise
+* data rate   -- bits per second (float)
+
+These helpers exist so call sites read naturally (``mbps(1.7)``) instead
+of sprinkling ``1.7e6`` literals around, and so conversions between the
+byte-oriented packet world and the bit-oriented rate world stay in one
+place.
+"""
+
+from __future__ import annotations
+
+#: Bits in a byte; named to keep ``* 8`` from looking like magic.
+BITS_PER_BYTE = 8
+
+#: Ethernet maximum transmission unit in bytes, used throughout the paper
+#: ("a token bucket depth of one or at most two MTUs").
+ETHERNET_MTU = 1500
+
+#: UDP/IP header overhead in bytes (20 IP + 8 UDP).
+UDP_IP_HEADER = 28
+
+#: TCP/IP header overhead in bytes (20 IP + 20 TCP, no options).
+TCP_IP_HEADER = 40
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to bits/second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return value * 1e6
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Convert bits/second to megabits/second (for reporting)."""
+    return bits_per_second / 1e6
+
+
+def bits(nbytes: float) -> float:
+    """Convert bytes to bits."""
+    return nbytes * BITS_PER_BYTE
+
+
+def bytes_from_bits(nbits: float) -> float:
+    """Convert bits to bytes."""
+    return nbits / BITS_PER_BYTE
+
+
+def transmission_time(nbytes: float, rate_bps: float) -> float:
+    """Seconds needed to serialize ``nbytes`` onto a link of ``rate_bps``.
+
+    Raises ``ValueError`` for a non-positive rate: an unserviceable link
+    is a configuration error, not an infinitely slow one.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return bits(nbytes) / rate_bps
+
+
+def seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1e3

@@ -1,0 +1,38 @@
+"""Video substrate: synthetic content, codec models, packetization.
+
+The paper streamed two movie-trailer clips ("Lost" and "Dark") encoded
+as MPEG-1 CBR (Table 2) and Windows Media VBR (Table 3). We cannot ship
+those clips, so this package generates deterministic synthetic stand-ins
+with controlled scene structure (`scenes`, `frames`), encodes them with
+rate-controlled codec models that reproduce the papers' size/rate
+statistics and loss-propagation behaviour (`gop`, `mpeg`, `wmv`,
+`clips`), and packetizes the elementary streams the way the paper's
+servers did (`packetizer`).
+"""
+
+from repro.video.scenes import Scene, SceneScript, scene_script_for
+from repro.video.frames import FrameRenderer, FrameFeatures
+from repro.video.gop import FrameType, GopStructure, decodable_frames
+from repro.video.mpeg import Mpeg1Encoder, EncodedClip, EncodedFrame
+from repro.video.wmv import WmvEncoder
+from repro.video.clips import ClipSpec, CLIPS, get_clip, encode_clip, clip_features
+
+__all__ = [
+    "Scene",
+    "SceneScript",
+    "scene_script_for",
+    "FrameRenderer",
+    "FrameFeatures",
+    "FrameType",
+    "GopStructure",
+    "decodable_frames",
+    "Mpeg1Encoder",
+    "EncodedClip",
+    "EncodedFrame",
+    "WmvEncoder",
+    "ClipSpec",
+    "CLIPS",
+    "get_clip",
+    "encode_clip",
+    "clip_features",
+]

@@ -1,0 +1,145 @@
+"""MPEG GOP structure and loss propagation.
+
+MPEG-1 organizes frames into Groups of Pictures: an intra-coded I
+frame followed by forward-predicted P frames with bidirectional B
+frames between the anchors (display order ``I B B P B B P ...`` for
+N=15, M=3). Losing an anchor makes every frame that predicts from it
+undecodable — the mechanism that turns a single policer drop into a
+burst of lost frames at the client.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class FrameType(enum.Enum):
+    """MPEG picture coding types."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+
+
+@dataclass(frozen=True)
+class GopStructure:
+    """A (N, M) GOP pattern in display order.
+
+    ``n`` is the GOP length (I-to-I distance), ``m`` the anchor spacing
+    (number of B frames between anchors plus one). The MPEG-1 default
+    and our default is N=15, M=3.
+    """
+
+    n: int = 15
+    m: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("GOP length must be >= 1")
+        if self.m < 1:
+            raise ValueError("anchor spacing must be >= 1")
+        if self.m > self.n:
+            raise ValueError("anchor spacing cannot exceed GOP length")
+
+    def frame_type(self, frame_id: int) -> FrameType:
+        """Coding type of a frame by its display index."""
+        if frame_id < 0:
+            raise IndexError("negative frame id")
+        position = frame_id % self.n
+        if position == 0:
+            return FrameType.I
+        if position % self.m == 0:
+            return FrameType.P
+        return FrameType.B
+
+    def frame_types(self, n_frames: int) -> list[FrameType]:
+        """Coding types for frames ``0..n_frames-1``."""
+        return [self.frame_type(i) for i in range(n_frames)]
+
+    def gop_index(self, frame_id: int) -> int:
+        """Which GOP (0-based) a frame belongs to."""
+        return frame_id // self.n
+
+    def anchors_required(self, frame_id: int) -> list[int]:
+        """Display indices of the frames this frame predicts from.
+
+        * I frames depend on nothing.
+        * P frames depend on the previous anchor (I or P).
+        * B frames depend on the surrounding two anchors (previous and
+          next); a trailing B at the end of the clip only has the
+          previous one.
+        """
+        ftype = self.frame_type(frame_id)
+        if ftype is FrameType.I:
+            return []
+        gop_start = (frame_id // self.n) * self.n
+        position = frame_id - gop_start
+        if ftype is FrameType.P:
+            return [gop_start + ((position - 1) // self.m) * self.m]
+        prev_anchor = gop_start + (position // self.m) * self.m
+        next_anchor = prev_anchor + self.m
+        if next_anchor - gop_start >= self.n:
+            # closed-GOP simplification: trailing Bs predict from the
+            # next GOP's I frame
+            next_anchor = gop_start + self.n
+        return [prev_anchor, next_anchor]
+
+
+def decodable_frames(
+    received: Iterable[int],
+    n_frames: int,
+    gop: GopStructure | None = None,
+) -> np.ndarray:
+    """Boolean mask of decodable frames given the set actually received.
+
+    A frame is decodable iff it was received intact and every anchor in
+    its (transitive) prediction chain is decodable. Anchors beyond the
+    clip end are ignored (nothing predicts from them).
+    """
+    gop = gop or GopStructure()
+    received_set = set(received)
+    decodable = np.zeros(n_frames, dtype=bool)
+
+    def resolve(frame_id: int) -> None:
+        if frame_id not in received_set:
+            return
+        for anchor in gop.anchors_required(frame_id):
+            if anchor < n_frames and not decodable[anchor]:
+                return
+        decodable[frame_id] = True
+
+    # Decode order: anchors (I/P, which only predict backwards) first,
+    # then B frames, whose forward anchor is now resolved.
+    anchors = [
+        f for f in range(n_frames) if gop.frame_type(f) is not FrameType.B
+    ]
+    b_frames = [f for f in range(n_frames) if gop.frame_type(f) is FrameType.B]
+    for frame_id in anchors:
+        resolve(frame_id)
+    for frame_id in b_frames:
+        resolve(frame_id)
+    return decodable
+
+
+def loss_amplification(
+    lost_packet_frames: Sequence[int],
+    n_frames: int,
+    gop: GopStructure | None = None,
+) -> float:
+    """Frames rendered undecodable per directly-hit frame.
+
+    Diagnostic used in tests and the ablation benches: quantifies how
+    GOP prediction amplifies packet loss into frame loss.
+    """
+    gop = gop or GopStructure()
+    hit = set(lost_packet_frames)
+    if not hit:
+        return 0.0
+    received = [f for f in range(n_frames) if f not in hit]
+    mask = decodable_frames(received, n_frames, gop)
+    total_lost = int((~mask).sum())
+    return total_lost / len(hit)

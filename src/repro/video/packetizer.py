@@ -1,0 +1,130 @@
+"""Packetization models.
+
+Two styles, matching the two server families in the paper:
+
+* **Small messages** (VideoCharger, WMT with reduced message size):
+  application datagrams sized to fit a single packet, so one lost
+  packet costs at most one packet's worth of one frame.
+
+* **Large datagrams** (Netshow Theater, ThunderCastIP): application
+  datagrams up to 16280 bytes that the sender's IP stack fragments
+  into 1500-byte packets transmitted back-to-back. Losing *any*
+  fragment loses the whole datagram — the failure mode that made these
+  servers unusable under EF policing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet
+from repro.units import ETHERNET_MTU, UDP_IP_HEADER
+
+#: Maximum application datagram the large-datagram servers generate.
+MAX_LARGE_DATAGRAM = 16280
+
+#: Payload bytes that fit in one Ethernet-MTU packet under UDP/IP.
+MTU_PAYLOAD = ETHERNET_MTU - UDP_IP_HEADER
+
+
+@dataclass(frozen=True)
+class PayloadChunk:
+    """A run of stream bytes belonging to one frame."""
+
+    frame_id: int
+    n_bytes: int
+
+
+class Packetizer:
+    """Turns frame byte chunks into network packets.
+
+    Parameters
+    ----------
+    engine:
+        Supplies unique packet ids.
+    flow_id:
+        Flow label stamped on every packet.
+    large_datagrams:
+        When True, chunks are aggregated into datagrams of up to
+        ``max_datagram`` bytes and then fragmented MTU-by-MTU; when
+        False, every packet is its own datagram.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        flow_id: str,
+        large_datagrams: bool = False,
+        max_datagram: int = MAX_LARGE_DATAGRAM,
+    ):
+        if max_datagram <= 0:
+            raise ValueError("max_datagram must be positive")
+        self.engine = engine
+        self.flow_id = flow_id
+        self.large_datagrams = large_datagrams
+        self.max_datagram = max_datagram
+        self._datagram_ids = itertools.count()
+
+    def packetize_chunk(self, chunk: PayloadChunk, now: float) -> list[Packet]:
+        """Packets carrying one frame chunk.
+
+        Small-message mode splits the chunk into independent
+        MTU-payload packets. Large-datagram mode emits one fragmented
+        datagram (all fragments sharing a ``datagram_id``).
+        """
+        if chunk.n_bytes <= 0:
+            return []
+        if self.large_datagrams:
+            return self._packetize_large(chunk, now)
+        packets = []
+        remaining = chunk.n_bytes
+        while remaining > 0:
+            payload = min(MTU_PAYLOAD, remaining)
+            packets.append(
+                Packet(
+                    packet_id=self.engine.next_packet_id(),
+                    flow_id=self.flow_id,
+                    size=payload + UDP_IP_HEADER,
+                    created_at=now,
+                    frame_id=chunk.frame_id,
+                    datagram_id=next(self._datagram_ids),
+                )
+            )
+            remaining -= payload
+        return packets
+
+    def _packetize_large(self, chunk: PayloadChunk, now: float) -> list[Packet]:
+        packets: list[Packet] = []
+        remaining = chunk.n_bytes
+        while remaining > 0:
+            datagram_bytes = min(self.max_datagram, remaining)
+            packets.extend(self._fragment(chunk.frame_id, datagram_bytes, now))
+            remaining -= datagram_bytes
+        return packets
+
+    def _fragment(self, frame_id: int, datagram_bytes: int, now: float) -> Iterator[Packet]:
+        """IP-fragment one datagram into MTU-sized packets."""
+        datagram_id = next(self._datagram_ids)
+        fragments = []
+        remaining = datagram_bytes
+        while remaining > 0:
+            payload = min(MTU_PAYLOAD, remaining)
+            fragments.append(payload)
+            remaining -= payload
+        n = len(fragments)
+        return [
+            Packet(
+                packet_id=self.engine.next_packet_id(),
+                flow_id=self.flow_id,
+                size=payload + UDP_IP_HEADER,
+                created_at=now,
+                frame_id=frame_id,
+                datagram_id=datagram_id,
+                fragment_index=i,
+                fragment_count=n,
+            )
+            for i, payload in enumerate(fragments)
+        ]

@@ -1,0 +1,177 @@
+"""Scene scripts for the synthetic clips.
+
+A clip is a deterministic sequence of scenes. Each scene fixes the
+statistical character of its frames: spatial detail (how much edge
+energy), motion (how fast content moves frame to frame), brightness,
+and chroma. Scene boundaries are hard cuts, which matter twice: the
+encoder spends extra bits at cuts, and the VQM temporal features
+decorrelate across them.
+
+The two scripts mimic the papers' clips at the level that matters for
+the experiments:
+
+* ``lost`` — action-movie trailer: 2150 frames (71.74 s at 29.97 fps),
+  fast cuts, high motion, bright scenes.
+* ``dark`` — 4219 frames (140.77 s), longer moodier scenes, lower
+  brightness, more static shots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Scene:
+    """Statistical description of one shot.
+
+    All levels are dimensionless in [0, 1] except ``n_frames``.
+    ``spatial_detail`` scales edge energy, ``motion`` scales per-frame
+    displacement, ``brightness`` sets the mean luma, ``chroma_u/v`` set
+    the mean chrominance offsets.
+    """
+
+    scene_id: int
+    n_frames: int
+    spatial_detail: float
+    motion: float
+    brightness: float
+    chroma_u: float
+    chroma_v: float
+
+    def __post_init__(self) -> None:
+        if self.n_frames <= 0:
+            raise ValueError("scene must contain at least one frame")
+        for name in ("spatial_detail", "motion", "brightness"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")
+
+
+@dataclass(frozen=True)
+class SceneScript:
+    """Ordered list of scenes plus clip-level constants."""
+
+    name: str
+    scenes: tuple[Scene, ...]
+    fps: float
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames."""
+        return sum(s.n_frames for s in self.scenes)
+
+    @property
+    def duration_s(self) -> float:
+        """Clip duration in seconds."""
+        return self.n_frames / self.fps
+
+    def scene_of_frame(self, frame_id: int) -> Scene:
+        """The scene that frame ``frame_id`` belongs to."""
+        if frame_id < 0:
+            raise IndexError(f"negative frame id {frame_id}")
+        cursor = 0
+        for scene in self.scenes:
+            cursor += scene.n_frames
+            if frame_id < cursor:
+                return scene
+        raise IndexError(f"frame {frame_id} beyond clip end ({self.n_frames})")
+
+    def scene_ids(self) -> np.ndarray:
+        """Array mapping every frame index to its scene id."""
+        ids = np.empty(self.n_frames, dtype=np.int32)
+        cursor = 0
+        for scene in self.scenes:
+            ids[cursor : cursor + scene.n_frames] = scene.scene_id
+            cursor += scene.n_frames
+        return ids
+
+
+def _build_script(
+    name: str,
+    total_frames: int,
+    fps: float,
+    seed: int,
+    mean_scene_s: float,
+    detail_range: tuple[float, float],
+    motion_range: tuple[float, float],
+    brightness_range: tuple[float, float],
+) -> SceneScript:
+    """Generate a deterministic script totalling exactly ``total_frames``."""
+    rng = np.random.default_rng(seed)
+    scenes: List[Scene] = []
+    remaining = total_frames
+    scene_id = 0
+    mean_scene_frames = mean_scene_s * fps
+    while remaining > 0:
+        length = int(rng.gamma(shape=4.0, scale=mean_scene_frames / 4.0))
+        length = max(int(0.6 * fps), length)  # no sub-0.6 s shots
+        if remaining - length < int(0.6 * fps):
+            length = remaining
+        scenes.append(
+            Scene(
+                scene_id=scene_id,
+                n_frames=length,
+                spatial_detail=float(rng.uniform(*detail_range)),
+                motion=float(rng.uniform(*motion_range)),
+                brightness=float(rng.uniform(*brightness_range)),
+                chroma_u=float(rng.uniform(-0.15, 0.15)),
+                chroma_v=float(rng.uniform(-0.15, 0.15)),
+            )
+        )
+        remaining -= length
+        scene_id += 1
+    return SceneScript(name=name, scenes=tuple(scenes), fps=fps)
+
+
+#: Frame rate used by both clips (NTSC film transfer).
+CLIP_FPS = 29.97
+
+
+def scene_script_for(clip_name: str) -> SceneScript:
+    """Return the deterministic scene script for a registered clip name.
+
+    The custom ``test-*`` names produce short clips for fast tests:
+    ``test-<n>`` gives an ``n``-frame clip with the "lost" character.
+    """
+    if clip_name == "lost":
+        return _build_script(
+            "lost",
+            total_frames=2150,
+            fps=CLIP_FPS,
+            seed=1001,
+            mean_scene_s=2.8,
+            detail_range=(0.45, 0.95),
+            motion_range=(0.35, 0.95),
+            brightness_range=(0.45, 0.8),
+        )
+    if clip_name == "dark":
+        return _build_script(
+            "dark",
+            total_frames=4219,
+            fps=CLIP_FPS,
+            seed=2002,
+            mean_scene_s=4.5,
+            detail_range=(0.3, 0.8),
+            motion_range=(0.15, 0.7),
+            brightness_range=(0.2, 0.55),
+        )
+    if clip_name.startswith("test-"):
+        try:
+            n_frames = int(clip_name.split("-", 1)[1])
+        except ValueError as exc:
+            raise ValueError(f"bad test clip name {clip_name!r}") from exc
+        return _build_script(
+            clip_name,
+            total_frames=n_frames,
+            fps=CLIP_FPS,
+            seed=42,
+            mean_scene_s=2.0,
+            detail_range=(0.4, 0.9),
+            motion_range=(0.3, 0.9),
+            brightness_range=(0.4, 0.8),
+        )
+    raise KeyError(f"unknown clip {clip_name!r}; known: lost, dark, test-<n>")

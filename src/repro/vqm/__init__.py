@@ -1,0 +1,32 @@
+"""Objective video quality measurement (the ITS VQM tool, rebuilt).
+
+A reduced-reference quality meter in the style of ANSI T1.801.03-1996:
+feature streams from the reference and received videos are compared
+per segment, quality parameters are combined into a 0 (perfect) to 1
+(worst) score, and segment scores average into a clip score.
+
+Pipeline (paper §3.1): `segments` cuts the clip into 300-frame
+segments with 100-frame overlap (Figure 3); `calibration` finds the
+temporal alignment of each segment (and fails, scoring 1.0, when
+impairments are too long — paper §3.1.3); `model` turns aligned
+feature windows into quality parameters and a composite score;
+`tool` orchestrates the whole assessment.
+"""
+
+from repro.vqm.segments import Segment, segment_plan
+from repro.vqm.calibration import CalibrationResult, calibrate_segment
+from repro.vqm.model import QualityParameters, VqmModel, WORST_SCORE
+from repro.vqm.tool import VqmTool, VqmResult, SegmentScore
+
+__all__ = [
+    "Segment",
+    "segment_plan",
+    "CalibrationResult",
+    "calibrate_segment",
+    "QualityParameters",
+    "VqmModel",
+    "WORST_SCORE",
+    "VqmTool",
+    "VqmResult",
+    "SegmentScore",
+]

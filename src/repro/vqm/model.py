@@ -1,0 +1,146 @@
+"""Quality parameters and the composite score model.
+
+Follows the ANSI T1.801.03 reduced-reference recipe: compare received
+and reference feature streams over an aligned window, derive
+perception-motivated impairment parameters, and combine them into a
+single score — 0 is perfect, 1 the worst the subjective scale covers
+(the tool "may exceed 1.0 for extremely distorted video").
+
+Parameter inventory (per scored window):
+
+* ``si_loss`` / ``si_gain`` — lost vs added spatial detail (blur vs
+  blockiness/noise), relative to reference edge energy.
+* ``hv_diff`` — shift of edge-orientation energy (ANSI's HV feature).
+* ``freeze_fraction`` — fraction of displayed frames that repeat the
+  previous frame while the reference is moving: the dominant
+  impairment under policing loss with repeat-last-frame concealment.
+* ``ti_gain`` — excess motion energy (the jerky jump when playback
+  skips frames after a freeze).
+* ``color_diff`` — mean chroma displacement.
+* ``level_diff`` — luma level error (dark screen, gain problems).
+
+Combination: a weighted sum, with the freeze term raised to an
+exponent < 1. Human sensitivity to freezes saturates: going from 0 to
+300 ms of freezing in a 3-second window hurts far more than going from
+1 s to 1.3 s. The concave exponent is what makes the clip-level score
+highly *non-linear* in frame loss — the paper's central observation.
+
+The constants below were fixed once, by calibrating four anchor points
+against the paper's reported behaviour (perfect -> 0; ~1% frame loss
+-> ~0.15; ~5% -> ~0.5; sustained loss -> ~1), and are never tuned per
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Score assigned to segments whose calibration failed.
+WORST_SCORE = 1.0
+
+
+@dataclass(frozen=True)
+class QualityParameters:
+    """Impairment parameters extracted from one aligned window."""
+
+    si_loss: float
+    si_gain: float
+    hv_diff: float
+    freeze_fraction: float
+    ti_gain: float
+    color_diff: float
+    level_diff: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for reports and exports)."""
+        return {
+            "si_loss": self.si_loss,
+            "si_gain": self.si_gain,
+            "hv_diff": self.hv_diff,
+            "freeze_fraction": self.freeze_fraction,
+            "ti_gain": self.ti_gain,
+            "color_diff": self.color_diff,
+            "level_diff": self.level_diff,
+        }
+
+
+@dataclass(frozen=True)
+class VqmModel:
+    """Parameter-to-score combination with documented constants."""
+
+    w_si_loss: float = 1.1
+    w_si_gain: float = 0.6
+    w_hv: float = 1.6
+    w_freeze: float = 3.0
+    freeze_exponent: float = 0.58
+    w_ti_gain: float = 0.12
+    w_color: float = 2.2
+    w_level: float = 1.6
+    clamp_max: float = 1.15  # scores may exceed 1.0 for extreme distortion
+
+    def combine(self, params: QualityParameters) -> float:
+        """Composite quality score for one window."""
+        score = (
+            self.w_si_loss * params.si_loss
+            + self.w_si_gain * params.si_gain
+            + self.w_hv * params.hv_diff
+            + self.w_freeze * params.freeze_fraction**self.freeze_exponent
+            + self.w_ti_gain * params.ti_gain
+            + self.w_color * params.color_diff
+            + self.w_level * params.level_diff
+        )
+        return float(np.clip(score, 0.0, self.clamp_max))
+
+    # ------------------------------------------------------------------
+    def extract_parameters(
+        self,
+        ref: dict,
+        rcv: dict,
+        clip_ti_scale: float,
+    ) -> QualityParameters:
+        """Parameters from aligned reference/received feature windows.
+
+        ``ref`` and ``rcv`` are dicts of equal-length arrays with keys
+        ``si``, ``hv``, ``ti``, ``y_mean``, ``u_mean``, ``v_mean``,
+        plus ``rcv["frozen"]`` — boolean repeats mask on the display
+        timeline. ``clip_ti_scale`` is the clip-level mean reference
+        TI, so freezes in near-static scenes cost less than freezes
+        mid-action.
+        """
+        si_ref = ref["si"]
+        si_rcv = rcv["si"]
+        si_scale = max(float(si_ref.mean()), 1e-6)
+        si_loss = float(np.clip(si_ref - si_rcv, 0, None).mean()) / si_scale
+        si_gain = float(np.clip(si_rcv - si_ref, 0, None).mean()) / si_scale
+
+        hv_diff = float(np.abs(ref["hv"] - rcv["hv"]).mean())
+
+        # Freezes: repeated display frames while the reference moves.
+        moving = ref["ti"] > 0.15 * clip_ti_scale
+        frozen = rcv["frozen"] & moving
+        freeze_fraction = float(frozen.mean())
+
+        ti_scale = max(clip_ti_scale, 1e-6)
+        ti_gain = (
+            float(np.clip(rcv["ti"] - ref["ti"], 0, None).mean()) / ti_scale
+        )
+
+        color_diff = float(
+            (
+                np.abs(ref["u_mean"] - rcv["u_mean"])
+                + np.abs(ref["v_mean"] - rcv["v_mean"])
+            ).mean()
+        )
+        level_diff = float(np.abs(ref["y_mean"] - rcv["y_mean"]).mean())
+
+        return QualityParameters(
+            si_loss=si_loss,
+            si_gain=si_gain,
+            hv_diff=hv_diff,
+            freeze_fraction=freeze_fraction,
+            ti_gain=ti_gain,
+            color_diff=color_diff,
+            level_diff=level_diff,
+        )

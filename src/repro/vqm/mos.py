@@ -1,0 +1,52 @@
+"""Mapping VQM scores to subjective scales.
+
+The paper's tool is calibrated against subjective panels whose results
+are "frequently expressed in terms of the ITU-T mean opinion score
+(MOS)". These helpers convert the 0 (perfect) .. 1 (worst) VQM scale
+onto the 5 (excellent) .. 1 (bad) MOS scale and its standard verbal
+categories, so results can be read the way the ITU recommendations
+report them.
+
+The mapping is the affine one used when objective scores are fitted to
+the subjective range: MOS = 5 - 4 * score, clamped to [1, 5] (scores
+may exceed 1.0 for extreme distortion).
+"""
+
+from __future__ import annotations
+
+#: ITU-T five-grade impairment scale labels, by floor of the MOS.
+MOS_LABELS = {
+    5: "excellent",
+    4: "good",
+    3: "fair",
+    2: "poor",
+    1: "bad",
+}
+
+
+def vqm_to_mos(score: float) -> float:
+    """Convert a VQM score (0 best .. 1 worst) to a MOS (5 best .. 1 worst)."""
+    mos = 5.0 - 4.0 * score
+    return max(1.0, min(5.0, mos))
+
+
+def mos_to_vqm(mos: float) -> float:
+    """Inverse of :func:`vqm_to_mos` (clamped to the valid range)."""
+    if not 1.0 <= mos <= 5.0:
+        raise ValueError(f"MOS must be in [1, 5], got {mos}")
+    return (5.0 - mos) / 4.0
+
+
+def mos_label(mos: float) -> str:
+    """Verbal ITU category for a MOS value."""
+    if not 1.0 <= mos <= 5.0:
+        raise ValueError(f"MOS must be in [1, 5], got {mos}")
+    # 4.5+ reads as excellent; each unit below steps down a grade.
+    grade = min(5, int(mos + 0.5))
+    return MOS_LABELS[max(1, grade)]
+
+
+def describe(score: float) -> str:
+    """One-line human verdict for a VQM clip score."""
+    mos = vqm_to_mos(score)
+    return f"VQM {score:.3f} -> MOS {mos:.2f} ({mos_label(mos)})"

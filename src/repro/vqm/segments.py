@@ -1,0 +1,78 @@
+"""Segmentation of extended-duration clips (paper §3.1.3, Figure 3).
+
+The original VQM tool was built for 5-10 s segments; the paper's clips
+run 75-150 s. Their workaround, reproduced here: split the stored
+video into segments of 300 frames (10 s) where "the first 100 frames
+of each segment overlap with the last 100 frames of the segment
+preceding it", i.e. a stride of 200 frames. The overlap gives the
+temporal calibration room to search; the quality estimate then uses
+the 100 frames following the alignment point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Frames per segment (10 s at ~30 fps).
+SEGMENT_FRAMES = 300
+
+#: Overlap between consecutive segments.
+SEGMENT_OVERLAP = 100
+
+#: Frames actually scored, following the alignment point.
+SCORING_FRAMES = 100
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One 300-frame analysis window on the reference timeline."""
+
+    index: int
+    start: int  # first reference frame of the segment
+    length: int
+
+    @property
+    def end(self) -> int:
+        """One past the last reference frame."""
+        return self.start + self.length
+
+    @property
+    def scoring_start(self) -> int:
+        """Nominal first frame of the scored window (pre-alignment)."""
+        return self.start + SEGMENT_OVERLAP
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise ValueError("segment must have positive extent")
+
+
+def segment_plan(
+    n_frames: int,
+    segment_frames: int = SEGMENT_FRAMES,
+    overlap: int = SEGMENT_OVERLAP,
+) -> list[Segment]:
+    """Cut ``n_frames`` into overlapping segments per Figure 3.
+
+    Segments start every ``segment_frames - overlap`` frames. A final
+    ragged piece shorter than the scoring window plus overlap is merged
+    into the previous segment's territory (dropped), matching the
+    tool's behaviour of only scoring full windows. Clips shorter than
+    one segment yield a single truncated segment.
+    """
+    if n_frames <= 0:
+        raise ValueError("clip must contain frames")
+    if overlap >= segment_frames:
+        raise ValueError("overlap must be smaller than the segment")
+    stride = segment_frames - overlap
+    segments: list[Segment] = []
+    index = 0
+    start = 0
+    while start < n_frames:
+        remaining = n_frames - start
+        if segments and remaining < overlap + SCORING_FRAMES:
+            break  # ragged tail too short to score
+        length = min(segment_frames, remaining)
+        segments.append(Segment(index=index, start=start, length=length))
+        index += 1
+        start += stride
+    return segments

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite.
+
+Tests use small synthetic clips (``test-<n>``) so full experiment
+pipelines stay fast; clip-level caches in :mod:`repro.video.clips`
+make repeated use of the same clip nearly free within a session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.units import mbps
+from repro.video.clips import encode_clip, get_script
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """Fresh event engine with a fixed seed."""
+    return Engine(seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_script():
+    """A ~10-second scene script for fast tests."""
+    return get_script("test-300")
+
+
+@pytest.fixture(scope="session")
+def small_clip_mpeg():
+    """300-frame clip encoded at 1.7 Mbps MPEG-1 (session-cached)."""
+    return encode_clip("test-300", "mpeg1", mbps(1.7))
+
+
+@pytest.fixture(scope="session")
+def small_clip_wmv():
+    """300-frame clip encoded with the WMV model (session-cached)."""
+    return encode_clip("test-300", "wmv")
+
+
+@pytest.fixture(scope="session")
+def medium_clip_mpeg():
+    """600-frame clip at 1.7 Mbps for integration tests."""
+    return encode_clip("test-600", "mpeg1", mbps(1.7))

@@ -1,0 +1,179 @@
+"""Tests for the multi-rate adaptive server and feature compositing."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.server.adaptive_vc import AdaptiveVideoChargerServer
+from repro.sim.node import Host
+from repro.sim.tracer import FlowTracer
+from repro.units import UDP_IP_HEADER, mbps
+from repro.video.clips import clip_features, encode_clip
+from repro.video.frames import FrameFeatures
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return [
+        encode_clip("test-300", "mpeg1", mbps(rate)) for rate in (1.0, 1.5, 1.7)
+    ]
+
+
+class TestAdaptiveServer:
+    def test_starts_at_top_of_ladder(self, engine, ladder):
+        server = AdaptiveVideoChargerServer(engine, ladder, Host("h"))
+        assert server.current_level == len(ladder) - 1
+        assert server.active_encoding.target_rate_bps == mbps(1.7)
+
+    def test_steps_down_on_loss(self, engine, ladder):
+        server = AdaptiveVideoChargerServer(engine, ladder, Host("h"))
+        server.report_loss(0.05)
+        assert server.current_level == 1
+        server.report_loss(0.05)
+        assert server.current_level == 0
+        server.report_loss(0.05)  # already at the floor
+        assert server.current_level == 0
+
+    def test_steps_up_after_clean_period(self, engine, ladder):
+        server = AdaptiveVideoChargerServer(
+            engine, ladder, Host("h"), step_up_after_clean_s=3.0
+        )
+        server.report_loss(0.05)
+        for _ in range(3):
+            server.report_loss(0.0)
+        assert server.current_level == 2
+
+    def test_probe_backoff_doubles_requirement(self, engine, ladder):
+        server = AdaptiveVideoChargerServer(
+            engine, ladder, Host("h"), step_up_after_clean_s=2.0
+        )
+        server.report_loss(0.05)  # down to 1
+        server.report_loss(0.0)
+        server.report_loss(0.0)  # probe up
+        assert server.current_level == 2
+        server.report_loss(0.05)  # probe failed
+        assert server.current_level == 1
+        assert server._required_clean_s == 4.0
+
+    def test_selection_records_serving_level(self, engine, ladder):
+        tracer = FlowTracer(engine, sink=Host("h"), flow_id="video")
+        server = AdaptiveVideoChargerServer(engine, ladder, tracer)
+        server.start()
+        engine.schedule(2.0, lambda: server.report_loss(0.1))
+        engine.run(until=ladder[0].duration_s + 2)
+        assert server.finished
+        assert server.selection[0] == 2
+        assert server.selection[-1] < 2
+
+    def test_frame_totals_annotated(self, engine, ladder):
+        seen = []
+
+        class Sink:
+            def receive(self, p):
+                seen.append(p)
+
+        server = AdaptiveVideoChargerServer(engine, ladder, Sink())
+        server.start()
+        engine.run(until=0.5)
+        assert seen
+        assert all("frame_total" in p.annotations for p in seen)
+
+    def test_byte_volume_tracks_level(self, engine, ladder):
+        """Thinned stream sends roughly the lower encoding's bytes."""
+        tracer = FlowTracer(engine, sink=Host("h"), flow_id="video")
+        server = AdaptiveVideoChargerServer(engine, ladder, tracer)
+        server.report_loss(0.1)
+        server.report_loss(0.1)  # pin to the 1.0M rung
+        server.start()
+        engine.run(until=ladder[0].duration_s + 2)
+        payload = sum(r.size - UDP_IP_HEADER for r in tracer.records)
+        assert payload == pytest.approx(ladder[0].total_bytes, rel=0.02)
+
+    def test_requires_matching_frames(self, engine):
+        a = encode_clip("test-150", "mpeg1", mbps(1.0))
+        b = encode_clip("test-300", "mpeg1", mbps(1.5))
+        with pytest.raises(ValueError):
+            AdaptiveVideoChargerServer(engine, [a, b], Host("h"))
+
+    def test_requires_nonempty_ladder(self, engine):
+        with pytest.raises(ValueError):
+            AdaptiveVideoChargerServer(engine, [], Host("h"))
+
+
+class TestFeatureCompositing:
+    def test_selection_picks_per_frame(self):
+        low = clip_features("test-150", "mpeg1", mbps(1.0))
+        high = clip_features("test-150", "mpeg1", mbps(1.7))
+        n = low.n_frames
+        selection = np.zeros(n, dtype=np.int64)
+        selection[n // 2 :] = 1
+        mixed = FrameFeatures.composite([low, high], selection)
+        assert (mixed.si[: n // 2] == low.si[: n // 2]).all()
+        assert (mixed.si[n // 2 :] == high.si[n // 2 :]).all()
+
+    def test_uniform_selection_is_identity(self):
+        low = clip_features("test-150", "mpeg1", mbps(1.0))
+        high = clip_features("test-150", "mpeg1", mbps(1.7))
+        mixed = FrameFeatures.composite(
+            [low, high], np.ones(low.n_frames, dtype=np.int64)
+        )
+        assert (mixed.si == high.si).all()
+        assert (mixed.ti == high.ti).all()
+
+    def test_validation(self):
+        low = clip_features("test-150", "mpeg1", mbps(1.0))
+        with pytest.raises(ValueError):
+            FrameFeatures.composite([], np.zeros(1))
+        with pytest.raises(ValueError):
+            FrameFeatures.composite([low], np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            FrameFeatures.composite(
+                [low], np.full(low.n_frames, 5, dtype=np.int64)
+            )
+
+
+class TestAdaptiveExperiment:
+    def test_beats_fixed_under_tight_service(self):
+        base = dict(
+            clip="test-600",
+            codec="mpeg1",
+            encoding_rate_bps=mbps(1.7),
+            reference="fixed",
+            token_rate_bps=mbps(1.3),
+            bucket_depth_bytes=4500,
+            seed=2,
+        )
+        fixed = run_experiment(ExperimentSpec(server="videocharger", **base))
+        adaptive = run_experiment(ExperimentSpec(server="adaptive-vc", **base))
+        assert adaptive.quality_score < fixed.quality_score
+        assert adaptive.lost_frame_fraction < fixed.lost_frame_fraction
+
+    def test_stays_at_top_when_provisioned(self):
+        result = run_experiment(
+            ExperimentSpec(
+                clip="test-600",
+                codec="mpeg1",
+                server="adaptive-vc",
+                reference="fixed",
+                token_rate_bps=mbps(2.2),
+                bucket_depth_bytes=4500,
+                seed=2,
+            )
+        )
+        assert result.quality_score <= 0.05
+
+    def test_rejects_tcp(self):
+        with pytest.raises(ValueError):
+            run_experiment(
+                ExperimentSpec(
+                    clip="test-300", server="adaptive-vc", transport="tcp"
+                )
+            )
+
+    def test_rejects_wmv(self):
+        with pytest.raises(ValueError):
+            run_experiment(
+                ExperimentSpec(
+                    clip="test-300", server="adaptive-vc", codec="wmv"
+                )
+            )

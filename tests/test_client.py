@@ -1,0 +1,266 @@
+"""Tests for reassembly, playout capture, and the renderer emulation."""
+
+import numpy as np
+import pytest
+
+from repro.client.playout import ClientRecord, FrameRecord, PlayoutClient
+from repro.client.reassembly import DatagramReassembler
+from repro.client.renderer import RendererEmulation
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.units import UDP_IP_HEADER
+
+
+def fragment(engine, datagram_id, index, count, size=1500, frame_id=0):
+    return Packet(
+        packet_id=engine.next_packet_id(),
+        flow_id="video",
+        size=size,
+        frame_id=frame_id,
+        datagram_id=datagram_id,
+        fragment_index=index,
+        fragment_count=count,
+        created_at=engine.now,
+    )
+
+
+class TestReassembly:
+    def test_unfragmented_passes_through(self, engine):
+        host = Host("h")
+        reassembler = DatagramReassembler(engine, sink=host)
+        reassembler.receive(
+            Packet(packet_id=0, flow_id="v", size=500, datagram_id=1)
+        )
+        assert host.received_packets == 1
+        assert reassembler.completed_datagrams == 1
+
+    def test_datagram_completes_on_last_fragment(self, engine):
+        host = Host("h")
+        reassembler = DatagramReassembler(engine, sink=host)
+        reassembler.receive(fragment(engine, 7, 0, 3))
+        reassembler.receive(fragment(engine, 7, 1, 3))
+        assert host.received_packets == 0
+        reassembler.receive(fragment(engine, 7, 2, 3))
+        assert host.received_packets == 1
+
+    def test_completed_annotation_carries_total(self, engine):
+        seen = []
+
+        class Sink:
+            def receive(self, p):
+                seen.append(p)
+
+        reassembler = DatagramReassembler(engine, sink=Sink())
+        reassembler.receive(fragment(engine, 7, 0, 2, size=1500))
+        reassembler.receive(fragment(engine, 7, 1, 2, size=800))
+        assert seen[0].annotations["datagram_bytes"] == 2300
+
+    def test_missing_fragment_never_delivers(self, engine):
+        host = Host("h")
+        reassembler = DatagramReassembler(engine, sink=host)
+        reassembler.receive(fragment(engine, 7, 0, 3))
+        reassembler.receive(fragment(engine, 7, 2, 3))
+        assert host.received_packets == 0
+        assert reassembler.pending_count == 1
+
+    def test_out_of_order_fragments_ok(self, engine):
+        host = Host("h")
+        reassembler = DatagramReassembler(engine, sink=host)
+        reassembler.receive(fragment(engine, 7, 2, 3))
+        reassembler.receive(fragment(engine, 7, 0, 3))
+        reassembler.receive(fragment(engine, 7, 1, 3))
+        assert host.received_packets == 1
+
+    def test_stale_datagrams_expire(self, engine):
+        host = Host("h")
+        reassembler = DatagramReassembler(engine, sink=host, timeout_s=1.0)
+        reassembler.receive(fragment(engine, 7, 0, 2))
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        reassembler.receive(fragment(engine, 8, 0, 2))  # triggers expiry scan
+        assert reassembler.expired_datagrams == 1
+
+    def test_fragment_without_id_rejected(self, engine):
+        reassembler = DatagramReassembler(engine, sink=Host("h"))
+        with pytest.raises(ValueError):
+            reassembler.receive(
+                Packet(packet_id=0, flow_id="v", size=100, fragment_count=2)
+            )
+
+
+class TestPlayoutClient:
+    def test_frame_completes_when_all_bytes_arrive(self, engine, small_clip_mpeg):
+        client = PlayoutClient(engine, small_clip_mpeg)
+        frame0_bytes = small_clip_mpeg.frames[0].size_bytes
+        sent = 0
+        while sent < frame0_bytes:
+            payload = min(1472, frame0_bytes - sent)
+            client.receive(
+                Packet(
+                    packet_id=engine.next_packet_id(),
+                    flow_id="v",
+                    size=payload + UDP_IP_HEADER,
+                    frame_id=0,
+                )
+            )
+            sent += payload
+        record = client.finalize()
+        assert record.records[0].arrival_time is not None
+
+    def test_partial_frame_never_completes(self, engine, small_clip_mpeg):
+        client = PlayoutClient(engine, small_clip_mpeg)
+        client.receive(
+            Packet(packet_id=0, flow_id="v", size=100 + UDP_IP_HEADER, frame_id=0)
+        )
+        record = client.finalize()
+        assert record.records[0].arrival_time is None
+
+    def test_gop_propagation_in_finalize(self, engine, small_clip_mpeg):
+        """Deliver every frame except the first I: entire GOP is lost."""
+        client = PlayoutClient(engine, small_clip_mpeg)
+        for frame in small_clip_mpeg.frames[1:]:
+            client.on_tcp_deliver(frame.frame_id, frame.size_bytes, 0.1)
+        record = client.finalize()
+        decodable = [r.decodable for r in record.records]
+        assert not any(decodable[:15])
+        assert all(decodable[15:])
+
+    def test_independent_mode_ignores_gop(self, engine, small_clip_mpeg):
+        client = PlayoutClient(engine, small_clip_mpeg, decode_mode="independent")
+        for frame in small_clip_mpeg.frames[1:]:
+            client.on_tcp_deliver(frame.frame_id, frame.size_bytes, 0.1)
+        record = client.finalize()
+        assert not record.records[0].decodable
+        assert all(r.decodable for r in record.records[1:])
+
+    def test_lost_frame_fraction(self, engine, small_clip_mpeg):
+        client = PlayoutClient(engine, small_clip_mpeg, decode_mode="independent")
+        # Deliver only the first half of the clip.
+        half = small_clip_mpeg.n_frames // 2
+        for frame in small_clip_mpeg.frames[:half]:
+            client.on_tcp_deliver(frame.frame_id, frame.size_bytes, 0.1)
+        record = client.finalize()
+        assert record.lost_frame_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_presentation_schedule(self, engine, small_clip_mpeg):
+        client = PlayoutClient(engine, small_clip_mpeg, startup_delay=2.0)
+        client.on_tcp_deliver(0, small_clip_mpeg.frames[0].size_bytes, 5.0)
+        record = client.finalize()
+        assert record.records[0].presentation_time == pytest.approx(7.0)
+        assert record.records[30].presentation_time == pytest.approx(
+            7.0 + 30 / small_clip_mpeg.fps
+        )
+
+    def test_frame_total_annotation_overrides_expected(self, engine, small_clip_mpeg):
+        client = PlayoutClient(engine, small_clip_mpeg)
+        packet = Packet(
+            packet_id=0, flow_id="v", size=500 + UDP_IP_HEADER, frame_id=0
+        )
+        packet.annotations["frame_total"] = 500
+        client.receive(packet)
+        record = client.finalize()
+        assert record.records[0].arrival_time is not None
+
+    def test_feedback_reports_loss_fraction(self, engine, small_clip_mpeg):
+        reports = []
+        client = PlayoutClient(engine, small_clip_mpeg, loss_report_interval=1.0)
+        client.set_feedback(lambda loss, delay: reports.append(loss))
+        packet = Packet(
+            packet_id=0, flow_id="v", size=1500, frame_id=0, created_at=0.0
+        )
+        client.receive(packet)
+        client.note_policer_drop(packet)
+        engine.run(until=1.5)
+        assert reports and reports[0] == pytest.approx(0.5)
+
+    def test_invalid_decode_mode(self, engine, small_clip_mpeg):
+        with pytest.raises(ValueError):
+            PlayoutClient(engine, small_clip_mpeg, decode_mode="magic")
+
+
+def make_record(arrivals, fps=30.0, startup=1.0, decodable=None):
+    """Build a ClientRecord from a list of arrival times (None = lost)."""
+    n = len(arrivals)
+    decodable = decodable if decodable is not None else [a is not None for a in arrivals]
+    t0 = min(a for a in arrivals if a is not None)
+    records = [
+        FrameRecord(
+            frame_id=i,
+            arrival_time=arrivals[i],
+            presentation_time=t0 + startup + i / fps,
+            decodable=decodable[i],
+        )
+        for i in range(n)
+    ]
+    return ClientRecord(
+        n_frames=n,
+        fps=fps,
+        records=records,
+        startup_delay=startup,
+        first_arrival_time=t0,
+    )
+
+
+class TestRenderer:
+    def test_perfect_stream_displays_every_frame(self):
+        arrivals = [i / 30.0 for i in range(30)]
+        trace = RendererEmulation().replay(make_record(arrivals))
+        assert (trace.display == np.arange(30)).all()
+        assert trace.frozen_fraction == 0.0
+        assert trace.rebuffer_events == 0
+
+    def test_lost_frame_repeats_previous(self):
+        arrivals = [i / 30.0 for i in range(10)]
+        arrivals[5] = None
+        trace = RendererEmulation().replay(make_record(arrivals))
+        assert trace.display[5] == 4
+        assert trace.display[6] == 6
+        assert len(trace.display) == 10
+
+    def test_burst_loss_freezes(self):
+        arrivals = [i / 30.0 for i in range(20)]
+        for i in range(5, 10):
+            arrivals[i] = None
+        trace = RendererEmulation().replay(make_record(arrivals))
+        assert (trace.display[5:10] == 4).all()
+        assert trace.displayed_source_fraction == pytest.approx(15 / 20)
+
+    def test_late_frame_stalls_and_shifts(self):
+        fps = 30.0
+        arrivals = [i / fps for i in range(20)]
+        # Frame 10 arrives 0.5 s late relative to its schedule.
+        arrivals[10] = 1.0 + 10 / fps + 0.5
+        trace = RendererEmulation().replay(make_record(arrivals, startup=1.0))
+        assert trace.rebuffer_events == 1
+        assert trace.total_stall_s >= 0.5
+        assert len(trace.display) == 20 + int(np.ceil(0.5 * fps))
+        # After the stall the remaining frames play normally (shifted).
+        assert trace.display[-1] == 19
+
+    def test_undecodable_frame_treated_as_lost(self):
+        arrivals = [i / 30.0 for i in range(10)]
+        decodable = [True] * 10
+        decodable[3] = False
+        trace = RendererEmulation().replay(
+            make_record(arrivals, decodable=decodable)
+        )
+        assert trace.display[3] == 2
+
+    def test_giant_stall_abandons_session(self):
+        fps = 30.0
+        arrivals = [i / fps for i in range(20)]
+        arrivals[10] = 1000.0  # hopeless
+        trace = RendererEmulation(max_stall_s=10.0).replay(make_record(arrivals))
+        assert (trace.display[10:] == 9).all()
+
+    def test_frame_zero_lost_shows_dark_screen(self):
+        arrivals = [None] + [i / 30.0 for i in range(1, 5)]
+        trace = RendererEmulation().replay(make_record(arrivals))
+        assert trace.display[0] == -1
+
+    def test_frozen_fraction_counts_repeats(self):
+        arrivals = [i / 30.0 for i in range(10)]
+        arrivals[4] = None
+        arrivals[5] = None
+        trace = RendererEmulation().replay(make_record(arrivals))
+        assert trace.frozen_fraction == pytest.approx(2 / 9)

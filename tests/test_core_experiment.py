@@ -1,0 +1,243 @@
+"""Tests for the experiment harness, sweeps, analysis and reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    empirical_burst_excess,
+    find_quality_cutoff,
+    loss_quality_pairs,
+    nonlinearity_index,
+)
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.report import render_rate_series, render_sweep, render_table
+from repro.core.sweep import token_rate_sweep
+from repro.sim.tracer import TraceRecord
+from repro.units import mbps
+
+
+def fast_spec(**overrides):
+    base = dict(
+        clip="test-300",
+        codec="mpeg1",
+        encoding_rate_bps=mbps(1.7),
+        token_rate_bps=mbps(2.2),
+        bucket_depth_bytes=4500,
+        seed=3,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestRunExperiment:
+    def test_generous_service_near_perfect(self):
+        result = run_experiment(fast_spec())
+        assert result.quality_score <= 0.05
+        assert result.lost_frame_fraction <= 0.01
+
+    def test_starved_service_terrible(self):
+        result = run_experiment(fast_spec(token_rate_bps=mbps(1.2)))
+        assert result.quality_score >= 0.8
+        assert result.lost_frame_fraction >= 0.3
+
+    def test_below_encoding_rate_is_useless(self):
+        """Paper: 'setting the token rate value below the encoding
+        rate is of no use at all'."""
+        result = run_experiment(fast_spec(token_rate_bps=mbps(1.5)))
+        assert result.quality_score >= 0.7
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment(fast_spec(token_rate_bps=mbps(1.85)))
+        b = run_experiment(fast_spec(token_rate_bps=mbps(1.85)))
+        assert a.quality_score == b.quality_score
+        assert a.lost_frame_fraction == b.lost_frame_fraction
+
+    def test_with_token_bucket_copies(self):
+        spec = fast_spec()
+        other = spec.with_token_bucket(mbps(1.0), 3000)
+        assert other.token_rate_bps == mbps(1.0)
+        assert other.bucket_depth_bytes == 3000
+        assert spec.token_rate_bps == mbps(2.2)  # original untouched
+
+    def test_local_testbed_runs(self):
+        result = run_experiment(
+            fast_spec(
+                clip="test-300",
+                codec="wmv",
+                encoding_rate_bps=None,
+                server="wmt",
+                testbed="local",
+                token_rate_bps=mbps(2.0),
+            )
+        )
+        assert 0.0 <= result.quality_score <= 1.15
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(fast_spec(testbed="moon"))
+
+    def test_unknown_server_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(fast_spec(server="realplayer"))
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(fast_spec(reference="imaginary"))
+
+    def test_videocharger_rejects_tcp(self):
+        with pytest.raises(ValueError):
+            run_experiment(fast_spec(transport="tcp"))
+
+    def test_fixed_reference_adds_floor(self):
+        own = run_experiment(
+            fast_spec(encoding_rate_bps=mbps(1.0), token_rate_bps=mbps(1.5))
+        )
+        fixed = run_experiment(
+            fast_spec(
+                encoding_rate_bps=mbps(1.0),
+                token_rate_bps=mbps(1.5),
+                reference="fixed",
+            )
+        )
+        assert own.quality_score <= 0.05
+        assert fixed.quality_score > own.quality_score
+
+    def test_remark_action_avoids_loss(self):
+        """Re-marking non-conformant packets to best effort (instead of
+        dropping) keeps frames alive on an uncongested path."""
+        result = run_experiment(
+            fast_spec(token_rate_bps=mbps(1.5), policer_action="remark")
+        )
+        assert result.lost_frame_fraction <= 0.01
+        assert result.quality_score <= 0.05
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        rates = [mbps(r) for r in (1.6, 1.8, 2.0, 2.2)]
+        return token_rate_sweep(fast_spec(), rates, (3000.0, 4500.0))
+
+    def test_all_points_present(self, sweep):
+        assert len(sweep.points) == 8
+        assert sweep.depths() == [3000.0, 4500.0]
+
+    def test_series_sorted_by_rate(self, sweep):
+        rates, losses, scores = sweep.series(3000.0)
+        assert (np.diff(rates) > 0).all()
+        assert len(losses) == len(scores) == 4
+
+    def test_loss_decreases_with_rate(self, sweep):
+        _, losses, _ = sweep.series(3000.0)
+        assert losses[0] > losses[-1]
+        assert losses[-1] <= 0.02
+
+    def test_deeper_bucket_no_worse(self, sweep):
+        """At every rate, depth 4500 loses at most as much as 3000."""
+        _, loss3000, _ = sweep.series(3000.0)
+        _, loss4500, _ = sweep.series(4500.0)
+        assert (loss4500 <= loss3000 + 0.02).all()
+
+    def test_unknown_depth_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.series(9999.0)
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            token_rate_sweep(fast_spec(), [], (3000.0,))
+
+
+class TestAnalysis:
+    def test_find_quality_cutoff(self):
+        rates = np.array([1.6e6, 1.8e6, 2.0e6, 2.2e6])
+        scores = np.array([0.9, 0.5, 0.05, 0.0])
+        assert find_quality_cutoff(rates, scores) == 2.0e6
+
+    def test_cutoff_requires_staying_good(self):
+        rates = np.array([1.0e6, 2.0e6, 3.0e6])
+        scores = np.array([0.05, 0.5, 0.05])  # dips back up
+        assert find_quality_cutoff(rates, scores) == 3.0e6
+
+    def test_cutoff_none_when_never_good(self):
+        rates = np.array([1.0e6, 2.0e6])
+        scores = np.array([0.9, 0.5])
+        assert find_quality_cutoff(rates, scores) is None
+
+    def test_cutoff_handles_unsorted_input(self):
+        rates = np.array([2.0e6, 1.0e6])
+        scores = np.array([0.0, 0.9])
+        assert find_quality_cutoff(rates, scores) == 2.0e6
+
+    def test_cutoff_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            find_quality_cutoff(np.array([1.0]), np.array([0.1, 0.2]))
+
+    def test_nonlinearity_zero_for_proportional(self):
+        loss = np.linspace(0, 0.5, 10)
+        assert nonlinearity_index(loss, loss * 2) == pytest.approx(0.0)
+
+    def test_nonlinearity_positive_for_knee(self):
+        loss = np.array([0.5, 0.3, 0.1, 0.05, 0.0])
+        score = np.array([1.0, 1.0, 0.9, 0.1, 0.0])
+        assert nonlinearity_index(loss, score) > 0.3
+
+    def test_nonlinearity_degenerate_inputs(self):
+        assert nonlinearity_index(np.array([0.1]), np.array([0.5])) == 0.0
+
+    def test_empirical_burst_excess_single_burst(self):
+        records = [
+            TraceRecord(0.0, i, "v", 1500, None, None) for i in range(4)
+        ]
+        # 4 x 1500 B at one instant vs any rate: excess = 6000.
+        assert empirical_burst_excess(records, 1e6) == 6000
+
+    def test_empirical_burst_excess_drains(self):
+        records = [
+            TraceRecord(0.0, 0, "v", 1500, None, None),
+            TraceRecord(1.0, 1, "v", 1500, None, None),  # 1 s later
+        ]
+        # At 1 Mbps, 125 kB of tokens accrue between packets.
+        assert empirical_burst_excess(records, 1e6) == 1500
+
+    def test_empirical_burst_excess_validation(self):
+        with pytest.raises(ValueError):
+            empirical_burst_excess([], 0)
+        assert empirical_burst_excess([], 1e6) == 0.0
+
+    def test_loss_quality_pairs(self):
+        loss = np.array([0.002, 0.010, 0.011, 0.20])
+        score = np.array([0.01, 0.19, 0.14, 0.9])
+        pairs = loss_quality_pairs(loss, score, target_loss=0.01)
+        assert len(pairs) == 2
+
+
+class TestReport:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bee"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_render_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_sweep_contains_series(self):
+        rates = [mbps(r) for r in (1.8, 2.2)]
+        sweep = token_rate_sweep(fast_spec(), rates, (3000.0,))
+        text = render_sweep(sweep, title="Figure X")
+        assert "Figure X" in text
+        assert "token bucket depth = 3000" in text
+        assert "1.800" in text and "2.200" in text
+
+    def test_render_rate_series(self):
+        text = render_rate_series(
+            np.array([0.0, 1.0]), np.array([1.7e6, 2.0e6]), label="Fig 6"
+        )
+        assert "Fig 6" in text
+        assert "1.700" in text
+
+    def test_render_rate_series_validates(self):
+        with pytest.raises(ValueError):
+            render_rate_series(np.array([0.0]), np.array([1.0, 2.0]))

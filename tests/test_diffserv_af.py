@@ -1,0 +1,201 @@
+"""Tests for the AF PHB machinery: meters, WRED, marker, testbed."""
+
+import numpy as np
+import pytest
+
+from repro.diffserv.af_marker import AfMarker
+from repro.diffserv.dscp import DSCP
+from repro.diffserv.meters import Color, SrTcmMeter, TrTcmMeter
+from repro.diffserv.red import DEFAULT_PROFILES, RedProfile, WredQueue
+from repro.sim.packet import Packet
+from repro.units import mbps
+
+
+def make_packet(pid=0, size=1500, dscp=None, flow="video"):
+    return Packet(packet_id=pid, flow_id=flow, size=size, dscp=dscp)
+
+
+class TestSrTcm:
+    def test_green_within_cbs(self):
+        meter = SrTcmMeter(mbps(1), cbs_bytes=3000, ebs_bytes=3000)
+        assert meter.color(1500, 0.0) is Color.GREEN
+        assert meter.color(1500, 0.0) is Color.GREEN
+
+    def test_yellow_within_ebs(self):
+        meter = SrTcmMeter(mbps(1), cbs_bytes=3000, ebs_bytes=3000)
+        meter.color(1500, 0.0)
+        meter.color(1500, 0.0)
+        assert meter.color(1500, 0.0) is Color.YELLOW
+
+    def test_red_beyond_both(self):
+        meter = SrTcmMeter(mbps(1), cbs_bytes=3000, ebs_bytes=3000)
+        for _ in range(4):
+            meter.color(1500, 0.0)
+        assert meter.color(1500, 0.0) is Color.RED
+
+    def test_zero_ebs_skips_yellow(self):
+        meter = SrTcmMeter(mbps(1), cbs_bytes=3000, ebs_bytes=0)
+        meter.color(1500, 0.0)
+        meter.color(1500, 0.0)
+        assert meter.color(1500, 0.0) is Color.RED
+
+    def test_refill_restores_green(self):
+        meter = SrTcmMeter(mbps(12), cbs_bytes=3000, ebs_bytes=0)
+        meter.color(3000, 0.0)
+        assert meter.color(1500, 0.0) is Color.RED
+        assert meter.color(1500, 0.002) is Color.GREEN
+
+    def test_stats_counted(self):
+        meter = SrTcmMeter(mbps(1), cbs_bytes=1500, ebs_bytes=1500)
+        for _ in range(3):
+            meter.color(1500, 0.0)
+        assert meter.stats.green_packets == 1
+        assert meter.stats.yellow_packets == 1
+        assert meter.stats.red_packets == 1
+        assert meter.stats.total_packets == 3
+
+    def test_negative_ebs_rejected(self):
+        with pytest.raises(ValueError):
+            SrTcmMeter(mbps(1), 3000, -1)
+
+
+class TestTrTcm:
+    def test_green_within_both(self):
+        meter = TrTcmMeter(mbps(1), 3000, mbps(2), 6000)
+        assert meter.color(1500, 0.0) is Color.GREEN
+
+    def test_yellow_above_committed(self):
+        meter = TrTcmMeter(mbps(1), 1500, mbps(2), 6000)
+        meter.color(1500, 0.0)
+        assert meter.color(1500, 0.0) is Color.YELLOW
+
+    def test_red_above_peak(self):
+        meter = TrTcmMeter(mbps(1), 1500, mbps(2), 3000)
+        meter.color(1500, 0.0)
+        meter.color(1500, 0.0)
+        assert meter.color(1500, 0.0) is Color.RED
+
+    def test_pir_below_cir_rejected(self):
+        with pytest.raises(ValueError):
+            TrTcmMeter(mbps(2), 3000, mbps(1), 3000)
+
+
+class TestRedProfile:
+    def test_curve_shape(self):
+        profile = RedProfile(10, 30, 0.5)
+        assert profile.drop_probability(5) == 0.0
+        assert profile.drop_probability(20) == pytest.approx(0.25)
+        assert profile.drop_probability(30) == 1.0
+        assert profile.drop_probability(100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RedProfile(30, 10, 0.5)
+        with pytest.raises(ValueError):
+            RedProfile(10, 30, 0.0)
+
+    def test_default_profiles_ordered(self):
+        """Higher precedence drops earlier and harder."""
+        p1, p2, p3 = (DEFAULT_PROFILES[k] for k in (1, 2, 3))
+        assert p1.min_threshold > p2.min_threshold > p3.min_threshold
+        assert p1.max_probability < p2.max_probability < p3.max_probability
+
+
+class TestWredQueue:
+    def test_empty_queue_never_early_drops(self):
+        queue = WredQueue(rng=np.random.default_rng(0))
+        for i in range(4):
+            assert queue.enqueue(make_packet(i, dscp=int(DSCP.AF13)))
+
+    def test_congestion_drops_red_before_green(self):
+        rng = np.random.default_rng(0)
+        queue = WredQueue(max_packets=200, rng=rng)
+        # Build sustained occupancy around 40 packets.
+        for i in range(40):
+            queue.enqueue(make_packet(i, dscp=int(DSCP.AF11)))
+        green_drops = 0
+        red_drops = 0
+        for i in range(300):
+            if not queue.enqueue(make_packet(1000 + i, dscp=int(DSCP.AF13))):
+                red_drops += 1
+            if not queue.enqueue(make_packet(2000 + i, dscp=int(DSCP.AF11))):
+                green_drops += 1
+            queue.dequeue()
+            queue.dequeue()
+        assert red_drops > green_drops
+
+    def test_unmarked_treated_as_most_droppable(self):
+        queue = WredQueue(rng=np.random.default_rng(0))
+        from repro.diffserv.red import af_precedence_of
+
+        assert af_precedence_of(make_packet()) == 3
+        assert af_precedence_of(make_packet(dscp=int(DSCP.AF12))) == 2
+        assert af_precedence_of(make_packet(dscp=int(DSCP.EF))) == 1
+
+    def test_invalid_ewma(self):
+        with pytest.raises(ValueError):
+            WredQueue(ewma_weight=0.0)
+
+
+class TestAfMarker:
+    def test_colors_map_to_af_codepoints(self, engine):
+        marker = AfMarker(engine, cir_bps=mbps(1), cbs_bytes=1500, ebs_bytes=1500)
+        first = marker(make_packet(0))
+        second = marker(make_packet(1))
+        third = marker(make_packet(2))
+        assert first.dscp == int(DSCP.AF11)
+        assert second.dscp == int(DSCP.AF12)
+        assert third.dscp == int(DSCP.AF13)
+
+    def test_never_drops(self, engine):
+        marker = AfMarker(engine, cir_bps=mbps(1), cbs_bytes=1500, ebs_bytes=0)
+        for i in range(10):
+            assert marker(make_packet(i)) is not None
+        assert marker.stats.dropped_packets == 0
+
+    def test_stats_split_green_vs_rest(self, engine):
+        marker = AfMarker(engine, cir_bps=mbps(1), cbs_bytes=1500, ebs_bytes=1500)
+        for i in range(3):
+            marker(make_packet(i))
+        assert marker.stats.conformant_packets == 1
+        assert marker.stats.remarked_packets == 2
+
+    def test_color_annotation(self, engine):
+        marker = AfMarker(engine, cir_bps=mbps(1), cbs_bytes=1500, ebs_bytes=0)
+        packet = marker(make_packet(0))
+        assert packet.annotations["af_color"] == "green"
+
+
+class TestAfExperiment:
+    def test_idle_neighbours_perfect_quality(self):
+        from repro.core.experiment import ExperimentSpec, run_experiment
+
+        result = run_experiment(
+            ExperimentSpec(
+                clip="test-300",
+                codec="mpeg1",
+                encoding_rate_bps=mbps(1.7),
+                testbed="af",
+                token_rate_bps=mbps(1.2),
+                bucket_depth_bytes=3000,
+                seed=3,
+            )
+        )
+        assert result.quality_score <= 0.05
+
+    def test_heavy_neighbours_destroy_quality(self):
+        from repro.core.experiment import ExperimentSpec, run_experiment
+
+        result = run_experiment(
+            ExperimentSpec(
+                clip="test-300",
+                codec="mpeg1",
+                encoding_rate_bps=mbps(1.7),
+                testbed="af",
+                token_rate_bps=mbps(1.2),
+                bucket_depth_bytes=3000,
+                cross_traffic_bps=mbps(5.0),
+                seed=3,
+            )
+        )
+        assert result.quality_score >= 0.5

@@ -1,0 +1,184 @@
+"""Tests for DSCP codepoints, classifier, marker, scheduler, frame relay."""
+
+import pytest
+
+from repro.diffserv.classifier import FlowProfile, MultiFieldClassifier
+from repro.diffserv.dscp import DSCP, af_drop_precedence, is_ef, phb_name
+from repro.diffserv.frame_relay import (
+    FrameRelayConfig,
+    FrameRelayInterface,
+    TABLE1_CONFIGS,
+)
+from repro.diffserv.marker import Marker
+from repro.diffserv.scheduler import BE_LEVEL, EF_LEVEL, PriorityScheduler
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.units import mbps
+
+
+def make_packet(pid=0, flow="video", dscp=None, size=1500):
+    return Packet(packet_id=pid, flow_id=flow, size=size, dscp=dscp)
+
+
+class TestDscp:
+    def test_ef_is_rfc_3246_codepoint(self):
+        assert int(DSCP.EF) == 0b101110
+
+    def test_be_is_zero(self):
+        assert int(DSCP.BE) == 0
+
+    def test_is_ef(self):
+        assert is_ef(int(DSCP.EF))
+        assert not is_ef(int(DSCP.BE))
+        assert not is_ef(None)
+
+    def test_phb_names(self):
+        assert phb_name(int(DSCP.EF)) == "Expedited Forwarding"
+        assert "Unknown" in phb_name(0b111111)
+
+    def test_af_drop_precedence(self):
+        assert af_drop_precedence(int(DSCP.AF11)) == 1
+        assert af_drop_precedence(int(DSCP.AF13)) == 3
+        assert af_drop_precedence(int(DSCP.AF42)) == 2
+
+    def test_af_precedence_rejects_non_af(self):
+        with pytest.raises(ValueError):
+            af_drop_precedence(int(DSCP.EF))
+
+
+class TestClassifier:
+    def test_flow_match_runs_stage(self):
+        hits = []
+        classifier = MultiFieldClassifier()
+        classifier.add_entry(
+            FlowProfile(flow_id="video"), lambda p: hits.append(p) or p
+        )
+        classifier(make_packet(flow="video"))
+        classifier(make_packet(flow="other"))
+        assert len(hits) == 1
+        assert classifier.matched_packets == 1
+        assert classifier.unmatched_packets == 1
+
+    def test_first_match_wins(self):
+        order = []
+        classifier = MultiFieldClassifier()
+        classifier.add_entry(FlowProfile(), lambda p: order.append("first") or p)
+        classifier.add_entry(FlowProfile(), lambda p: order.append("second") or p)
+        classifier(make_packet())
+        assert order == ["first"]
+
+    def test_dscp_profile(self):
+        profile = FlowProfile(dscp=int(DSCP.EF))
+        assert profile.matches(make_packet(dscp=int(DSCP.EF)))
+        assert not profile.matches(make_packet())
+
+    def test_wildcard_profile_matches_all(self):
+        assert FlowProfile().matches(make_packet(flow="anything"))
+
+    def test_stage_may_drop(self):
+        classifier = MultiFieldClassifier()
+        classifier.add_entry(FlowProfile(flow_id="video"), lambda p: None)
+        assert classifier(make_packet(flow="video")) is None
+        assert classifier(make_packet(flow="other")) is not None
+
+
+class TestMarker:
+    def test_marks_dscp(self):
+        marker = Marker(DSCP.EF)
+        out = marker(make_packet())
+        assert out.dscp == int(DSCP.EF)
+        assert marker.marked_packets == 1
+
+    def test_inline_sink_mode(self):
+        host = Host("h")
+        marker = Marker(DSCP.AF11)
+        marker.connect(host)
+        marker.receive(make_packet())
+        assert host.received_packets == 1
+
+
+class TestPriorityScheduler:
+    def test_ef_served_first(self):
+        sched = PriorityScheduler()
+        sched.enqueue(make_packet(0))
+        sched.enqueue(make_packet(1, dscp=int(DSCP.EF)))
+        assert sched.dequeue().packet_id == 1
+
+    def test_af_goes_to_be_level(self):
+        sched = PriorityScheduler()
+        sched.enqueue(make_packet(0, dscp=int(DSCP.AF11)))
+        assert len(sched.queue_for_level(BE_LEVEL)) == 1
+        assert len(sched.queue_for_level(EF_LEVEL)) == 0
+
+    def test_named_queues(self):
+        sched = PriorityScheduler()
+        sched.enqueue(make_packet(0, dscp=int(DSCP.EF)))
+        assert len(sched.ef_queue) == 1
+        assert len(sched.be_queue) == 0
+
+
+class TestFrameRelayConfig:
+    def test_table1_rows_valid(self):
+        for config in TABLE1_CONFIGS.values():
+            assert config.cir_bps == 2e6
+            assert config.bc_bits == 2e6
+            assert config.be_bits == 0
+
+    def test_committed_interval(self):
+        config = FrameRelayConfig(2e6, 2e6, 0, "V.35")
+        assert config.committed_interval_s == 1.0
+
+    def test_v35_rate_cap(self):
+        with pytest.raises(ValueError):
+            FrameRelayConfig(3e6, 2e6, 0, "V.35")
+
+    def test_hssi_allows_high_rates(self):
+        FrameRelayConfig(45e6, 45e6, 0, "HSSI")  # no raise
+
+    def test_unknown_interface_type(self):
+        with pytest.raises(ValueError):
+            FrameRelayConfig(1e6, 1e6, 0, "RS232")
+
+    def test_physical_rate_defaults_to_interface_max(self):
+        config = FrameRelayConfig(2e6, 2e6, 0, "V.35")
+        assert config.physical_rate_bps == pytest.approx(2.048e6)
+
+    def test_invalid_bc(self):
+        with pytest.raises(ValueError):
+            FrameRelayConfig(1e6, 0, 0, "V.35")
+
+
+class TestFrameRelayInterface:
+    def test_enforces_cir_on_average(self, engine):
+        host = Host("h")
+        config = FrameRelayConfig(2e6, 2e6 / 10, 0, "V.35")  # small Bc
+        interface = FrameRelayInterface(engine, config, sink=host)
+        n = 100
+        for _ in range(n):
+            interface.receive(make_packet(size=1500))
+        engine.run()
+        assert host.received_packets == n
+        # 100 * 1500 B = 1.2 Mbit at CIR 2 Mbps -> at least ~0.55 s
+        # (minus the Bc credit worth 0.1 s).
+        assert engine.now >= 0.5
+
+    def test_emulates_constant_rate_link(self, engine):
+        """Table 1's settings behave like a plain 2 Mbps pipe."""
+        from repro.sim.tracer import FlowTracer
+
+        host = Host("h")
+        tracer = FlowTracer(engine, sink=host)
+        config = FrameRelayConfig(2e6, 2e6, 0, "V.35")
+        interface = FrameRelayInterface(engine, config, sink=tracer)
+
+        def send(i=0):
+            if i >= 200:
+                return
+            interface.receive(make_packet(pid=i, size=1500))
+            engine.schedule(0.006, lambda: send(i + 1))
+
+        send()
+        engine.run()
+        span = tracer.records[-1].time - tracer.records[0].time
+        rate = sum(r.size for r in tracer.records[1:]) * 8 / span
+        assert rate == pytest.approx(2e6, rel=0.05)

@@ -1,0 +1,122 @@
+"""Tests for the token bucket — the paper's central mechanism."""
+
+import pytest
+
+from repro.diffserv.token_bucket import TokenBucket
+from repro.units import mbps
+
+
+class TestConstruction:
+    def test_starts_full_by_default(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        assert bucket.tokens_at(0.0) == 3000
+
+    def test_start_empty(self):
+        bucket = TokenBucket(mbps(1), 3000, start_full=False)
+        assert bucket.tokens_at(0.0) == 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 3000)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TokenBucket(mbps(1), 0)
+
+    def test_rate_in_bytes(self):
+        assert TokenBucket(mbps(8), 100).rate_bytes_per_s == 1e6
+
+
+class TestRefill:
+    def test_refill_is_linear_in_time(self):
+        bucket = TokenBucket(mbps(8), 10_000, start_full=False)  # 1 MB/s
+        assert bucket.tokens_at(0.005) == pytest.approx(5000)
+
+    def test_refill_caps_at_depth(self):
+        bucket = TokenBucket(mbps(8), 3000, start_full=False)
+        assert bucket.tokens_at(100.0) == 3000
+
+    def test_time_cannot_go_backwards(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        bucket.tokens_at(5.0)
+        with pytest.raises(ValueError):
+            bucket.tokens_at(4.0)
+
+
+class TestConsume:
+    def test_conformant_packet_consumes(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        assert bucket.try_consume(1500, 0.0)
+        assert bucket.tokens_at(0.0) == 1500
+
+    def test_nonconformant_packet_leaves_tokens(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        assert bucket.try_consume(1500, 0.0)
+        assert bucket.try_consume(1500, 0.0)
+        assert not bucket.try_consume(1500, 0.0)
+        assert bucket.tokens_at(0.0) == 0
+
+    def test_two_mtu_bucket_passes_exactly_two_back_to_back(self):
+        """The paper's core point: depth 3000 = two Ethernet MTUs."""
+        bucket = TokenBucket(mbps(1.7), 3000)
+        results = [bucket.try_consume(1500, 0.0) for _ in range(4)]
+        assert results == [True, True, False, False]
+
+    def test_three_mtu_bucket_passes_three(self):
+        bucket = TokenBucket(mbps(1.7), 4500)
+        results = [bucket.try_consume(1500, 0.0) for _ in range(4)]
+        assert results == [True, True, True, False]
+
+    def test_recovers_after_refill(self):
+        bucket = TokenBucket(mbps(12), 3000)  # 1.5 kB/ms
+        assert bucket.try_consume(3000, 0.0)
+        assert not bucket.try_consume(1500, 0.0)
+        assert bucket.try_consume(1500, 0.001)
+
+    def test_oversized_packet_never_conforms(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        assert not bucket.try_consume(4000, 1000.0)
+
+    def test_invalid_size_rejected(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        with pytest.raises(ValueError):
+            bucket.try_consume(0, 0.0)
+
+    def test_conforms_does_not_consume(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        assert bucket.conforms(1500, 0.0)
+        assert bucket.tokens_at(0.0) == 3000
+
+
+class TestTimeUntilConformant:
+    def test_zero_when_already_conformant(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        assert bucket.time_until_conformant(1500, 0.0) == 0.0
+
+    def test_exact_wait_for_deficit(self):
+        bucket = TokenBucket(mbps(8), 3000)  # 1 MB/s refill
+        bucket.try_consume(3000, 0.0)
+        # Needs 1500 tokens at 1e6 B/s -> 1.5 ms.
+        assert bucket.time_until_conformant(1500, 0.0) == pytest.approx(0.0015)
+
+    def test_infinite_for_oversized(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        assert bucket.time_until_conformant(3001, 0.0) == float("inf")
+
+    def test_wait_then_conformant(self):
+        bucket = TokenBucket(mbps(8), 3000)
+        bucket.try_consume(3000, 0.0)
+        wait = bucket.time_until_conformant(1500, 0.0)
+        assert bucket.try_consume(1500, wait + 1e-9)
+
+
+class TestForceConsume:
+    def test_never_goes_negative(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        bucket.force_consume(10_000, 0.0)
+        assert bucket.tokens_at(0.0) == 0.0
+
+    def test_consumes_normally_when_available(self):
+        bucket = TokenBucket(mbps(1), 3000)
+        bucket.force_consume(1000, 0.0)
+        assert bucket.tokens_at(0.0) == 2000

@@ -1,0 +1,349 @@
+"""Tests for the extension modules: impairments, burstiness toolkit,
+export, MOS mapping, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.burstiness import (
+    ascii_curve,
+    burstiness_curve,
+    required_depth,
+    required_rate,
+)
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.export import (
+    csv_to_rows,
+    result_to_dict,
+    result_to_json,
+    spec_to_dict,
+    sweep_to_csv,
+)
+from repro.core.sweep import token_rate_sweep
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.sim.tracer import FlowTracer, TraceRecord
+from repro.testbeds.impairments import (
+    DelaySpikeElement,
+    GilbertLossElement,
+    RandomLossElement,
+)
+from repro.units import mbps
+from repro.vqm.mos import describe, mos_label, mos_to_vqm, vqm_to_mos
+from repro import cli
+
+
+def make_packet(engine, size=1500):
+    return Packet(
+        packet_id=engine.next_packet_id(), flow_id="v", size=size,
+        created_at=engine.now,
+    )
+
+
+class TestRandomLoss:
+    def test_loss_rate_approached(self, engine):
+        host = Host("h")
+        element = RandomLossElement(engine, sink=host, loss_rate=0.2)
+        for _ in range(2000):
+            element.receive(make_packet(engine))
+        assert element.observed_loss_rate == pytest.approx(0.2, abs=0.03)
+
+    def test_zero_loss_passes_everything(self, engine):
+        host = Host("h")
+        element = RandomLossElement(engine, sink=host, loss_rate=0.0)
+        for _ in range(100):
+            element.receive(make_packet(engine))
+        assert host.received_packets == 100
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            RandomLossElement(engine, loss_rate=1.5)
+
+    def test_unconnected_raises(self, engine):
+        element = RandomLossElement(engine)
+        with pytest.raises(RuntimeError):
+            element.receive(make_packet(engine))
+
+
+class TestGilbertLoss:
+    def test_mean_rate_matches(self, engine):
+        host = Host("h")
+        element = GilbertLossElement(
+            engine, sink=host, mean_loss_rate=0.05, mean_burst_packets=5.0
+        )
+        for _ in range(20000):
+            element.receive(make_packet(engine))
+        assert element.observed_loss_rate == pytest.approx(0.05, abs=0.015)
+
+    def test_losses_are_bursty(self, engine):
+        """Same average rate, much longer loss runs than iid."""
+        outcomes = []
+
+        class Recorder:
+            def receive(self, packet):
+                outcomes.append(True)
+
+        element = GilbertLossElement(
+            engine, sink=Recorder(), mean_loss_rate=0.05, mean_burst_packets=8.0
+        )
+        pattern = []
+        for _ in range(20000):
+            before = element.dropped_packets
+            element.receive(make_packet(engine))
+            pattern.append(element.dropped_packets > before)
+        # Mean run length of drops should be well above 1.
+        runs = []
+        current = 0
+        for dropped in pattern:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert np.mean(runs) > 2.5
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            GilbertLossElement(engine, mean_burst_packets=0.5)
+        with pytest.raises(ValueError):
+            GilbertLossElement(engine, mean_loss_rate=1.0)
+
+
+class TestDelaySpike:
+    def test_spikes_delay_packets(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        element = DelaySpikeElement(
+            engine, sink=tracer, spike_probability=1.0, spike_delay_s=0.05
+        )
+        element.receive(make_packet(engine))
+        engine.run()
+        assert tracer.records[0].time >= 0.05
+        assert element.spikes == 1
+
+    def test_order_preserved_through_spike(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        element = DelaySpikeElement(
+            engine, sink=tracer, spike_probability=0.3, spike_delay_s=0.02
+        )
+        packets = [make_packet(engine) for _ in range(50)]
+        for i, p in enumerate(packets):
+            engine.schedule_at(i * 0.001, lambda p=p: element.receive(p))
+        engine.run()
+        ids = [r.packet_id for r in tracer.records]
+        assert ids == [p.packet_id for p in packets]
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            DelaySpikeElement(engine, spike_probability=-0.1)
+        with pytest.raises(ValueError):
+            DelaySpikeElement(engine, spike_delay_s=-1)
+
+
+def burst_trace():
+    """4 packets at t=0 then 4 spread over a second."""
+    records = [TraceRecord(0.0, i, "v", 1500, None, None) for i in range(4)]
+    records += [
+        TraceRecord(0.25 * (i + 1), 4 + i, "v", 1500, None, None)
+        for i in range(4)
+    ]
+    return records
+
+
+class TestBurstinessToolkit:
+    def test_curve_monotone_in_rate(self):
+        records = burst_trace()
+        rates = [mbps(m) for m in (0.1, 0.5, 1.0, 5.0)]
+        curve = burstiness_curve(records, rates)
+        assert (np.diff(curve) <= 1e-9).all()
+
+    def test_required_depth_with_headroom(self):
+        records = burst_trace()
+        base = required_depth(records, mbps(1.0))
+        assert required_depth(records, mbps(1.0), headroom_bytes=500) == base + 500
+
+    def test_required_rate_satisfies_depth(self):
+        records = burst_trace()
+        rate = required_rate(records, depth_bytes=6500.0)
+        from repro.core.analysis import empirical_burst_excess
+
+        assert empirical_burst_excess(records, rate) <= 6500.0
+
+    def test_required_rate_impossible_depth(self):
+        records = burst_trace()  # atomic 6000-byte burst
+        with pytest.raises(ValueError):
+            required_rate(records, depth_bytes=3000.0)
+
+    def test_required_rate_mean_rate_floor(self):
+        # One packet per second: mean rate suffices for a deep bucket.
+        records = [
+            TraceRecord(float(i), i, "v", 1500, None, None) for i in range(10)
+        ]
+        rate = required_rate(records, depth_bytes=3000.0)
+        # Mean rate: 10 x 1500 B over the 9 s span.
+        assert rate <= 10 * 1500 * 8 / 9 + 1
+
+    def test_ascii_curve_renders(self):
+        text = ascii_curve([1e6, 2e6], [3000, 1500])
+        assert "1.000" in text and "#" in text
+
+    def test_ascii_curve_validates(self):
+        with pytest.raises(ValueError):
+            ascii_curve([1e6], [1, 2])
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            burstiness_curve([], [])
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    return run_experiment(
+        ExperimentSpec(
+            clip="test-300",
+            codec="mpeg1",
+            encoding_rate_bps=mbps(1.7),
+            token_rate_bps=mbps(1.9),
+            bucket_depth_bytes=3000,
+            seed=2,
+        )
+    )
+
+
+class TestExport:
+    def test_spec_round_trips_to_plain_types(self, sample_result):
+        data = spec_to_dict(sample_result.spec)
+        assert data["clip"] == "test-300"
+        json.dumps(data)  # must be JSON-able
+
+    def test_result_dict_has_headlines(self, sample_result):
+        data = result_to_dict(sample_result)
+        assert 0.0 <= data["quality_score"] <= 1.15
+        assert "segments" in data and data["segments"]
+
+    def test_result_json_parses(self, sample_result):
+        parsed = json.loads(result_to_json(sample_result))
+        assert parsed["spec"]["codec"] == "mpeg1"
+
+    def test_sweep_csv_round_trip(self):
+        spec = ExperimentSpec(
+            clip="test-300",
+            codec="mpeg1",
+            encoding_rate_bps=mbps(1.7),
+            seed=2,
+        )
+        sweep = token_rate_sweep(spec, [mbps(1.8), mbps(2.0)], (3000.0,))
+        text = sweep_to_csv(sweep)
+        rows = csv_to_rows(text)
+        assert len(rows) == 2
+        assert rows[0]["token_rate_mbps"] == pytest.approx(1.8)
+        assert 0.0 <= rows[0]["quality_score"] <= 1.15
+
+
+class TestMos:
+    def test_perfect_is_excellent(self):
+        assert vqm_to_mos(0.0) == 5.0
+        assert mos_label(5.0) == "excellent"
+
+    def test_worst_is_bad(self):
+        assert vqm_to_mos(1.0) == 1.0
+        assert mos_label(1.0) == "bad"
+
+    def test_clamped_beyond_one(self):
+        assert vqm_to_mos(1.15) == 1.0
+
+    def test_round_trip(self):
+        assert mos_to_vqm(vqm_to_mos(0.3)) == pytest.approx(0.3)
+
+    def test_mos_to_vqm_validates(self):
+        with pytest.raises(ValueError):
+            mos_to_vqm(0.5)
+
+    def test_labels_cover_scale(self):
+        assert mos_label(4.6) == "excellent"
+        assert mos_label(3.7) == "good"
+        assert mos_label(2.6) == "fair"
+        assert mos_label(1.6) == "poor"
+
+    def test_describe(self):
+        assert "MOS" in describe(0.19)
+
+
+class TestCli:
+    def test_run_command(self, capsys):
+        code = cli.main(
+            [
+                "run",
+                "--clip", "test-300",
+                "--encoding", "1.7",
+                "--rate", "2.0",
+                "--depth", "4500",
+                "--seed", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frame loss" in out
+        assert "MOS" in out
+
+    def test_run_json(self, capsys):
+        code = cli.main(
+            [
+                "run",
+                "--clip", "test-300",
+                "--encoding", "1.7",
+                "--rate", "2.0",
+                "--json",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["spec"]["clip"] == "test-300"
+
+    def test_sweep_command_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "sweep.csv"
+        code = cli.main(
+            [
+                "sweep",
+                "--clip", "test-300",
+                "--encoding", "1.7",
+                "--rates", "1.8,2.0",
+                "--depths", "3000",
+                "--csv", str(target),
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert "token bucket depth = 3000" in capsys.readouterr().out
+        rows = csv_to_rows(target.read_text())
+        assert len(rows) == 2
+
+    def test_clips_command(self, capsys):
+        assert cli.main(["clips"]) == 0
+        out = capsys.readouterr().out
+        assert "lost" in out and "dark" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+
+class TestCliErrorHandling:
+    def test_unknown_clip_exits_2(self, capsys):
+        code = cli.main(["run", "--clip", "casablanca", "--rate", "2.0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_combination_exits_2(self, capsys):
+        code = cli.main(
+            ["run", "--clip", "test-150", "--transport", "tcp", "--rate", "2.0"]
+        )
+        assert code == 2
+
+
+class TestExportNetworkMetrics:
+    def test_result_dict_includes_network(self, sample_result):
+        data = result_to_dict(sample_result)
+        assert "network" in data
+        assert "loss_fraction" in data["network"]

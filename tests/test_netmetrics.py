@@ -1,0 +1,117 @@
+"""Tests for the network-metrics analyzer."""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.netmetrics import delay_stats, loss_run_stats, summarize_path
+from repro.sim.tracer import TraceRecord
+from repro.units import mbps
+
+
+def record(time, pid, size=1500):
+    return TraceRecord(time, pid, "v", size, None, None)
+
+
+class TestDelayStats:
+    def test_constant_delay(self):
+        sent = [record(i * 0.01, i) for i in range(10)]
+        received = [record(i * 0.01 + 0.05, i) for i in range(10)]
+        stats = delay_stats(sent, received)
+        assert stats.count == 10
+        assert stats.mean == pytest.approx(0.05)
+        assert stats.p99 == pytest.approx(0.05)
+        assert stats.rfc3550_jitter == pytest.approx(0.0)
+
+    def test_jitter_grows_with_variation(self):
+        sent = [record(i * 0.01, i) for i in range(100)]
+        smooth = [record(i * 0.01 + 0.05, i) for i in range(100)]
+        jittery = [
+            record(i * 0.01 + 0.05 + (0.01 if i % 2 else 0.0), i)
+            for i in range(100)
+        ]
+        assert (
+            delay_stats(sent, jittery).rfc3550_jitter
+            > delay_stats(sent, smooth).rfc3550_jitter
+        )
+
+    def test_lost_packets_ignored(self):
+        sent = [record(i * 0.01, i) for i in range(10)]
+        received = [record(i * 0.01 + 0.05, i) for i in range(0, 10, 2)]
+        stats = delay_stats(sent, received)
+        assert stats.count == 5
+
+    def test_percentiles_ordered(self):
+        sent = [record(i * 0.01, i) for i in range(50)]
+        received = [record(i * 0.01 + 0.01 * (i % 7), i) for i in range(50)]
+        stats = delay_stats(sent, received)
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.max
+
+    def test_empty_received(self):
+        sent = [record(0.0, 0)]
+        stats = delay_stats(sent, [])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+class TestLossRunStats:
+    def test_no_loss(self):
+        sent = [record(i * 0.01, i) for i in range(10)]
+        stats = loss_run_stats(sent, sent)
+        assert stats.loss_fraction == 0.0
+        assert stats.loss_runs == 0
+        assert stats.mean_run_length == 0.0
+
+    def test_single_run(self):
+        sent = [record(i * 0.01, i) for i in range(10)]
+        received = [r for r in sent if r.packet_id not in (3, 4, 5)]
+        stats = loss_run_stats(sent, received)
+        assert stats.loss_fraction == pytest.approx(0.3)
+        assert stats.loss_runs == 1
+        assert stats.mean_run_length == 3.0
+        assert stats.max_run_length == 3
+
+    def test_scattered_runs(self):
+        sent = [record(i * 0.01, i) for i in range(10)]
+        received = [r for r in sent if r.packet_id not in (1, 5, 6, 9)]
+        stats = loss_run_stats(sent, received)
+        assert stats.loss_runs == 3
+        assert stats.max_run_length == 2
+
+    def test_trailing_run_counted(self):
+        sent = [record(i * 0.01, i) for i in range(5)]
+        received = sent[:3]
+        stats = loss_run_stats(sent, received)
+        assert stats.loss_runs == 1
+        assert stats.max_run_length == 2
+
+
+class TestExperimentIntegration:
+    def test_experiment_reports_network_metrics(self):
+        result = run_experiment(
+            ExperimentSpec(
+                clip="test-300",
+                codec="mpeg1",
+                encoding_rate_bps=mbps(1.7),
+                token_rate_bps=mbps(1.85),
+                bucket_depth_bytes=3000,
+                seed=2,
+            )
+        )
+        network = result.extras["network"]
+        assert network["loss_fraction"] == pytest.approx(
+            result.packet_drop_fraction, abs=0.01
+        )
+        assert network["delay_mean_s"] > 0.0
+        # Policer losses are clustered, not sprayed.
+        if network["loss_runs"] > 0:
+            assert network["loss_mean_run"] >= 1.0
+
+    def test_summarize_path_keys(self):
+        sent = [record(i * 0.01, i) for i in range(5)]
+        summary = summarize_path(sent, sent)
+        assert {
+            "delay_mean_s",
+            "jitter_rfc3550_s",
+            "loss_fraction",
+            "loss_max_run",
+        } <= set(summary)

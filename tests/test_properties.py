@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.diffserv.token_bucket import TokenBucket
+from repro.sim.engine import Engine
+from repro.sim.queues import DropTailQueue, PriorityQueueSet
+from repro.sim.packet import Packet
+from repro.video.gop import GopStructure, decodable_frames
+from repro.vqm.segments import SCORING_FRAMES, SEGMENT_OVERLAP, segment_plan
+from repro.client.renderer import RendererEmulation
+from repro.client.playout import ClientRecord, FrameRecord
+
+
+# ----------------------------------------------------------------------
+# token bucket
+# ----------------------------------------------------------------------
+@given(
+    rate=st.floats(min_value=1e4, max_value=1e8),
+    depth=st.floats(min_value=100, max_value=1e6),
+    sizes=st.lists(st.integers(min_value=1, max_value=20000), max_size=50),
+    gaps=st.lists(st.floats(min_value=0, max_value=1.0), max_size=50),
+)
+@settings(max_examples=80, deadline=None)
+def test_token_level_always_within_bounds(rate, depth, sizes, gaps):
+    """Token level stays in [0, depth] under any arrival pattern."""
+    bucket = TokenBucket(rate, depth)
+    now = 0.0
+    for size, gap in zip(sizes, gaps):
+        now += gap
+        bucket.try_consume(size, now)
+        level = bucket.tokens_at(now)
+        assert 0.0 <= level <= depth + 1e-6
+
+
+@given(
+    rate=st.floats(min_value=1e5, max_value=1e7),
+    depth=st.floats(min_value=1500, max_value=20000),
+    sizes=st.lists(st.integers(min_value=1, max_value=1500), min_size=1, max_size=80),
+    gaps=st.lists(st.floats(min_value=0, max_value=0.05), min_size=1, max_size=80),
+)
+@settings(max_examples=80, deadline=None)
+def test_accepted_traffic_conforms_to_arrival_curve(rate, depth, sizes, gaps):
+    """Accepted bytes over any prefix never exceed depth + rate * time —
+    the defining property of a token-bucket policer."""
+    bucket = TokenBucket(rate, depth)
+    now = 0.0
+    accepted = 0
+    for size, gap in zip(sizes, gaps):
+        now += gap
+        if bucket.try_consume(size, now):
+            accepted += size
+        assert accepted <= depth + rate / 8 * now + 1e-6
+
+
+@given(
+    rate=st.floats(min_value=1e5, max_value=1e7),
+    depth=st.floats(min_value=1500, max_value=20000),
+    size=st.integers(min_value=1, max_value=1500),
+    drain=st.integers(min_value=0, max_value=20000),
+)
+@settings(max_examples=80, deadline=None)
+def test_time_until_conformant_is_exact(rate, depth, size, drain):
+    """Waiting exactly the reported time makes the packet conformant."""
+    bucket = TokenBucket(rate, depth)
+    bucket.force_consume(drain, 0.0)
+    wait = bucket.time_until_conformant(size, 0.0)
+    if wait != float("inf"):
+        assert bucket.conforms(size, wait + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# queues
+# ----------------------------------------------------------------------
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=9000), max_size=60),
+    max_packets=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_droptail_conservation(sizes, max_packets):
+    """enqueued = dequeued + still-queued + dropped, bytes conserved."""
+    queue = DropTailQueue(max_packets=max_packets)
+    for i, size in enumerate(sizes):
+        queue.enqueue(Packet(packet_id=i, flow_id="f", size=size))
+    drained = []
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            break
+        drained.append(packet)
+    assert len(drained) + queue.dropped_packets == len(sizes)
+    assert sum(p.size for p in drained) + queue.dropped_bytes == sum(sizes)
+
+
+@given(
+    marks=st.lists(st.booleans(), min_size=1, max_size=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_priority_set_serves_all_marked_first(marks):
+    from repro.diffserv.dscp import DSCP
+
+    queue = PriorityQueueSet()
+    for i, marked in enumerate(marks):
+        queue.enqueue(
+            Packet(
+                packet_id=i,
+                flow_id="f",
+                size=100,
+                dscp=int(DSCP.EF) if marked else None,
+            )
+        )
+    out = []
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            break
+        out.append(packet.dscp is not None)
+    # All marked packets precede all unmarked ones.
+    if True in out and False in out:
+        assert out.index(False) > max(i for i, m in enumerate(out) if m)
+    assert len(out) == len(marks)
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+@given(delays=st.lists(st.floats(min_value=0, max_value=100), max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    engine = Engine(seed=0)
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# ----------------------------------------------------------------------
+# GOP decodability
+# ----------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=1, max_value=90),
+    lost=st.sets(st.integers(min_value=0, max_value=89)),
+    gop_n=st.sampled_from([6, 15, 30]),
+    gop_m=st.sampled_from([1, 2, 3]),
+)
+@settings(max_examples=80, deadline=None)
+def test_decodable_is_subset_of_received(n, lost, gop_n, gop_m):
+    gop = GopStructure(n=gop_n, m=gop_m)
+    received = [f for f in range(n) if f not in lost]
+    mask = decodable_frames(received, n, gop)
+    for f in range(n):
+        if mask[f]:
+            assert f in received
+    # Monotonicity: receiving strictly more never decodes less.
+    mask_all = decodable_frames(range(n), n, gop)
+    assert (mask_all >= mask).all()
+
+
+@given(
+    n=st.integers(min_value=2, max_value=90),
+    anchor=st.integers(min_value=0, max_value=89),
+)
+@settings(max_examples=60, deadline=None)
+def test_losing_one_frame_never_helps(n, anchor):
+    anchor = anchor % n
+    gop = GopStructure()
+    full = decodable_frames(range(n), n, gop)
+    damaged = decodable_frames([f for f in range(n) if f != anchor], n, gop)
+    assert damaged.sum() <= full.sum()
+    assert not damaged[anchor]
+
+
+# ----------------------------------------------------------------------
+# segmentation
+# ----------------------------------------------------------------------
+@given(n=st.integers(min_value=SCORING_FRAMES + SEGMENT_OVERLAP, max_value=20000))
+@settings(max_examples=80, deadline=None)
+def test_segment_plan_invariants(n):
+    plan = segment_plan(n)
+    assert plan, "at least one segment"
+    for segment in plan:
+        assert segment.start >= 0
+        assert segment.end <= n
+        # Every segment can host a scoring window.
+        assert segment.length >= SEGMENT_OVERLAP + SCORING_FRAMES or len(plan) == 1
+    starts = [s.start for s in plan]
+    assert starts == sorted(starts)
+    # Fixed stride.
+    for a, b in zip(starts, starts[1:]):
+        assert b - a == 200
+
+
+# ----------------------------------------------------------------------
+# renderer
+# ----------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=2, max_value=120),
+    lost=st.sets(st.integers(min_value=0, max_value=119)),
+    late=st.dictionaries(
+        st.integers(min_value=0, max_value=119),
+        st.floats(min_value=0.0, max_value=3.0),
+        max_size=5,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_renderer_invariants(n, lost, late):
+    fps = 30.0
+    records = []
+    for f in range(n):
+        if f in lost:
+            arrival = None
+        else:
+            arrival = f / fps + late.get(f, 0.0)
+        records.append(
+            FrameRecord(
+                frame_id=f,
+                arrival_time=arrival,
+                presentation_time=1.0 + f / fps,
+                decodable=arrival is not None,
+            )
+        )
+    if all(r.arrival_time is None for r in records):
+        return  # nothing ever arrives; replay needs a first arrival
+    record = ClientRecord(
+        n_frames=n,
+        fps=fps,
+        records=records,
+        startup_delay=1.0,
+        first_arrival_time=min(
+            r.arrival_time for r in records if r.arrival_time is not None
+        ),
+    )
+    trace = RendererEmulation().replay(record)
+    # 1. At least as many display slots as source frames.
+    assert trace.n_slots >= n
+    # 2. Display indices only reference lost-free frames or -1.
+    shown = set(int(x) for x in trace.display)
+    shown.discard(-1)
+    assert shown.issubset({f for f in range(n) if f not in lost})
+    # 3. Display sequence is non-decreasing (repeats allowed).
+    displayed = trace.display
+    assert (np.diff(displayed) >= 0).all() or displayed[0] == -1 and (
+        np.diff(displayed[displayed >= 0]) >= 0
+    ).all()
+    # 4. Frozen fraction within [0, 1].
+    assert 0.0 <= trace.frozen_fraction <= 1.0

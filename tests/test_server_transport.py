@@ -1,0 +1,186 @@
+"""Tests for the simplified TCP implementation."""
+
+import itertools
+
+import pytest
+
+from repro.diffserv.policer import Policer
+from repro.server.transport import MSS, TcpReceiver, TcpSender
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.units import mbps
+
+
+def build_path(engine, rate_bps=mbps(10), policer=None):
+    """sender -> (policer router) -> link -> receiver, plus bookkeeping."""
+    delivered = []
+    receiver = TcpReceiver(
+        engine, on_deliver=lambda f, n, t: delivered.append((f, n, t))
+    )
+    host = Host("client", application=receiver)
+    link = Link(engine, rate_bps=rate_bps, sink=host)
+    first_hop = link
+    if policer is not None:
+        router = Router("edge")
+        router.add_ingress_stage(policer)
+        router.set_default_route(link)
+        first_hop = router
+    sender = TcpSender(engine, sink=first_hop, flow_id="video")
+    sender.attach_receiver(receiver)
+    return sender, receiver, delivered
+
+
+class TestLosslessPath:
+    def test_delivers_everything_in_order(self, engine):
+        sender, _, delivered = build_path(engine)
+        for frame in range(20):
+            sender.write(frame, 4000)
+        engine.run(until=30)
+        assert sum(n for _, n, _ in delivered) == 20 * 4000
+        frames = [f for f, _, _ in delivered]
+        assert frames == sorted(frames)
+        assert sender.all_acked
+
+    def test_segments_bounded_by_mss(self, engine):
+        sender, receiver, delivered = build_path(engine)
+        sender.write(0, 10 * MSS + 7)
+        engine.run(until=10)
+        sizes = [n for _, n, _ in delivered]
+        assert max(sizes) <= MSS
+        assert sum(sizes) == 10 * MSS + 7
+
+    def test_cwnd_grows_in_slow_start(self, engine):
+        sender, _, _ = build_path(engine)
+        sender.write(0, 50 * MSS)
+        engine.run(until=10)
+        assert sender.cwnd_segments > 2
+
+    def test_empty_write_ignored(self, engine):
+        sender, _, _ = build_path(engine)
+        sender.write(0, 0)
+        assert sender.buffered_bytes == 0
+
+    def test_ack_clock_paces_after_slow_start(self, engine):
+        sender, _, delivered = build_path(engine, rate_bps=mbps(2))
+        for frame in range(60):
+            sender.write(frame, 3000)
+        engine.run(until=30)
+        assert sum(n for _, n, _ in delivered) == 60 * 3000
+
+
+class TestLossRecovery:
+    def test_recovers_from_policer_drops(self, engine):
+        policer = Policer(engine, mbps(1.5), 3000)
+        sender, _, delivered = build_path(engine, policer=policer)
+        total = 0
+        for frame in range(100):
+            sender.write(frame, 3000)
+            total += 3000
+        engine.run(until=60)
+        assert policer.stats.dropped_packets > 0  # the path did police
+        assert sum(n for _, n, _ in delivered) == total  # yet all arrived
+        assert sender.stats.retransmissions > 0
+
+    def test_delivery_stays_in_order_under_loss(self, engine):
+        policer = Policer(engine, mbps(1.5), 3000)
+        sender, _, delivered = build_path(engine, policer=policer)
+        for frame in range(50):
+            sender.write(frame, 3000)
+        engine.run(until=60)
+        frames = [f for f, _, _ in delivered]
+        assert frames == sorted(frames)
+
+    def test_no_permanent_stall(self, engine):
+        """A bulk dump through a tight policer recovers rather than
+        deadlocking, with bounded retransmission overhead."""
+        policer = Policer(engine, mbps(1.5), 3000)
+        sender, _, delivered = build_path(engine, policer=policer)
+        for frame in range(100):
+            sender.write(frame, 3000)
+        engine.run(until=60)
+        assert sum(n for _, n, _ in delivered) == 100 * 3000
+        needed = 100 * 3000 / MSS
+        assert sender.stats.segments_sent < 4 * needed
+
+    def test_cwnd_halves_on_fast_retransmit(self, engine):
+        sender, _, _ = build_path(engine)
+        sender._cwnd = 16.0
+        sender._ssthresh = 4.0
+        # Simulate three duplicate acks.
+        for _ in range(3):
+            sender.on_ack(0)
+        assert sender.stats.fast_retransmits == 1
+        assert sender.cwnd_segments == 8.0
+
+    def test_paced_offered_load_survives_policing(self, engine):
+        """A frame-paced source (like the WMT server) through a policer
+        at adequate rate delivers everything with low retransmission."""
+        policer = Policer(engine, mbps(2.0), 4500)
+        sender, _, delivered = build_path(engine, policer=policer)
+        counter = itertools.count()
+
+        def feed():
+            frame = next(counter)
+            if frame >= 150:
+                return
+            sender.write(frame, 3300)
+            engine.schedule(1 / 30, feed)
+
+        feed()
+        engine.run(until=30)
+        assert sum(n for _, n, _ in delivered) == 150 * 3300
+
+
+class TestReceiver:
+    def test_out_of_order_buffered_until_gap_fills(self, engine):
+        delivered = []
+        receiver = TcpReceiver(
+            engine, on_deliver=lambda f, n, t: delivered.append(f)
+        )
+        sender = TcpSender(engine, sink=Host("null"), flow_id="x")
+        sender.attach_receiver(receiver)
+        from repro.sim.packet import Packet
+
+        def seg(seq):
+            return Packet(
+                packet_id=seq,
+                flow_id="x",
+                size=1000,
+                frame_id=seq,
+                sequence=seq,
+            )
+
+        receiver.receive(seg(1))
+        assert delivered == []
+        receiver.receive(seg(0))
+        assert delivered == [0, 1]
+
+    def test_duplicate_segments_ignored(self, engine):
+        delivered = []
+        receiver = TcpReceiver(
+            engine, on_deliver=lambda f, n, t: delivered.append(f)
+        )
+        sender = TcpSender(engine, sink=Host("null"), flow_id="x")
+        sender.attach_receiver(receiver)
+        from repro.sim.packet import Packet
+
+        packet = Packet(packet_id=0, flow_id="x", size=1000, frame_id=0, sequence=0)
+        receiver.receive(packet)
+        receiver.receive(packet)
+        assert delivered == [0]
+
+    def test_sequence_required(self, engine):
+        receiver = TcpReceiver(engine, on_deliver=lambda f, n, t: None)
+        from repro.sim.packet import Packet
+
+        with pytest.raises(ValueError):
+            receiver.receive(Packet(packet_id=0, flow_id="x", size=100))
+
+    def test_unattached_receiver_raises_on_ack(self, engine):
+        receiver = TcpReceiver(engine, on_deliver=lambda f, n, t: None)
+        from repro.sim.packet import Packet
+
+        with pytest.raises(RuntimeError):
+            receiver.receive(
+                Packet(packet_id=0, flow_id="x", size=100, sequence=0)
+            )

@@ -1,0 +1,109 @@
+"""Tests for the VideoCharger server model."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import empirical_burst_excess
+from repro.diffserv.dscp import DSCP
+from repro.sim.node import Host
+from repro.sim.tracer import FlowTracer
+from repro.server.videocharger import VideoChargerServer
+from repro.units import UDP_IP_HEADER, mbps
+
+
+@pytest.fixture
+def streamed(engine, small_clip_mpeg):
+    """Run a full streaming session into a tracer; return the tracer."""
+    host = Host("sink")
+    tracer = FlowTracer(engine, sink=host, flow_id="video")
+    server = VideoChargerServer(engine, small_clip_mpeg, tracer)
+    server.start()
+    engine.run(until=small_clip_mpeg.duration_s + 5)
+    return server, tracer
+
+
+class TestStreaming:
+    def test_all_bytes_sent(self, streamed, small_clip_mpeg):
+        server, tracer = streamed
+        assert server.finished
+        payload = sum(r.size - UDP_IP_HEADER for r in tracer.records)
+        assert payload == small_clip_mpeg.total_bytes
+
+    def test_all_frames_covered(self, streamed, small_clip_mpeg):
+        _, tracer = streamed
+        assert tracer.frame_ids_seen() == set(range(small_clip_mpeg.n_frames))
+
+    def test_premarked_ef(self, engine, small_clip_mpeg):
+        seen = []
+
+        class Sink:
+            def receive(self, p):
+                seen.append(p.dscp)
+
+        server = VideoChargerServer(engine, small_clip_mpeg, Sink())
+        server.start()
+        engine.run(until=1.0)
+        assert seen and all(d == int(DSCP.EF) for d in seen)
+
+    def test_unmarked_mode(self, engine, small_clip_mpeg):
+        seen = []
+
+        class Sink:
+            def receive(self, p):
+                seen.append(p.dscp)
+
+        server = VideoChargerServer(
+            engine, small_clip_mpeg, Sink(), premark_dscp=None
+        )
+        server.start()
+        engine.run(until=1.0)
+        assert seen and all(d is None for d in seen)
+
+    def test_mean_rate_near_encoding_rate(self, streamed, small_clip_mpeg):
+        _, tracer = streamed
+        # Wire rate = payload rate + ~2% header overhead.
+        assert tracer.mean_rate_bps() == pytest.approx(
+            small_clip_mpeg.target_rate_bps * 1.02, rel=0.03
+        )
+
+    def test_output_conforms_to_schedule(self, streamed, small_clip_mpeg):
+        """Fluid pacing: the emitted payload curve never runs ahead of
+        the transport schedule's cumulative curve."""
+        _, tracer = streamed
+        cum = np.concatenate(
+            [[0], np.cumsum(small_clip_mpeg.transport_slots)]
+        ).astype(float)
+        fps = small_clip_mpeg.fps
+        sent = 0
+        for record in tracer.records:
+            sent += record.size - UDP_IP_HEADER
+            slot = record.time * fps
+            f = min(int(slot), len(small_clip_mpeg.transport_slots) - 1)
+            due = cum[f] + (slot - f) * small_clip_mpeg.transport_slots[f]
+            assert sent <= due + 1e-6
+
+    def test_burst_excess_small_above_max_rate(self, streamed, small_clip_mpeg):
+        _, tracer = streamed
+        stats = small_clip_mpeg.rate_stats()
+        excess = empirical_burst_excess(
+            tracer.records, stats["rate_max_bps"] * 1.05
+        )
+        # Above the max instantaneous rate only packet granularity is left.
+        assert excess <= 3100
+
+    def test_cannot_start_twice(self, engine, small_clip_mpeg):
+        server = VideoChargerServer(engine, small_clip_mpeg, Host("h"))
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_invalid_message_size(self, engine, small_clip_mpeg):
+        with pytest.raises(ValueError):
+            VideoChargerServer(engine, small_clip_mpeg, Host("h"), message_bytes=0)
+
+    def test_messages_are_frame_aligned(self, streamed, small_clip_mpeg):
+        """No packet carries bytes of two frames."""
+        _, tracer = streamed
+        # Frame ids must be non-decreasing along the stream.
+        frame_ids = [r.frame_id for r in tracer.records]
+        assert all(a <= b for a, b in zip(frame_ids, frame_ids[1:]))

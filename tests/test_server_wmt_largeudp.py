@@ -1,0 +1,194 @@
+"""Tests for the WMT and large-datagram server models."""
+
+import pytest
+
+from repro.sim.node import Host
+from repro.sim.tracer import FlowTracer
+from repro.server.largeudp import LargeDatagramServer
+from repro.server.transport import TcpReceiver, TcpSender
+from repro.server.wmt import WindowsMediaServer
+from repro.units import UDP_IP_HEADER
+
+
+class TestWmtUdp:
+    @pytest.fixture
+    def streamed(self, engine, small_clip_wmv):
+        tracer = FlowTracer(engine, sink=Host("h"), flow_id="video")
+        server = WindowsMediaServer(engine, small_clip_wmv, tracer)
+        server.start()
+        engine.run(until=small_clip_wmv.duration_s + 5)
+        return server, tracer
+
+    def test_all_frames_sent(self, streamed, small_clip_wmv):
+        server, tracer = streamed
+        assert server.finished
+        assert tracer.frame_ids_seen() == set(range(small_clip_wmv.n_frames))
+
+    def test_total_payload_matches_clip(self, streamed, small_clip_wmv):
+        _, tracer = streamed
+        payload = sum(r.size - UDP_IP_HEADER for r in tracer.records)
+        assert payload == sum(f.size_bytes for f in small_clip_wmv.frames)
+
+    def test_groups_never_exceed_three_packets(self, streamed):
+        """Packets at identical timestamps form groups of at most 3."""
+        _, tracer = streamed
+        from collections import Counter
+
+        by_time = Counter(r.time for r in tracer.records)
+        assert max(by_time.values()) <= 3
+
+    def test_some_groups_are_pairs(self, streamed):
+        from collections import Counter
+
+        _, tracer = streamed
+        by_time = Counter(r.time for r in tracer.records)
+        assert 2 in set(by_time.values())
+
+    def test_group_pacing_respected(self, streamed):
+        """Distinct emission instants are >= ~0.85 * group gap apart."""
+        _, tracer = streamed
+        times = sorted({r.time for r in tracer.records})
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) >= 0.013 * 0.84
+
+    def test_invalid_transport(self, engine, small_clip_wmv):
+        with pytest.raises(ValueError):
+            WindowsMediaServer(engine, small_clip_wmv, Host("h"), transport="sctp")
+
+    def test_tcp_mode_requires_sender(self, engine, small_clip_wmv):
+        with pytest.raises(ValueError):
+            WindowsMediaServer(engine, small_clip_wmv, Host("h"), transport="tcp")
+
+
+class TestWmtAdaptation:
+    def test_thinning_on_loss(self, engine, small_clip_wmv):
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, Host("h"), adaptation=True
+        )
+        assert server.current_level == 0
+        server.report_loss(0.10)
+        assert server.current_level == 1
+        server.report_loss(0.10)
+        assert server.current_level == 2
+
+    def test_thinning_bounded(self, engine, small_clip_wmv):
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, Host("h"), adaptation=True
+        )
+        for _ in range(10):
+            server.report_loss(0.5)
+        assert server.current_level == len(server.THINNING_LEVELS) - 1
+
+    def test_recovery_after_clean_reports(self, engine, small_clip_wmv):
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, Host("h"), adaptation=True
+        )
+        server.report_loss(0.10)
+        for _ in range(5):
+            server.report_loss(0.0)
+        assert server.current_level == 0
+
+    def test_adaptation_off_ignores_reports(self, engine, small_clip_wmv):
+        server = WindowsMediaServer(engine, small_clip_wmv, Host("h"))
+        server.report_loss(0.5)
+        assert server.current_level == 0
+
+    def test_thinned_frames_smaller(self, engine, small_clip_wmv):
+        tracer = FlowTracer(engine, sink=Host("h"), flow_id="video")
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, tracer, adaptation=True
+        )
+        server.report_loss(0.5)  # thin before starting
+        server.report_loss(0.5)
+        server.start()
+        engine.run(until=small_clip_wmv.duration_s + 5)
+        payload = sum(r.size - UDP_IP_HEADER for r in tracer.records)
+        full = sum(f.size_bytes for f in small_clip_wmv.frames)
+        assert payload < 0.6 * full
+
+
+class TestWmtTcp:
+    def test_streams_via_sender(self, engine, small_clip_wmv):
+        delivered = []
+        receiver = TcpReceiver(
+            engine, on_deliver=lambda f, n, t: delivered.append((f, n))
+        )
+        host = Host("h", application=receiver)
+        from repro.sim.link import Link
+        from repro.units import mbps
+
+        link = Link(engine, rate_bps=mbps(10), sink=host)
+        sender = TcpSender(engine, sink=link, flow_id="video")
+        sender.attach_receiver(receiver)
+        server = WindowsMediaServer(
+            engine,
+            small_clip_wmv,
+            link,
+            transport="tcp",
+            tcp_sender=sender,
+        )
+        server.start()
+        engine.run(until=small_clip_wmv.duration_s + 10)
+        total = sum(n for _, n in delivered)
+        assert total == sum(f.size_bytes for f in small_clip_wmv.frames)
+
+
+class TestLargeDatagramServer:
+    @pytest.fixture
+    def streamed(self, engine, small_clip_mpeg):
+        tracer = FlowTracer(engine, sink=Host("h"), flow_id="video")
+        server = LargeDatagramServer(
+            engine, small_clip_mpeg, tracer, adaptation=False
+        )
+        server.start()
+        engine.run(until=small_clip_mpeg.duration_s + 5)
+        return server, tracer
+
+    def test_fragmented_output(self, streamed):
+        _, tracer = streamed
+        # A 1.7 Mbps clip's frames exceed one MTU: fragments everywhere.
+        assert tracer.packet_count > 0
+
+    def test_big_frames_make_fragment_trains(self, streamed, small_clip_mpeg):
+        _, tracer = streamed
+        biggest = max(f.size_bytes for f in small_clip_mpeg.frames)
+        from collections import Counter
+
+        per_datagram = Counter(r.datagram_id for r in tracer.records)
+        assert max(per_datagram.values()) >= min(11, biggest // 1472)
+
+    def test_misled_adaptation_speeds_up(self, engine, small_clip_mpeg):
+        server = LargeDatagramServer(engine, small_clip_mpeg, Host("h"))
+        server.report_feedback(loss_fraction=0.1, mean_delay_s=0.005)
+        assert server.rate_multiplier > 1.0
+
+    def test_speedup_compounds(self, engine, small_clip_mpeg):
+        server = LargeDatagramServer(engine, small_clip_mpeg, Host("h"))
+        for _ in range(3):
+            server.report_feedback(0.1, 0.005)
+        assert server.rate_multiplier == pytest.approx(1.2**3)
+
+    def test_collapse_on_heavy_loss(self, engine, small_clip_mpeg):
+        server = LargeDatagramServer(engine, small_clip_mpeg, Host("h"))
+        server.report_feedback(0.8, 0.005)
+        assert server.rate_multiplier == server.collapse_rate
+        assert server.collapses == 1
+
+    def test_client_breaks_connection_after_cycles(self, engine, small_clip_mpeg):
+        server = LargeDatagramServer(engine, small_clip_mpeg, Host("h"))
+        for _ in range(server.abort_after_collapses):
+            server.report_feedback(0.8, 0.005)
+        assert server.stats.aborted
+
+    def test_clean_reports_drift_to_nominal(self, engine, small_clip_mpeg):
+        server = LargeDatagramServer(engine, small_clip_mpeg, Host("h"))
+        server.report_feedback(0.1, 0.005)
+        server.report_feedback(0.1, 0.005)
+        for _ in range(20):
+            server.report_feedback(0.0, 0.005)
+        assert server.rate_multiplier == 1.0
+
+    def test_high_delay_loss_does_not_speed_up(self, engine, small_clip_mpeg):
+        server = LargeDatagramServer(engine, small_clip_mpeg, Host("h"))
+        server.report_feedback(0.1, 0.5)  # loss but congested delay
+        assert server.rate_multiplier == 1.0

@@ -1,0 +1,135 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, engine):
+        fired = []
+        for name in "abcde":
+            engine.schedule(1.0, lambda n=name: fired.append(n))
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self, engine):
+        engine.schedule(5.5, lambda: None)
+        engine.run()
+        assert engine.now == 5.5
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self, engine):
+        fired = []
+
+        def outer():
+            fired.append(("outer", engine.now))
+            engine.schedule(1.0, inner)
+
+        def inner():
+            fired.append(("inner", engine.now))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self, engine):
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending_events == 1
+        assert keep.time == 1.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.schedule(10.0, lambda: fired.append("late"))
+        engine.run(until=5.0)
+        assert fired == ["early"]
+        assert engine.now == 5.0
+
+    def test_run_until_then_resume(self, engine):
+        fired = []
+        engine.schedule(10.0, lambda: fired.append("late"))
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == ["late"]
+
+    def test_clock_lands_on_until_when_heap_drains(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=99.0)
+        assert engine.now == 99.0
+
+    def test_runaway_loop_raises(self, engine):
+        def loop():
+            engine.schedule(0.0, loop)
+
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=1000)
+
+
+class TestStep:
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_step_executes_one_event(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(2.0, lambda: fired.append(2))
+        assert engine.step() is True
+        assert fired == [1]
+
+
+class TestRngStreams:
+    def test_same_stream_returns_same_generator(self, engine):
+        assert engine.rng("a") is engine.rng("a")
+
+    def test_different_streams_are_independent(self, engine):
+        a = engine.rng("a").random(5)
+        b = engine.rng("b").random(5)
+        assert not (a == b).all()
+
+    def test_streams_reproducible_across_engines(self):
+        one = Engine(seed=7).rng("jitter").random(8)
+        two = Engine(seed=7).rng("jitter").random(8)
+        assert (one == two).all()
+
+    def test_seed_changes_streams(self):
+        one = Engine(seed=7).rng("jitter").random(8)
+        two = Engine(seed=8).rng("jitter").random(8)
+        assert not (one == two).all()
+
+
+class TestPacketIds:
+    def test_ids_unique_and_increasing(self, engine):
+        ids = [engine.next_packet_id() for _ in range(100)]
+        assert ids == sorted(set(ids))

@@ -1,0 +1,225 @@
+"""Tests for links, hosts, routers and tracers."""
+
+import pytest
+
+from repro.diffserv.scheduler import PriorityScheduler
+from repro.diffserv.dscp import DSCP
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.packet import Packet
+from repro.sim.tracer import FlowTracer
+from repro.units import mbps, transmission_time
+
+
+def make_packet(engine, size=1500, flow="video", dscp=None):
+    return Packet(
+        packet_id=engine.next_packet_id(),
+        flow_id=flow,
+        size=size,
+        dscp=dscp,
+        created_at=engine.now,
+    )
+
+
+class TestLink:
+    def test_serialization_delay(self, engine):
+        host = Host("h")
+        link = Link(engine, rate_bps=mbps(10), sink=host)
+        link.receive(make_packet(engine))
+        engine.run()
+        assert engine.now == pytest.approx(transmission_time(1500, mbps(10)))
+        assert host.received_packets == 1
+
+    def test_propagation_delay_adds(self, engine):
+        host = Host("h")
+        link = Link(engine, rate_bps=mbps(10), sink=host, propagation_delay=0.05)
+        link.receive(make_packet(engine))
+        engine.run()
+        assert engine.now == pytest.approx(0.05 + transmission_time(1500, mbps(10)))
+
+    def test_back_to_back_serializes(self, engine):
+        host = Host("h")
+        link = Link(engine, rate_bps=mbps(10), sink=host)
+        for _ in range(3):
+            link.receive(make_packet(engine))
+        engine.run()
+        assert engine.now == pytest.approx(3 * transmission_time(1500, mbps(10)))
+        assert host.received_packets == 3
+
+    def test_busy_flag(self, engine):
+        link = Link(engine, rate_bps=mbps(10), sink=Host("h"))
+        assert not link.busy
+        link.receive(make_packet(engine))
+        assert link.busy
+        engine.run()
+        assert not link.busy
+
+    def test_stats_count_bytes(self, engine):
+        link = Link(engine, rate_bps=mbps(10), sink=Host("h"))
+        link.receive(make_packet(engine, size=100))
+        link.receive(make_packet(engine, size=200))
+        engine.run()
+        assert link.transmitted_packets == 2
+        assert link.transmitted_bytes == 300
+
+    def test_unconnected_link_raises(self, engine):
+        link = Link(engine, rate_bps=mbps(10))
+        link.receive(make_packet(engine))
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_priority_queue_on_link(self, engine):
+        host = Host("h")
+        tracer = FlowTracer(engine, sink=host)
+        link = Link(engine, rate_bps=mbps(1), sink=tracer, queue=PriorityScheduler())
+        # First packet seizes the serializer; then BE then EF arrive.
+        link.receive(make_packet(engine, flow="first"))
+        link.receive(make_packet(engine, flow="be"))
+        link.receive(make_packet(engine, flow="ef", dscp=int(DSCP.EF)))
+        engine.run()
+        order = [r.flow_id for r in tracer.records]
+        assert order == ["first", "ef", "be"]
+
+    def test_invalid_rate_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Link(engine, rate_bps=0)
+
+    def test_negative_propagation_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Link(engine, rate_bps=1e6, propagation_delay=-1)
+
+
+class TestHost:
+    def test_delivers_to_application(self, engine):
+        seen = []
+
+        class App:
+            def receive(self, packet):
+                seen.append(packet.packet_id)
+
+        host = Host("h", application=App())
+        host.receive(make_packet(engine))
+        assert len(seen) == 1
+
+    def test_counts_without_application(self, engine):
+        host = Host("h")
+        host.receive(make_packet(engine, size=123))
+        assert host.received_packets == 1
+        assert host.received_bytes == 123
+
+    def test_attach_replaces_application(self, engine):
+        seen = []
+
+        class App:
+            def receive(self, packet):
+                seen.append(1)
+
+        host = Host("h")
+        host.attach(App())
+        host.receive(make_packet(engine))
+        assert seen == [1]
+
+
+class TestRouter:
+    def test_routes_by_flow(self, engine):
+        a, b = Host("a"), Host("b")
+        router = Router("r")
+        router.add_route("flow-a", a)
+        router.add_route("flow-b", b)
+        router.receive(make_packet(engine, flow="flow-a"))
+        router.receive(make_packet(engine, flow="flow-b"))
+        assert a.received_packets == 1
+        assert b.received_packets == 1
+
+    def test_default_route(self, engine):
+        default = Host("d")
+        router = Router("r")
+        router.set_default_route(default)
+        router.receive(make_packet(engine, flow="unknown"))
+        assert default.received_packets == 1
+
+    def test_no_route_counts_drop(self, engine):
+        router = Router("r")
+        router.receive(make_packet(engine))
+        assert router.dropped_no_route == 1
+
+    def test_ingress_stage_can_drop(self, engine):
+        host = Host("h")
+        router = Router("r")
+        router.set_default_route(host)
+        router.add_ingress_stage(lambda p: None if p.size > 1000 else p)
+        router.receive(make_packet(engine, size=1500))
+        router.receive(make_packet(engine, size=500))
+        assert host.received_packets == 1
+
+    def test_ingress_stages_run_in_order(self, engine):
+        host = Host("h")
+        router = Router("r")
+        router.set_default_route(host)
+        trail = []
+
+        def stage(name):
+            def run(p):
+                trail.append(name)
+                return p
+
+            return run
+
+        router.add_ingress_stage(stage("one"))
+        router.add_ingress_stage(stage("two"))
+        router.receive(make_packet(engine))
+        assert trail == ["one", "two"]
+
+    def test_forward_skips_ingress(self, engine):
+        host = Host("h")
+        router = Router("r")
+        router.set_default_route(host)
+        router.add_ingress_stage(lambda p: None)  # drops everything
+        router.forward(make_packet(engine))
+        assert host.received_packets == 1
+
+
+class TestFlowTracer:
+    def test_filters_by_flow(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"), flow_id="video")
+        tracer.receive(make_packet(engine, flow="video"))
+        tracer.receive(make_packet(engine, flow="cross"))
+        assert tracer.packet_count == 1
+
+    def test_passthrough_forwards_everything(self, engine):
+        host = Host("h")
+        tracer = FlowTracer(engine, sink=host, flow_id="video")
+        tracer.receive(make_packet(engine, flow="cross"))
+        assert host.received_packets == 1
+
+    def test_rate_timeseries_bins(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        for t in (0.0, 0.5, 1.5):
+            engine.schedule_at(
+                t, lambda: tracer.receive(make_packet(engine, size=1000))
+            )
+        engine.run()
+        times, rates = tracer.rate_timeseries(bin_seconds=1.0)
+        assert len(times) == 2
+        assert rates[0] == pytest.approx(16000.0)  # 2000 B in 1 s
+        assert rates[1] == pytest.approx(8000.0)
+
+    def test_rate_timeseries_empty(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        times, rates = tracer.rate_timeseries()
+        assert len(times) == 0 and len(rates) == 0
+
+    def test_mean_rate(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        engine.schedule_at(0.0, lambda: tracer.receive(make_packet(engine, size=1000)))
+        engine.schedule_at(1.0, lambda: tracer.receive(make_packet(engine, size=1000)))
+        engine.run()
+        assert tracer.mean_rate_bps() == pytest.approx(16000.0)
+
+    def test_frame_ids_seen(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        p = make_packet(engine)
+        p.frame_id = 7
+        tracer.receive(p)
+        tracer.receive(make_packet(engine))
+        assert tracer.frame_ids_seen() == {7}

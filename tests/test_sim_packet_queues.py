@@ -1,0 +1,132 @@
+"""Tests for packets and router queues."""
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, PriorityQueueSet
+from repro.diffserv.dscp import DSCP
+
+
+def make_packet(pid=0, size=1500, dscp=None, flow="f"):
+    return Packet(packet_id=pid, flow_id=flow, size=size, dscp=dscp)
+
+
+class TestPacket:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            make_packet(size=0)
+
+    def test_defaults(self):
+        p = make_packet()
+        assert p.dscp is None
+        assert p.fragment_count == 1
+        assert not p.is_fragmented
+        assert p.annotations == {}
+
+    def test_fragmented_flag(self):
+        p = Packet(packet_id=1, flow_id="f", size=100, fragment_count=3)
+        assert p.is_fragmented
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue()
+        for i in range(5):
+            q.enqueue(make_packet(pid=i))
+        assert [q.dequeue().packet_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue().dequeue() is None
+
+    def test_packet_limit_drops(self):
+        q = DropTailQueue(max_packets=2)
+        assert q.enqueue(make_packet(0))
+        assert q.enqueue(make_packet(1))
+        assert not q.enqueue(make_packet(2))
+        assert q.dropped_packets == 1
+        assert len(q) == 2
+
+    def test_byte_limit_drops(self):
+        q = DropTailQueue(max_bytes=2000)
+        assert q.enqueue(make_packet(0, size=1500))
+        assert not q.enqueue(make_packet(1, size=1000))
+        assert q.dropped_bytes == 1000
+
+    def test_byte_length_tracks_contents(self):
+        q = DropTailQueue()
+        q.enqueue(make_packet(0, size=700))
+        q.enqueue(make_packet(1, size=300))
+        assert q.byte_length == 1000
+        q.dequeue()
+        assert q.byte_length == 300
+
+    def test_peek_does_not_remove(self):
+        q = DropTailQueue()
+        q.enqueue(make_packet(9))
+        assert q.peek().packet_id == 9
+        assert len(q) == 1
+
+    def test_on_drop_callback(self):
+        dropped = []
+        q = DropTailQueue(max_packets=1, on_drop=dropped.append)
+        q.enqueue(make_packet(0))
+        q.enqueue(make_packet(1))
+        assert [p.packet_id for p in dropped] == [1]
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(max_packets=0)
+        with pytest.raises(ValueError):
+            DropTailQueue(max_bytes=-1)
+
+
+class TestPriorityQueueSet:
+    def test_default_classify_prefers_marked(self):
+        q = PriorityQueueSet()
+        q.enqueue(make_packet(0))  # unmarked -> low priority
+        q.enqueue(make_packet(1, dscp=int(DSCP.EF)))
+        assert q.dequeue().packet_id == 1
+        assert q.dequeue().packet_id == 0
+
+    def test_fifo_within_level(self):
+        q = PriorityQueueSet()
+        for i in range(3):
+            q.enqueue(make_packet(i, dscp=int(DSCP.EF)))
+        assert [q.dequeue().packet_id for _ in range(3)] == [0, 1, 2]
+
+    def test_custom_classifier(self):
+        q = PriorityQueueSet(levels=3, classify=lambda p: p.size % 3)
+        q.enqueue(make_packet(0, size=302))  # level 2
+        q.enqueue(make_packet(1, size=300))  # level 0
+        assert q.dequeue().packet_id == 1
+
+    def test_invalid_classifier_level_raises(self):
+        q = PriorityQueueSet(levels=2, classify=lambda p: 7)
+        with pytest.raises(ValueError):
+            q.enqueue(make_packet(0))
+
+    def test_len_and_bytes_aggregate(self):
+        q = PriorityQueueSet()
+        q.enqueue(make_packet(0, size=100, dscp=int(DSCP.EF)))
+        q.enqueue(make_packet(1, size=200))
+        assert len(q) == 2
+        assert q.byte_length == 300
+
+    def test_peek_returns_highest_priority(self):
+        q = PriorityQueueSet()
+        q.enqueue(make_packet(0))
+        q.enqueue(make_packet(1, dscp=int(DSCP.EF)))
+        assert q.peek().packet_id == 1
+
+    def test_per_level_drop_counting(self):
+        q = PriorityQueueSet(max_packets_per_level=1)
+        q.enqueue(make_packet(0))
+        q.enqueue(make_packet(1))
+        assert q.dropped_packets == 1
+
+    def test_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            PriorityQueueSet(levels=0)
+
+    def test_empty_dequeue_none(self):
+        assert PriorityQueueSet().dequeue() is None

@@ -1,0 +1,236 @@
+"""Tests for cross traffic, jitter, and the two testbed topologies."""
+
+import pytest
+
+from repro.diffserv.dscp import DSCP
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.sim.tracer import FlowTracer
+from repro.testbeds.crosstraffic import CbrSource, OnOffSource, PoissonSource
+from repro.testbeds.jitter import JitterElement
+from repro.testbeds.local import LocalTestbed, LocalTestbedConfig
+from repro.testbeds.qbone import QBoneTestbed, QBoneTestbedConfig
+from repro.units import mbps
+
+
+class TestCrossTrafficSources:
+    def test_cbr_rate(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        source = CbrSource(engine, tracer, rate_bps=mbps(1), packet_size=1000)
+        source.start(stop_at=10.0)
+        engine.run(until=10.0)
+        assert tracer.mean_rate_bps() == pytest.approx(mbps(1), rel=0.02)
+
+    def test_poisson_rate(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        source = PoissonSource(engine, tracer, rate_bps=mbps(1), packet_size=1000)
+        source.start(stop_at=20.0)
+        engine.run(until=20.0)
+        assert tracer.mean_rate_bps() == pytest.approx(mbps(1), rel=0.15)
+
+    def test_onoff_bursty(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        source = OnOffSource(
+            engine, tracer, peak_rate_bps=mbps(5), mean_on_s=0.2, mean_off_s=0.8
+        )
+        source.start(stop_at=20.0)
+        engine.run(until=20.0)
+        # Duty cycle ~0.2 -> average well below peak but nonzero.
+        mean = tracer.mean_rate_bps()
+        assert 0 < mean < mbps(3)
+
+    def test_stop(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        source = CbrSource(engine, tracer, rate_bps=mbps(1))
+        source.start()
+        engine.run(until=1.0)
+        source.stop()
+        count = tracer.packet_count
+        engine.run(until=2.0)
+        assert tracer.packet_count == count
+
+    def test_invalid_rate(self, engine):
+        with pytest.raises(ValueError):
+            CbrSource(engine, Host("h"), rate_bps=0)
+
+    def test_invalid_packet_size(self, engine):
+        with pytest.raises(ValueError):
+            PoissonSource(engine, Host("h"), rate_bps=1e6, packet_size=0)
+
+
+class TestJitterElement:
+    def _packet(self, engine):
+        return Packet(
+            packet_id=engine.next_packet_id(), flow_id="v", size=1500
+        )
+
+    def test_adds_delay(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        jitter = JitterElement(engine, sink=tracer, base_delay=0.01)
+        jitter.receive(self._packet(engine))
+        engine.run()
+        assert tracer.records[0].time >= 0.01
+
+    def test_preserves_order(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        jitter = JitterElement(
+            engine, sink=tracer, mean_jitter=0.005, max_jitter=0.05
+        )
+        packets = [self._packet(engine) for _ in range(50)]
+        for i, p in enumerate(packets):
+            engine.schedule_at(i * 0.001, lambda p=p: jitter.receive(p))
+        engine.run()
+        ids = [r.packet_id for r in tracer.records]
+        assert ids == [p.packet_id for p in packets]
+
+    def test_jitter_bounded(self, engine):
+        tracer = FlowTracer(engine, sink=Host("h"))
+        jitter = JitterElement(
+            engine,
+            sink=tracer,
+            base_delay=0.001,
+            mean_jitter=0.002,
+            max_jitter=0.004,
+            burst_probability=0.0,
+        )
+        for _ in range(100):
+            jitter.receive(self._packet(engine))
+        engine.run()
+        assert tracer.records[-1].time <= 0.001 + 0.004 + 1e-9
+
+    def test_unconnected_raises(self, engine):
+        jitter = JitterElement(engine)
+        with pytest.raises(RuntimeError):
+            jitter.receive(self._packet(engine))
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            JitterElement(engine, base_delay=-1)
+
+    def test_invalid_burst_probability(self, engine):
+        with pytest.raises(ValueError):
+            JitterElement(engine, burst_probability=2.0)
+
+
+def push_video(testbed, engine, n=10, size=1500):
+    for _ in range(n):
+        testbed.ingress.receive(
+            Packet(
+                packet_id=engine.next_packet_id(),
+                flow_id="video",
+                size=size,
+                created_at=engine.now,
+            )
+        )
+
+
+class TestQBoneTestbed:
+    def test_path_delivers_conformant_traffic(self, engine):
+        testbed = QBoneTestbed(engine, QBoneTestbedConfig())
+        push_video(testbed, engine, n=2)
+        engine.run()
+        assert testbed.client_host.received_packets == 2
+        assert testbed.client_tap.packet_count == 2
+
+    def test_policer_drops_burst_tail(self, engine):
+        config = QBoneTestbedConfig(
+            token_rate_bps=mbps(1.9), bucket_depth_bytes=3000
+        )
+        testbed = QBoneTestbed(engine, QBoneTestbedConfig())
+        push_video(testbed, engine, n=10)
+        engine.run()
+        assert testbed.policer.stats.dropped_packets == 8
+        assert testbed.client_host.received_packets == 2
+
+    def test_end_to_end_latency_includes_hops(self, engine):
+        config = QBoneTestbedConfig(backbone_hops=3, backbone_hop_delay_s=0.008)
+        testbed = QBoneTestbed(engine, config)
+        push_video(testbed, engine, n=1)
+        engine.run()
+        assert testbed.client_tap.records[0].time >= 3 * 0.008
+
+    def test_cross_traffic_does_not_reach_client_tap(self, engine):
+        config = QBoneTestbedConfig(cross_traffic_rate_bps=mbps(5))
+        testbed = QBoneTestbed(engine, config)
+        push_video(testbed, engine, n=2)
+        engine.run(until=1.0)
+        assert testbed.client_tap.packet_count == 2
+        assert testbed.client_host.received_packets > 2  # cross arrives too
+
+    def test_ef_priority_shields_video(self):
+        """With heavy best-effort load, EF video still gets through
+        with minimal extra delay."""
+        from repro.sim.engine import Engine
+
+        quiet_engine = Engine(seed=1)
+        quiet = QBoneTestbed(quiet_engine, QBoneTestbedConfig())
+        push_video(quiet, quiet_engine, n=2)
+        quiet_engine.run()
+        t_quiet = quiet.client_tap.records[-1].time
+
+        busy_engine = Engine(seed=1)
+        busy = QBoneTestbed(
+            busy_engine,
+            QBoneTestbedConfig(cross_traffic_rate_bps=mbps(50)),
+        )
+        push_video(busy, busy_engine, n=2)
+        busy_engine.run(until=5.0)
+        t_busy = busy.client_tap.records[-1].time
+        assert t_busy == pytest.approx(t_quiet, rel=0.2)
+
+
+class TestLocalTestbed:
+    def test_delivers_conformant_traffic(self, engine):
+        testbed = LocalTestbed(engine, LocalTestbedConfig())
+        push_video(testbed, engine, n=2)
+        engine.run()
+        assert testbed.client_host.received_packets == 2
+
+    def test_policing_at_router1_only_for_video(self, engine):
+        testbed = LocalTestbed(engine, LocalTestbedConfig())
+        # Non-video traffic is not policed.
+        for _ in range(10):
+            testbed.router1.receive(
+                Packet(
+                    packet_id=engine.next_packet_id(),
+                    flow_id="cross",
+                    size=1500,
+                )
+            )
+        engine.run()
+        assert testbed.policer.stats.total_packets == 0
+
+    def test_conformant_video_marked_ef(self, engine):
+        testbed = LocalTestbed(engine, LocalTestbedConfig())
+        push_video(testbed, engine, n=1)
+        engine.run()
+        # Host's application is unset; check the policer marked it.
+        assert testbed.policer.stats.conformant_packets == 1
+
+    def test_shaper_inserted_when_requested(self, engine):
+        config = LocalTestbedConfig(use_shaper=True, token_rate_bps=mbps(1.2))
+        testbed = LocalTestbed(engine, config)
+        assert testbed.shaper is not None
+        push_video(testbed, engine, n=10)
+        engine.run()
+        # Shaped traffic is never dropped by the policer.
+        assert testbed.policer.stats.dropped_packets == 0
+        assert testbed.client_host.received_packets == 10
+
+    def test_no_shaper_by_default(self, engine):
+        testbed = LocalTestbed(engine, LocalTestbedConfig())
+        assert testbed.shaper is None
+
+    def test_v35_bottleneck_paces_delivery(self, engine):
+        config = LocalTestbedConfig(
+            token_rate_bps=mbps(10), bucket_depth_bytes=100_000
+        )
+        testbed = LocalTestbed(engine, config)
+        push_video(testbed, engine, n=50)
+        engine.run()
+        span = (
+            testbed.client_tap.records[-1].time
+            - testbed.client_tap.records[0].time
+        )
+        rate = sum(r.size for r in testbed.client_tap.records[1:]) * 8 / span
+        assert rate <= mbps(2.1)

@@ -1,0 +1,57 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_kbps(self):
+        assert units.kbps(1015.5) == 1015500.0
+
+    def test_mbps(self):
+        assert units.mbps(1.7) == 1.7e6
+
+    def test_to_mbps_round_trip(self):
+        assert units.to_mbps(units.mbps(2.048)) == pytest.approx(2.048)
+
+    def test_bits(self):
+        assert units.bits(1500) == 12000
+
+    def test_bytes_from_bits(self):
+        assert units.bytes_from_bits(12000) == 1500
+
+    def test_bits_round_trip(self):
+        assert units.bytes_from_bits(units.bits(777)) == 777
+
+
+class TestTransmissionTime:
+    def test_mtu_at_10mbps(self):
+        assert units.transmission_time(1500, 10e6) == pytest.approx(0.0012)
+
+    def test_scales_inversely_with_rate(self):
+        slow = units.transmission_time(1000, 1e6)
+        fast = units.transmission_time(1000, 2e6)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, -5)
+
+
+class TestConstants:
+    def test_ethernet_mtu(self):
+        assert units.ETHERNET_MTU == 1500
+
+    def test_udp_header_is_ip_plus_udp(self):
+        assert units.UDP_IP_HEADER == 28
+
+    def test_tcp_header_is_ip_plus_tcp(self):
+        assert units.TCP_IP_HEADER == 40
+
+    def test_seconds_from_ms(self):
+        assert units.seconds(250) == 0.25

@@ -1,0 +1,186 @@
+"""Tests for the MPEG-1 and WMV encoder models and the clip registry."""
+
+import numpy as np
+import pytest
+
+from repro.units import mbps, kbps
+from repro.video.clips import (
+    CLIPS,
+    MPEG_RATES_BPS,
+    clear_caches,
+    clip_features,
+    encode_clip,
+    get_clip,
+    get_script,
+)
+from repro.video.gop import FrameType, GopStructure
+from repro.video.mpeg import EncodedClip, EncodedFrame, Mpeg1Encoder
+from repro.video.wmv import WmvEncoder
+
+
+class TestMpegEncoder:
+    @pytest.fixture(scope="class")
+    def encoded(self):
+        return encode_clip("test-300", "mpeg1", mbps(1.7))
+
+    def test_average_rate_matches_target(self, encoded):
+        stats = encoded.rate_stats()
+        assert stats["rate_avg_bps"] == pytest.approx(mbps(1.7), rel=0.01)
+
+    def test_max_rate_ratio_matches_table2(self, encoded):
+        """Table 2: max/avg instantaneous rate is ~1.20-1.27."""
+        stats = encoded.rate_stats()
+        ratio = stats["rate_max_bps"] / stats["rate_avg_bps"]
+        assert 1.15 <= ratio <= 1.30
+
+    def test_min_rate_ratio_reasonable(self, encoded):
+        stats = encoded.rate_stats()
+        ratio = stats["rate_min_bps"] / stats["rate_avg_bps"]
+        assert 0.6 <= ratio <= 0.95
+
+    def test_stream_length_consistency(self, encoded):
+        frame_bytes = sum(f.size_bytes for f in encoded.frames)
+        assert frame_bytes == int(encoded.transport_slots.sum())
+        assert frame_bytes == encoded.total_bytes
+
+    def test_i_frames_largest(self, encoded):
+        by_type = {t: [] for t in FrameType}
+        for frame in encoded.frames:
+            by_type[frame.frame_type].append(frame.size_bytes)
+        assert np.mean(by_type[FrameType.I]) > np.mean(by_type[FrameType.P])
+        assert np.mean(by_type[FrameType.P]) > np.mean(by_type[FrameType.B])
+
+    def test_frame_of_byte_round_trip(self, encoded):
+        for frame_id in (0, 1, 100, encoded.n_frames - 1):
+            start, end = encoded.byte_range_of_frame(frame_id)
+            assert encoded.frame_of_byte(start) == frame_id
+            assert encoded.frame_of_byte(end - 1) == frame_id
+
+    def test_frame_of_byte_bounds(self, encoded):
+        with pytest.raises(IndexError):
+            encoded.frame_of_byte(-1)
+        with pytest.raises(IndexError):
+            encoded.frame_of_byte(encoded.total_bytes)
+
+    def test_burst_excess_decreases_with_rate(self, encoded):
+        excesses = [
+            encoded.max_burst_excess_bytes(mbps(1.7) * m)
+            for m in (1.0, 1.1, 1.2, 1.3)
+        ]
+        assert excesses == sorted(excesses, reverse=True)
+
+    def test_burst_excess_bounded_at_avg(self, encoded):
+        """The VBV constraint: excess over the nominal rate line stays
+        within the burst cap (plus wobble allowance)."""
+        excess = encoded.max_burst_excess_bytes(mbps(1.7))
+        assert excess < 5200
+
+    def test_quantizers_coarser_at_lower_rate(self):
+        q10 = encode_clip("test-300", "mpeg1", mbps(1.0)).quantizer_track()
+        q17 = encode_clip("test-300", "mpeg1", mbps(1.7)).quantizer_track()
+        assert q10.mean() > q17.mean()
+
+    def test_rate_scaling(self):
+        low = encode_clip("test-300", "mpeg1", mbps(1.0))
+        high = encode_clip("test-300", "mpeg1", mbps(1.5))
+        assert high.total_bytes / low.total_bytes == pytest.approx(1.5, rel=0.02)
+
+    def test_encoding_deterministic(self):
+        script = get_script("test-150")
+        a = Mpeg1Encoder(mbps(1.5)).encode(script)
+        b = Mpeg1Encoder(mbps(1.5)).encode(script)
+        assert [f.size_bytes for f in a.frames] == [f.size_bytes for f in b.frames]
+        assert (a.transport_slots == b.transport_slots).all()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Mpeg1Encoder(0)
+
+    def test_mismatched_schedule_rejected(self, encoded):
+        with pytest.raises(ValueError):
+            EncodedClip(
+                clip_name="x",
+                codec="mpeg1",
+                target_rate_bps=1e6,
+                fps=30,
+                frames=[EncodedFrame(0, FrameType.I, 1000, 0.1)],
+                transport_slots=np.array([999]),
+            )
+
+
+class TestWmvEncoder:
+    @pytest.fixture(scope="class")
+    def encoded(self):
+        return encode_clip("test-300", "wmv")
+
+    def test_average_below_requested_peak(self, encoded):
+        """Table 3: requested 1015.5 kbps, achieved far less."""
+        stats = encoded.rate_stats()
+        assert stats["rate_avg_bps"] < kbps(1015.5)
+        assert stats["rate_avg_bps"] > kbps(400)
+
+    def test_windowed_rate_respects_cap(self, encoded):
+        window = 15
+        slots = encoded.transport_slots
+        for start in range(0, len(slots) - window, window):
+            rate = slots[start : start + window].sum() * encoded.fps / window * 8
+            assert rate <= kbps(1015.5) * 1.02
+
+    def test_per_frame_cap(self, encoded):
+        biggest = max(f.size_bytes for f in encoded.frames)
+        assert biggest <= kbps(1015.5) * 0.1 / 8 + 1
+
+    def test_no_b_frames(self, encoded):
+        assert all(f.frame_type is not FrameType.B for f in encoded.frames)
+
+    def test_transport_equals_frames(self, encoded):
+        """The WMT server sends frames as-is: no mux smoothing."""
+        sizes = np.array([f.size_bytes for f in encoded.frames])
+        assert (sizes == encoded.transport_slots).all()
+
+    def test_quantizers_in_range(self, encoded):
+        q = encoded.quantizer_track()
+        assert (q >= 0.08).all() and (q <= 0.95).all()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            WmvEncoder(0)
+
+
+class TestClipRegistry:
+    def test_paper_clips_registered(self):
+        assert set(CLIPS) == {"lost", "dark"}
+        assert get_clip("lost").n_frames == 2150
+        assert get_clip("dark").n_frames == 4219
+
+    def test_paper_rates(self):
+        assert MPEG_RATES_BPS == (mbps(1.0), mbps(1.5), mbps(1.7))
+
+    def test_unknown_clip(self):
+        with pytest.raises(KeyError):
+            get_clip("unknown")
+
+    def test_unknown_codec(self):
+        with pytest.raises(ValueError):
+            encode_clip("test-150", "h264")
+
+    def test_encode_cache_returns_same_object(self):
+        a = encode_clip("test-150", "mpeg1", mbps(1.5))
+        b = encode_clip("test-150", "mpeg1", mbps(1.5))
+        assert a is b
+
+    def test_feature_cache_returns_same_object(self):
+        a = clip_features("test-150", "mpeg1", mbps(1.5))
+        b = clip_features("test-150", "mpeg1", mbps(1.5))
+        assert a is b
+
+    def test_reference_features_differ_from_encoded(self):
+        ref = clip_features("test-150")
+        enc = clip_features("test-150", "mpeg1", mbps(1.0))
+        assert ref.si.mean() > enc.si.mean()
+
+    def test_clear_caches(self):
+        a = encode_clip("test-150", "mpeg1", mbps(1.5))
+        clear_caches()
+        b = encode_clip("test-150", "mpeg1", mbps(1.5))
+        assert a is not b

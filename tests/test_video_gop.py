@@ -1,0 +1,138 @@
+"""Tests for GOP structure and loss propagation."""
+
+import numpy as np
+import pytest
+
+from repro.video.gop import (
+    FrameType,
+    GopStructure,
+    decodable_frames,
+    loss_amplification,
+)
+
+
+class TestGopStructure:
+    def test_default_pattern(self):
+        gop = GopStructure()
+        types = [gop.frame_type(i).value for i in range(15)]
+        assert types == list("IBBPBBPBBPBBPBB")
+
+    def test_pattern_repeats(self):
+        gop = GopStructure()
+        assert gop.frame_type(15) is FrameType.I
+        assert gop.frame_type(18) is FrameType.P
+
+    def test_no_b_frames_when_m_is_1(self):
+        gop = GopStructure(n=30, m=1)
+        types = gop.frame_types(30)
+        assert types[0] is FrameType.I
+        assert all(t is FrameType.P for t in types[1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GopStructure(n=0)
+        with pytest.raises(ValueError):
+            GopStructure(n=5, m=0)
+        with pytest.raises(ValueError):
+            GopStructure(n=5, m=6)
+
+    def test_gop_index(self):
+        gop = GopStructure()
+        assert gop.gop_index(0) == 0
+        assert gop.gop_index(14) == 0
+        assert gop.gop_index(15) == 1
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(IndexError):
+            GopStructure().frame_type(-1)
+
+
+class TestAnchors:
+    def test_i_frame_needs_nothing(self):
+        assert GopStructure().anchors_required(0) == []
+        assert GopStructure().anchors_required(15) == []
+
+    def test_first_p_needs_i(self):
+        assert GopStructure().anchors_required(3) == [0]
+
+    def test_later_p_needs_previous_p(self):
+        assert GopStructure().anchors_required(6) == [3]
+
+    def test_b_needs_surrounding_anchors(self):
+        gop = GopStructure()
+        assert gop.anchors_required(1) == [0, 3]
+        assert gop.anchors_required(4) == [3, 6]
+
+    def test_trailing_b_predicts_from_next_gop_i(self):
+        gop = GopStructure()
+        assert gop.anchors_required(13) == [12, 15]
+        assert gop.anchors_required(14) == [12, 15]
+
+
+class TestDecodability:
+    def test_all_received_all_decodable(self):
+        mask = decodable_frames(range(30), 30)
+        assert mask.all()
+
+    def test_lost_i_kills_gop(self):
+        received = [f for f in range(30) if f != 0]
+        mask = decodable_frames(received, 30)
+        # Frames 1..12 depend on I0 transitively; 13,14 predict from
+        # I15 and P12 (dead), so the whole first GOP is undecodable.
+        assert not mask[:15].any()
+        assert mask[15:].all()
+
+    def test_lost_p_kills_dependents_only(self):
+        received = [f for f in range(30) if f != 3]
+        mask = decodable_frames(received, 30)
+        assert mask[0]  # I unaffected
+        assert not mask[3]
+        assert not mask[4:15].any()  # everything predicting through P3
+        # B1/B2 predict from I0 *and* P3, so they die with P3 too.
+        assert not mask[1] and not mask[2]
+
+    def test_lost_b_is_isolated(self):
+        received = [f for f in range(30) if f != 1]
+        mask = decodable_frames(received, 30)
+        assert not mask[1]
+        assert mask[0]
+        assert mask[2:].all()
+
+    def test_b_frames_decodable_when_anchors_present(self):
+        mask = decodable_frames(range(16), 16)
+        assert mask.all()
+
+    def test_empty_received(self):
+        assert not decodable_frames([], 15).any()
+
+    def test_independent_of_extra_ids(self):
+        # Receiving ids beyond the clip is harmless.
+        mask = decodable_frames(range(100), 15)
+        assert mask.all()
+
+
+class TestLostBAnchorEdge:
+    def test_b1_needs_p3(self):
+        """B1 predicts from I0 and P3; losing P3 kills B1 too."""
+        received = [f for f in range(15) if f != 3]
+        mask = decodable_frames(received, 15)
+        assert not mask[1] and not mask[2]
+
+
+class TestLossAmplification:
+    def test_no_loss_no_amplification(self):
+        assert loss_amplification([], 30) == 0.0
+
+    def test_b_loss_amplification_is_one(self):
+        assert loss_amplification([1], 30) == 1.0
+
+    def test_i_loss_amplifies_to_gop(self):
+        amp = loss_amplification([0], 30)
+        assert amp == 15.0
+
+    def test_amplification_orders(self):
+        assert (
+            loss_amplification([0], 30)
+            > loss_amplification([3], 30)
+            > loss_amplification([1], 30)
+        )

@@ -1,0 +1,86 @@
+"""Tests for packetization: small messages vs large fragmented datagrams."""
+
+import pytest
+
+from repro.units import ETHERNET_MTU, UDP_IP_HEADER
+from repro.video.packetizer import (
+    MAX_LARGE_DATAGRAM,
+    MTU_PAYLOAD,
+    Packetizer,
+    PayloadChunk,
+)
+
+
+class TestSmallMessages:
+    def test_single_packet_for_small_chunk(self, engine):
+        packetizer = Packetizer(engine, "video")
+        packets = packetizer.packetize_chunk(PayloadChunk(5, 1000), 0.0)
+        assert len(packets) == 1
+        assert packets[0].size == 1000 + UDP_IP_HEADER
+        assert packets[0].frame_id == 5
+        assert not packets[0].is_fragmented
+
+    def test_chunk_split_at_mtu_payload(self, engine):
+        packetizer = Packetizer(engine, "video")
+        packets = packetizer.packetize_chunk(PayloadChunk(0, 3 * MTU_PAYLOAD), 0.0)
+        assert len(packets) == 3
+        assert all(p.size == ETHERNET_MTU for p in packets)
+
+    def test_each_small_packet_is_own_datagram(self, engine):
+        packetizer = Packetizer(engine, "video")
+        packets = packetizer.packetize_chunk(PayloadChunk(0, 2 * MTU_PAYLOAD), 0.0)
+        assert packets[0].datagram_id != packets[1].datagram_id
+        assert all(p.fragment_count == 1 for p in packets)
+
+    def test_empty_chunk_no_packets(self, engine):
+        packetizer = Packetizer(engine, "video")
+        assert packetizer.packetize_chunk(PayloadChunk(0, 0), 0.0) == []
+
+    def test_total_payload_preserved(self, engine):
+        packetizer = Packetizer(engine, "video")
+        payload = 5000
+        packets = packetizer.packetize_chunk(PayloadChunk(0, payload), 0.0)
+        assert sum(p.size - UDP_IP_HEADER for p in packets) == payload
+
+
+class TestLargeDatagrams:
+    def test_fragments_share_datagram_id(self, engine):
+        packetizer = Packetizer(engine, "video", large_datagrams=True)
+        packets = packetizer.packetize_chunk(PayloadChunk(0, 7000), 0.0)
+        assert len(packets) == 5  # ceil(7000 / 1472)
+        assert len({p.datagram_id for p in packets}) == 1
+        assert all(p.fragment_count == 5 for p in packets)
+        assert [p.fragment_index for p in packets] == [0, 1, 2, 3, 4]
+
+    def test_paper_max_datagram_limit(self, engine):
+        """Datagrams are capped at 16280 bytes (Netshow's maximum)."""
+        packetizer = Packetizer(engine, "video", large_datagrams=True)
+        packets = packetizer.packetize_chunk(
+            PayloadChunk(0, MAX_LARGE_DATAGRAM + 1000), 0.0
+        )
+        datagram_ids = {p.datagram_id for p in packets}
+        assert len(datagram_ids) == 2
+        first = [p for p in packets if p.datagram_id == min(datagram_ids)]
+        assert sum(p.size - UDP_IP_HEADER for p in first) == MAX_LARGE_DATAGRAM
+
+    def test_sixteen_kb_datagram_is_eleven_fragments(self, engine):
+        packetizer = Packetizer(engine, "video", large_datagrams=True)
+        packets = packetizer.packetize_chunk(
+            PayloadChunk(0, MAX_LARGE_DATAGRAM), 0.0
+        )
+        assert len(packets) == 12  # ceil(16280/1472) = 12
+
+    def test_frame_id_propagates(self, engine):
+        packetizer = Packetizer(engine, "video", large_datagrams=True)
+        packets = packetizer.packetize_chunk(PayloadChunk(42, 5000), 0.0)
+        assert all(p.frame_id == 42 for p in packets)
+
+    def test_invalid_max_datagram(self, engine):
+        with pytest.raises(ValueError):
+            Packetizer(engine, "video", max_datagram=0)
+
+    def test_unique_datagram_ids_across_calls(self, engine):
+        packetizer = Packetizer(engine, "video", large_datagrams=True)
+        a = packetizer.packetize_chunk(PayloadChunk(0, 3000), 0.0)
+        b = packetizer.packetize_chunk(PayloadChunk(1, 3000), 0.0)
+        assert a[0].datagram_id != b[0].datagram_id

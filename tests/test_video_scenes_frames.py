@@ -1,0 +1,219 @@
+"""Tests for scene scripts and frame rendering/features."""
+
+import numpy as np
+import pytest
+
+from repro.video.frames import (
+    FrameFeatures,
+    FrameRenderer,
+    degrade_stack,
+    spatial_information,
+    temporal_information,
+)
+from repro.video.scenes import Scene, scene_script_for
+
+
+class TestSceneScripts:
+    def test_lost_matches_paper(self):
+        script = scene_script_for("lost")
+        assert script.n_frames == 2150
+        assert script.duration_s == pytest.approx(71.74, abs=0.05)
+
+    def test_dark_matches_paper(self):
+        script = scene_script_for("dark")
+        assert script.n_frames == 4219
+        assert script.duration_s == pytest.approx(140.77, abs=0.05)
+
+    def test_dark_is_darker_and_calmer_than_lost(self):
+        lost = scene_script_for("lost")
+        dark = scene_script_for("dark")
+
+        def mean(attr, script):
+            total = sum(getattr(s, attr) * s.n_frames for s in script.scenes)
+            return total / script.n_frames
+
+        assert mean("brightness", dark) < mean("brightness", lost)
+        assert mean("motion", dark) < mean("motion", lost)
+
+    def test_test_clip_sizes(self):
+        assert scene_script_for("test-150").n_frames == 150
+
+    def test_unknown_clip_rejected(self):
+        with pytest.raises(KeyError):
+            scene_script_for("casablanca")
+
+    def test_bad_test_name_rejected(self):
+        with pytest.raises(ValueError):
+            scene_script_for("test-abc")
+
+    def test_scene_of_frame(self, small_script):
+        first = small_script.scenes[0]
+        assert small_script.scene_of_frame(0) is first
+        assert small_script.scene_of_frame(first.n_frames).scene_id == 1
+
+    def test_scene_of_frame_bounds(self, small_script):
+        with pytest.raises(IndexError):
+            small_script.scene_of_frame(small_script.n_frames)
+        with pytest.raises(IndexError):
+            small_script.scene_of_frame(-1)
+
+    def test_scene_ids_cover_all_frames(self, small_script):
+        ids = small_script.scene_ids()
+        assert len(ids) == small_script.n_frames
+        assert ids[0] == 0
+        assert (np.diff(ids) >= 0).all()
+
+    def test_scene_validation(self):
+        with pytest.raises(ValueError):
+            Scene(0, 0, 0.5, 0.5, 0.5, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Scene(0, 10, 1.5, 0.5, 0.5, 0.0, 0.0)
+
+    def test_scripts_are_deterministic(self):
+        a = scene_script_for("lost")
+        b = scene_script_for("lost")
+        assert [s.n_frames for s in a.scenes] == [s.n_frames for s in b.scenes]
+        assert [s.motion for s in a.scenes] == [s.motion for s in b.scenes]
+
+
+class TestFrameRenderer:
+    def test_scene_stack_shapes(self, small_script):
+        renderer = FrameRenderer(small_script)
+        scene = small_script.scenes[0]
+        y, u, v = renderer.render_scene(scene)
+        assert y.shape == (scene.n_frames, renderer.height, renderer.width)
+        assert u.shape == (scene.n_frames, renderer.height // 2, renderer.width // 2)
+        assert v.shape == u.shape
+
+    def test_pixels_in_range(self, small_script):
+        renderer = FrameRenderer(small_script)
+        y, _, _ = renderer.render_scene(small_script.scenes[0])
+        assert y.min() >= 0.0 and y.max() <= 1.0
+
+    def test_rendering_is_deterministic(self, small_script):
+        r1 = FrameRenderer(small_script)
+        r2 = FrameRenderer(small_script)
+        y1, _, _ = r1.render_scene(small_script.scenes[0])
+        y2, _, _ = r2.render_scene(small_script.scenes[0])
+        assert (y1 == y2).all()
+
+    def test_render_single_frame_matches_stack(self, small_script):
+        renderer = FrameRenderer(small_script)
+        scene = small_script.scenes[1]
+        offset = small_script.scenes[0].n_frames
+        y_stack, _, _ = renderer.render_scene(scene)
+        y_one, _, _ = renderer.render_frame(offset + 3)
+        assert np.allclose(y_stack[3], y_one)
+
+    def test_motion_moves_pixels(self, small_script):
+        renderer = FrameRenderer(small_script)
+        y, _, _ = renderer.render_scene(small_script.scenes[0])
+        assert not np.allclose(y[0], y[1])
+
+
+class TestFeatureExtraction:
+    def test_si_increases_with_detail(self):
+        flat = np.full((1, 48, 64), 0.5, dtype=np.float32)
+        yy, xx = np.mgrid[0:48, 0:64].astype(np.float32)
+        busy = (0.5 + 0.3 * np.sin(xx) * np.sin(yy))[None].astype(np.float32)
+        assert spatial_information(busy)[0] > spatial_information(flat)[0]
+
+    def test_ti_zero_for_static(self):
+        static = np.repeat(np.random.default_rng(0).random((1, 8, 8)), 5, axis=0)
+        ti = temporal_information(static.astype(np.float32))
+        assert np.allclose(ti, 0.0)
+
+    def test_ti_positive_for_changing(self):
+        stack = np.random.default_rng(0).random((5, 8, 8)).astype(np.float32)
+        assert (temporal_information(stack)[1:] > 0).all()
+
+    def test_extract_shapes(self, small_script):
+        features = FrameFeatures.extract(small_script)
+        n = small_script.n_frames
+        for name in ("y_mean", "y_std", "si", "hv", "ti", "u_mean", "v_mean"):
+            assert len(getattr(features, name)) == n
+        assert features.n_frames == n
+
+    def test_scene_cut_produces_large_ti(self, small_script):
+        features = FrameFeatures.extract(small_script)
+        cut = small_script.scenes[0].n_frames  # first frame of scene 1
+        within = features.ti[cut - 5 : cut]
+        assert features.ti[cut] > within.mean()
+
+    def test_degradation_reduces_si(self, small_script):
+        clean = FrameFeatures.extract(small_script)
+        strengths = np.full(small_script.n_frames, 0.5, dtype=np.float32)
+        coded = FrameFeatures.extract(small_script, degradation=strengths)
+        assert coded.si.mean() < clean.si.mean()
+
+    def test_degradation_length_checked(self, small_script):
+        with pytest.raises(ValueError):
+            FrameFeatures.extract(small_script, degradation=np.zeros(3))
+
+    def test_degrade_stack_strength_zero_is_identity_blend(self):
+        rng = np.random.default_rng(0)
+        y = rng.random((4, 16, 16)).astype(np.float32)
+        out = degrade_stack(y, np.zeros(4), rng)
+        assert np.allclose(out, y, atol=1e-6)
+
+    def test_degrade_stack_validates_shape(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            degrade_stack(np.zeros((4, 8, 8), np.float32), np.zeros(3), rng)
+
+
+class TestTiComposition:
+    @pytest.fixture(scope="class")
+    def features(self):
+        return FrameFeatures.extract(scene_script_for("test-150"))
+
+    def test_same_frame_is_zero(self, features):
+        assert features.ti_between(10, 10) == 0.0
+
+    def test_adjacent_matches_measured(self, features):
+        assert features.ti_between(9, 10) == pytest.approx(features.ti[10])
+
+    def test_symmetric(self, features):
+        assert features.ti_between(5, 9) == features.ti_between(9, 5)
+
+    def test_skip_exceeds_single_step(self, features):
+        # Within one scene, jumping 5 frames moves at least as much as
+        # one frame step.
+        assert features.ti_between(5, 10) >= features.ti[6] * 0.99
+
+    def test_cross_scene_decorrelates(self, features):
+        script = scene_script_for("test-150")
+        cut = script.scenes[0].n_frames
+        expected = np.sqrt(
+            features.y_std[cut - 1] ** 2 + features.y_std[cut + 1] ** 2
+        )
+        assert features.ti_between(cut - 1, cut + 1) == pytest.approx(
+            expected, rel=1e-5
+        )
+
+    def test_display_sequence_freeze_reads_zero(self, features):
+        display = np.array([0, 1, 2, 2, 2, 3])
+        ti = features.ti_for_display_sequence(display)
+        assert ti[0] == 0.0
+        assert ti[3] == 0.0 and ti[4] == 0.0
+        assert ti[2] > 0.0
+
+
+class TestTiCompositionAccuracy:
+    """Validate the composed TI against directly rendered frame diffs."""
+
+    def test_composed_matches_rendered_within_scene(self):
+        import numpy as np
+        from repro.video.clips import get_script
+        from repro.video.frames import FrameFeatures, FrameRenderer
+
+        script = get_script("test-150")
+        features = FrameFeatures.extract(script)
+        renderer = FrameRenderer(script)
+        for i, j in ((5, 8), (10, 15), (20, 30), (40, 41)):
+            yi, _, _ = renderer.render_frame(i)
+            yj, _, _ = renderer.render_frame(j)
+            actual = float(np.sqrt(((yi - yj) ** 2).mean()))
+            composed = features.ti_between(i, j)
+            # Within a factor of ~1.5 either way of the true rms diff.
+            assert 0.65 * actual <= composed <= 1.5 * actual

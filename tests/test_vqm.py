@@ -1,0 +1,297 @@
+"""Tests for the VQM tool: segmentation, calibration, model, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.client.renderer import DisplayTrace
+from repro.video.clips import clip_features
+from repro.units import mbps
+from repro.vqm.calibration import calibrate_segment
+from repro.vqm.model import QualityParameters, VqmModel, WORST_SCORE
+from repro.vqm.segments import (
+    SCORING_FRAMES,
+    SEGMENT_FRAMES,
+    SEGMENT_OVERLAP,
+    Segment,
+    segment_plan,
+)
+from repro.vqm.tool import VqmTool
+
+
+class TestSegmentPlan:
+    def test_paper_geometry(self):
+        """300-frame segments, 100-frame overlap (Figure 3)."""
+        plan = segment_plan(2150)
+        assert plan[0].start == 0
+        assert plan[1].start == 200
+        assert all(s.length == 300 for s in plan[:-1])
+
+    def test_overlap_is_100(self):
+        plan = segment_plan(1000)
+        for a, b in zip(plan, plan[1:]):
+            assert a.end - b.start == SEGMENT_OVERLAP
+
+    def test_lost_clip_segment_count(self):
+        # 2150 frames, stride 200: starts 0..2000, but the tail must
+        # hold overlap + scoring frames.
+        plan = segment_plan(2150)
+        assert len(plan) == 10
+
+    def test_short_clip_single_segment(self):
+        plan = segment_plan(250)
+        assert len(plan) == 1
+        assert plan[0].length == 250
+
+    def test_ragged_tail_dropped(self):
+        plan = segment_plan(SEGMENT_FRAMES + 50)  # tail of 50 < 200
+        assert len(plan) == 1
+
+    def test_scoring_window_inside_segment(self):
+        for segment in segment_plan(2000):
+            assert segment.scoring_start == segment.start + SEGMENT_OVERLAP
+            assert segment.scoring_start + SCORING_FRAMES <= segment.end + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segment_plan(0)
+        with pytest.raises(ValueError):
+            segment_plan(100, segment_frames=100, overlap=100)
+        with pytest.raises(ValueError):
+            Segment(index=0, start=-1, length=10)
+
+
+class TestCalibration:
+    def _profile(self, n=600, seed=0):
+        rng = np.random.default_rng(seed)
+        # Smooth scene-like profile with structure.
+        base = np.cumsum(rng.standard_normal(n) * 0.01)
+        return (base - base.min()).astype(np.float32)
+
+    def test_zero_lag_recovered(self):
+        profile = self._profile()
+        ti = np.abs(np.diff(profile, prepend=profile[0])).astype(np.float32)
+        result = calibrate_segment(profile, ti, profile, ti, 100, 300)
+        assert result.succeeded
+        assert result.lag == 0
+
+    def test_constant_shift_recovered(self):
+        profile = self._profile()
+        ti = np.abs(np.diff(profile, prepend=profile[0])).astype(np.float32)
+        shifted = np.concatenate([np.zeros(30, np.float32), profile])
+        ti_shifted = np.concatenate([np.zeros(30, np.float32), ti])
+        result = calibrate_segment(profile, ti, shifted, ti_shifted, 100, 300)
+        assert result.succeeded
+        assert result.lag == 30
+
+    def test_garbage_fails_calibration(self):
+        profile = self._profile(seed=1)
+        ti = np.abs(np.diff(profile, prepend=profile[0])).astype(np.float32)
+        noise = np.random.default_rng(2).random(len(profile)).astype(np.float32)
+        result = calibrate_segment(profile, ti, noise, noise, 100, 300)
+        assert not result.succeeded
+
+    def test_constant_received_fails(self):
+        profile = self._profile()
+        ti = np.abs(np.diff(profile, prepend=profile[0])).astype(np.float32)
+        frozen = np.full_like(profile, 0.5)
+        result = calibrate_segment(profile, ti, frozen, np.zeros_like(ti), 100, 300)
+        assert not result.succeeded
+
+    def test_gain_estimated(self):
+        profile = self._profile()
+        ti = np.abs(np.diff(profile, prepend=profile[0])).astype(np.float32)
+        result = calibrate_segment(profile, ti, profile * 2.0, ti, 100, 300)
+        assert result.gain == pytest.approx(2.0, rel=0.01)
+
+    def test_level_offset_estimated(self):
+        profile = self._profile()
+        ti = np.abs(np.diff(profile, prepend=profile[0])).astype(np.float32)
+        result = calibrate_segment(profile, ti, profile + 0.25, ti, 100, 300)
+        assert result.level_offset == pytest.approx(0.25, abs=0.01)
+
+
+class TestModel:
+    def _window(self, n=100, seed=0):
+        rng = np.random.default_rng(seed)
+        return {
+            "si": rng.random(n).astype(np.float32) + 1.0,
+            "hv": np.full(n, 0.4, np.float32),
+            "ti": rng.random(n).astype(np.float32) * 0.1 + 0.05,
+            "y_mean": np.full(n, 0.5, np.float32),
+            "u_mean": np.full(n, 0.5, np.float32),
+            "v_mean": np.full(n, 0.5, np.float32),
+        }
+
+    def test_identical_windows_score_zero(self):
+        model = VqmModel()
+        ref = self._window()
+        rcv = dict(ref, frozen=np.zeros(100, bool))
+        params = model.extract_parameters(ref, rcv, clip_ti_scale=0.1)
+        assert model.combine(params) == 0.0
+
+    def test_freeze_dominates(self):
+        model = VqmModel()
+        ref = self._window()
+        frozen = np.zeros(100, bool)
+        frozen[10:25] = True
+        rcv = dict(ref, frozen=frozen, ti=ref["ti"].copy())
+        params = model.extract_parameters(ref, rcv, clip_ti_scale=0.1)
+        assert params.freeze_fraction == pytest.approx(0.15, abs=0.02)
+        assert model.combine(params) > 0.5
+
+    def test_freeze_response_concave(self):
+        """Doubling the freeze length less than doubles the score."""
+        model = VqmModel()
+        ref = self._window()
+
+        def score(k):
+            frozen = np.zeros(100, bool)
+            frozen[:k] = True
+            rcv = dict(ref, frozen=frozen)
+            return model.combine(
+                model.extract_parameters(ref, rcv, clip_ti_scale=0.1)
+            )
+
+        assert 0 < score(10) and score(20) < 2 * score(10)
+
+    def test_freeze_in_static_scene_costs_less(self):
+        model = VqmModel()
+        ref = self._window()
+        ref["ti"] = np.full(100, 0.001, np.float32)  # almost static
+        frozen = np.zeros(100, bool)
+        frozen[:20] = True
+        rcv = dict(ref, frozen=frozen)
+        params = model.extract_parameters(ref, rcv, clip_ti_scale=0.1)
+        assert params.freeze_fraction == 0.0  # below the moving threshold
+
+    def test_blur_raises_si_loss(self):
+        model = VqmModel()
+        ref = self._window()
+        rcv = dict(ref, si=ref["si"] * 0.8, frozen=np.zeros(100, bool))
+        params = model.extract_parameters(ref, rcv, clip_ti_scale=0.1)
+        assert params.si_loss == pytest.approx(0.2 * ref["si"].mean() / ref["si"].mean(), rel=0.1)
+        assert params.si_gain == 0.0
+
+    def test_score_clamped(self):
+        model = VqmModel()
+        params = QualityParameters(5, 5, 5, 1.0, 5, 5, 5)
+        assert model.combine(params) == model.clamp_max
+
+    def test_color_shift_scores(self):
+        model = VqmModel()
+        ref = self._window()
+        rcv = dict(ref, u_mean=ref["u_mean"] + 0.1, frozen=np.zeros(100, bool))
+        params = model.extract_parameters(ref, rcv, clip_ti_scale=0.1)
+        assert params.color_diff == pytest.approx(0.1, abs=0.01)
+        assert model.combine(params) > 0.1
+
+
+class TestVqmTool:
+    @pytest.fixture(scope="class")
+    def features(self):
+        return clip_features("test-600", "mpeg1", mbps(1.7))
+
+    def _trace(self, display, fps=29.97, n_source=600):
+        display = np.asarray(display, dtype=np.int64)
+        return DisplayTrace(
+            display=display,
+            fps=fps,
+            n_source_frames=n_source,
+            total_stall_s=0.0,
+            rebuffer_events=0,
+        )
+
+    def test_perfect_delivery_scores_zero(self, features):
+        trace = self._trace(np.arange(600))
+        result = VqmTool().assess(features, features, trace)
+        assert result.clip_score <= 0.02
+        assert result.failed_segments == 0
+
+    def test_single_freeze_detected(self, features):
+        display = np.arange(600)
+        display[150:165] = 149  # 15-frame freeze inside a scored window
+        result = VqmTool().assess(features, features, self._trace(display))
+        assert result.clip_score > 0.1
+
+    def test_more_freezing_scores_worse(self, features):
+        one = np.arange(600)
+        one[150:165] = 149
+        many = np.arange(600)
+        for start in (120, 150, 320, 350, 520):
+            many[start : start + 15] = start - 1
+        light = VqmTool().assess(features, features, self._trace(one))
+        heavy = VqmTool().assess(features, features, self._trace(many))
+        assert heavy.clip_score > light.clip_score
+
+    def test_destroyed_stream_fails_calibration(self, features):
+        display = np.zeros(600, dtype=np.int64)  # eternal frame 0
+        result = VqmTool().assess(features, features, self._trace(display))
+        assert result.failed_segments > 0
+        assert result.clip_score >= 0.9
+
+    def test_encoding_gap_gives_floor(self, features):
+        low = clip_features("test-600", "mpeg1", mbps(1.0))
+        trace = self._trace(np.arange(600))
+        result = VqmTool().assess(features, low, trace)
+        assert 0.005 < result.clip_score < 0.3
+
+    def test_short_trace_padded(self, features):
+        trace = self._trace(np.arange(400))  # stream died early
+        result = VqmTool().assess(features, features, trace)
+        assert result.clip_score > 0.0
+
+    def test_parameter_means_exposed(self, features):
+        trace = self._trace(np.arange(600))
+        result = VqmTool().assess(features, features, trace)
+        means = result.parameter_means()
+        assert "freeze_fraction" in means
+        assert means["freeze_fraction"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_worst_score_constant(self):
+        assert WORST_SCORE == 1.0
+
+
+class TestGainCorrection:
+    """The calibration's gain/level estimates are applied before
+    scoring ("remove systematic errors"), so a capture-chain contrast
+    or brightness error is not charged as network impairment."""
+
+    @pytest.fixture(scope="class")
+    def features(self):
+        return clip_features("test-600", "mpeg1", mbps(1.7))
+
+    def _distorted(self, features, gain=1.0, offset=0.0):
+        from dataclasses import replace
+
+        return replace(
+            features,
+            y_mean=features.y_mean * gain + offset,
+            y_std=features.y_std * gain,
+            si=features.si * gain,
+            ti=features.ti * gain,
+        )
+
+    def _trace(self, n=600):
+        return DisplayTrace(
+            display=np.arange(n),
+            fps=29.97,
+            n_source_frames=n,
+            total_stall_s=0.0,
+            rebuffer_events=0,
+        )
+
+    def test_contrast_error_corrected(self, features):
+        warped = self._distorted(features, gain=1.3)
+        result = VqmTool().assess(features, warped, self._trace())
+        assert result.clip_score <= 0.1
+
+    def test_brightness_error_corrected(self, features):
+        warped = self._distorted(features, offset=0.12)
+        result = VqmTool().assess(features, warped, self._trace())
+        assert result.clip_score <= 0.1
+
+    def test_extreme_gain_not_excused(self, features):
+        """Beyond the sane range the distortion is scored, not removed."""
+        warped = self._distorted(features, gain=3.5)
+        result = VqmTool().assess(features, warped, self._trace())
+        assert result.clip_score > 0.1
