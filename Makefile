@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test compile bench
+
+check: test compile
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+compile:
+	$(PYTHON) -m compileall -q src
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -16,6 +16,16 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every full-figure/table benchmark ``slow``.
+
+    The tier-1 loop (``pytest tests/``) never collects these; the
+    marker lets mixed invocations deselect them with ``-m 'not slow'``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -10,11 +10,15 @@ server.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.core.analysis import find_quality_cutoff, nonlinearity_index
 from repro.core.experiment import ExperimentSpec
 from repro.core.report import render_sweep, render_table
+from repro.core.resultstore import ResultStore
+from repro.core.runner import Runner, make_runner
 from repro.core.sweep import SweepResult, token_rate_sweep
 from repro.units import mbps, to_mbps
 
@@ -30,6 +34,21 @@ QBONE_SWEEP_RATES = {
 PAPER_DEPTHS = (3000.0, 4500.0)
 
 
+def bench_runner() -> Runner:
+    """The runner every figure bench sweeps through.
+
+    Cache-backed by default (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``)
+    so regenerating a figure a second time costs file reads, not
+    simulations; set ``REPRO_BENCH_CACHE=0`` to force re-simulation and
+    ``REPRO_BENCH_JOBS=N`` to fan a cold sweep out over N processes.
+    """
+    store = None
+    if os.environ.get("REPRO_BENCH_CACHE", "1") != "0":
+        store = ResultStore()
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return make_runner(jobs=jobs, store=store)
+
+
 def qbone_figure_sweep(clip: str, encoding_mbps: float, seed: int = 11) -> SweepResult:
     """One of Figures 7-12: quality & frame loss vs token rate."""
     spec = ExperimentSpec(
@@ -42,12 +61,13 @@ def qbone_figure_sweep(clip: str, encoding_mbps: float, seed: int = 11) -> Sweep
         seed=seed,
     )
     rates = [mbps(r) for r in QBONE_SWEEP_RATES[encoding_mbps]]
-    return token_rate_sweep(spec, rates, PAPER_DEPTHS)
+    return token_rate_sweep(spec, rates, PAPER_DEPTHS, runner=bench_runner())
 
 
 def fixed_reference_sweep(clip: str, seed: int = 11) -> dict:
     """Figures 13-14: per-encoding sweeps against the 1.7 Mbps original."""
     results = {}
+    runner = bench_runner()
     for encoding in (1.0, 1.5, 1.7):
         spec = ExperimentSpec(
             clip=clip,
@@ -60,7 +80,9 @@ def fixed_reference_sweep(clip: str, seed: int = 11) -> dict:
             seed=seed,
         )
         rates = [mbps(r) for r in QBONE_SWEEP_RATES[encoding]]
-        results[encoding] = token_rate_sweep(spec, rates, (4500.0,))
+        results[encoding] = token_rate_sweep(
+            spec, rates, (4500.0,), runner=runner
+        )
     return results
 
 
@@ -81,7 +103,7 @@ def local_figure_sweep(
         seed=seed,
     )
     rates = [mbps(r) for r in (0.9, 1.1, 1.3, 1.5, 1.7, 1.9, 2.0)]
-    return token_rate_sweep(spec, rates, PAPER_DEPTHS)
+    return token_rate_sweep(spec, rates, PAPER_DEPTHS, runner=bench_runner())
 
 
 def summarize_figure(sweep: SweepResult, title: str) -> str:

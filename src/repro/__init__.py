@@ -23,6 +23,14 @@ Quickstart::
 """
 
 from repro.core.experiment import ExperimentSpec, ExperimentResult, run_experiment
+from repro.core.runner import (
+    ProcessPoolRunner,
+    ResultSummary,
+    SerialRunner,
+    make_runner,
+    spec_fingerprint,
+)
+from repro.core.resultstore import ResultStore
 from repro.core.sweep import SweepResult, token_rate_sweep
 from repro.core.analysis import find_quality_cutoff, nonlinearity_index
 from repro.core.report import render_sweep, render_table
@@ -35,6 +43,12 @@ __all__ = [
     "run_experiment",
     "SweepResult",
     "token_rate_sweep",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "ResultSummary",
+    "ResultStore",
+    "make_runner",
+    "spec_fingerprint",
     "find_quality_cutoff",
     "nonlinearity_index",
     "render_sweep",

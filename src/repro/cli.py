@@ -4,13 +4,18 @@ Three subcommands mirror the library's main entry points::
 
     python -m repro run   --clip lost --encoding 1.7 --rate 1.9 --depth 3000
     python -m repro sweep --clip lost --encoding 1.7 \
-        --rates 1.7,1.8,1.9,2.0 --depths 3000,4500 [--csv out.csv]
+        --rates 1.7,1.8,1.9,2.0 --depths 3000,4500 \
+        [--jobs 4] [--cache] [--cache-dir DIR] [--csv out.csv]
     python -m repro clips
 
 ``run`` prints the headline measurements (and a MOS verdict) for one
 experiment; ``sweep`` prints a paper-style figure (optionally writing
 the raw CSV); ``clips`` lists the registered clips and their encoding
-statistics.
+statistics. Sweeps execute through the runner layer: ``--jobs N``
+spreads the batch over worker processes, and ``--cache`` keys each
+point's result by its spec fingerprint in an on-disk store so a
+repeated sweep performs no simulations (a hit/miss/time-saved line is
+printed after the figure).
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from typing import Optional, Sequence
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.export import result_to_json, sweep_to_csv
 from repro.core.report import render_sweep, render_table
+from repro.core.resultstore import ResultStore, default_cache_dir
+from repro.core.runner import make_runner
 from repro.core.sweep import token_rate_sweep
 from repro.units import mbps, to_mbps
 from repro.video.clips import CLIPS, encode_clip
@@ -89,11 +96,22 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if args.jobs < 1:
+        raise ValueError(f"--jobs must be at least 1 (got {args.jobs})")
     rates = [mbps(float(r)) for r in args.rates.split(",")]
     depths = [float(d) for d in args.depths.split(",")]
     base = _spec_from_args(args, to_mbps(rates[0]), depths[0])
-    sweep = token_rate_sweep(base, rates, depths)
+    use_cache = (
+        args.cache if args.cache is not None else args.cache_dir is not None
+    )
+    store = None
+    if use_cache:
+        store = ResultStore(args.cache_dir or default_cache_dir())
+    runner = make_runner(jobs=args.jobs, store=store)
+    sweep = token_rate_sweep(base, rates, depths, runner=runner)
     print(render_sweep(sweep, title=f"sweep: {args.clip} ({args.codec})"))
+    if store is not None:
+        print(f"\ncache [{store.cache_dir}]: {runner.stats.describe()}")
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(sweep_to_csv(sweep))
@@ -148,6 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--depths", default="3000,4500", help="comma-separated bucket depths (bytes)"
     )
     sweep_parser.add_argument("--csv", help="also write raw CSV here")
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep batch (1 = in-process)",
+    )
+    sweep_parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="reuse/store per-point results in the on-disk cache",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"cache location (default {default_cache_dir()}; implies --cache)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     clips_parser = commands.add_parser("clips", help="list registered clips")

@@ -3,12 +3,23 @@
 This is the layer a "user" of the paper's study would touch: describe
 a configuration (:class:`~repro.core.experiment.ExperimentSpec`), run
 it end to end (stream → police → receive → render → VQM), sweep the
-token-bucket parameters (`sweep`), and analyze/print the results
-(`analysis`, `report`).
+token-bucket parameters (`sweep`) — serially or through a process
+pool, against an on-disk result cache (`runner`, `resultstore`) — and
+analyze/print the results (`analysis`, `report`).
 """
 
 from repro.core.experiment import ExperimentSpec, ExperimentResult, run_experiment
-from repro.core.sweep import SweepPoint, SweepResult, token_rate_sweep
+from repro.core.runner import (
+    CACHE_SCHEMA_VERSION,
+    ProcessPoolRunner,
+    ResultSummary,
+    Runner,
+    SerialRunner,
+    make_runner,
+    spec_fingerprint,
+)
+from repro.core.resultstore import ResultStore, default_cache_dir
+from repro.core.sweep import SweepPoint, SweepResult, sweep_specs, token_rate_sweep
 from repro.core.analysis import (
     find_quality_cutoff,
     nonlinearity_index,
@@ -22,7 +33,17 @@ __all__ = [
     "run_experiment",
     "SweepPoint",
     "SweepResult",
+    "sweep_specs",
     "token_rate_sweep",
+    "CACHE_SCHEMA_VERSION",
+    "Runner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "ResultSummary",
+    "ResultStore",
+    "default_cache_dir",
+    "make_runner",
+    "spec_fingerprint",
     "find_quality_cutoff",
     "nonlinearity_index",
     "empirical_burst_excess",

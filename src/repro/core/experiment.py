@@ -225,7 +225,7 @@ def run_experiment(spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None) -> 
     server = _build_server(spec, engine, encoded, testbed, client)
     # The policer tells the client about drops so the loss-report
     # feedback channel sees them (adaptation experiments).
-    testbed.policer._on_drop = client.note_policer_drop
+    testbed.policer.set_drop_listener(client.note_policer_drop)
 
     server.start(at=0.0)
     engine.run(until=encoded.duration_s + spec.startup_delay_s + RUN_SLACK_S)

@@ -13,6 +13,7 @@ import json
 from typing import Optional
 
 from repro.core.experiment import ExperimentResult
+from repro.core.runner import ResultSummary
 from repro.core.sweep import SweepResult
 from repro.units import to_mbps
 
@@ -68,6 +69,21 @@ def result_to_json(result: ExperimentResult, indent: Optional[int] = 2) -> str:
     return json.dumps(result_to_dict(result), indent=indent)
 
 
+def summary_to_dict(summary: ResultSummary) -> dict:
+    """Flatten a compact runner summary (the cache/IPC record)."""
+    return summary.to_dict()
+
+
+def summary_to_json(summary: ResultSummary, indent: Optional[int] = 2) -> str:
+    """JSON document for one runner summary."""
+    return json.dumps(summary_to_dict(summary), indent=indent)
+
+
+def summary_from_dict(data: dict) -> ResultSummary:
+    """Rebuild a summary from :func:`summary_to_dict` output."""
+    return ResultSummary.from_dict(data)
+
+
 #: Column order of the sweep CSV.
 SWEEP_CSV_COLUMNS = (
     "token_rate_mbps",
@@ -93,7 +109,7 @@ def sweep_to_csv(sweep: SweepResult) -> str:
                 f"{result.lost_frame_fraction:.6f}",
                 f"{result.quality_score:.6f}",
                 f"{result.packet_drop_fraction:.6f}",
-                f"{result.trace.frozen_fraction:.6f}",
+                f"{result.frozen_fraction:.6f}",
             ]
         )
     return buffer.getvalue()

@@ -1,0 +1,116 @@
+"""On-disk result cache keyed by spec fingerprint.
+
+One JSON file per experiment, named by the spec's content hash (see
+:func:`repro.core.runner.spec_fingerprint`). Because the fingerprint
+is salted with :data:`repro.core.runner.CACHE_SCHEMA_VERSION`, bumping
+the schema version orphans old entries instead of mis-reading them;
+each file also records the version it was written under as a second
+line of defence.
+
+The store is deliberately dumb: no locking beyond atomic renames, no
+eviction, no index. Entries are tiny (a few hundred bytes) and the
+fingerprint space makes collisions a non-concern, so concurrent
+writers at worst redo each other's work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core import runner as _runner
+from repro.core.experiment import ExperimentSpec
+from repro.core.runner import ResultSummary
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ResultStore:
+    """Fingerprint-addressed cache of :class:`ResultSummary` entries."""
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[ResultSummary]:
+        """The cached summary, or None on miss/corruption/stale schema."""
+        path = self._path(fingerprint)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("schema_version") != _runner.CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return ResultSummary.from_dict(data["summary"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(
+        self,
+        fingerprint: str,
+        spec: ExperimentSpec,
+        summary: ResultSummary,
+    ) -> None:
+        """Write one entry atomically (tmp file + rename)."""
+        from repro.core.export import spec_to_dict
+
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": fingerprint,
+            "schema_version": _runner.CACHE_SCHEMA_VERSION,
+            "spec": spec_to_dict(spec),
+            "summary": summary.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self._path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get(fingerprint) is not None
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(
+            1
+            for p in self.cache_dir.glob("*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

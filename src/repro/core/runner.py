@@ -1,0 +1,285 @@
+"""Experiment runners: batch execution, fingerprints, and summaries.
+
+Every paper figure is a batch of :class:`ExperimentSpec` points, and
+until this module existed each consumer ran them one by one through
+:func:`repro.core.experiment.run_experiment`. The runner layer makes
+the batch the unit of work:
+
+* :func:`spec_fingerprint` gives each spec a stable content hash so a
+  result can be cached on disk and recognized across processes and
+  sessions (see :mod:`repro.core.resultstore`).
+* :class:`ResultSummary` is the compact, picklable measurement record
+  that crosses process and cache boundaries — the headline numbers of
+  one run without the traces and client records that make
+  :class:`~repro.core.experiment.ExperimentResult` heavyweight.
+* :class:`SerialRunner` runs a batch in-process (optionally keeping
+  the full-detail results); :class:`ProcessPoolRunner` fans the batch
+  out over worker processes. Each worker builds its own engine and
+  VQM tool, so a spec's result is a pure function of the spec and the
+  two runners produce bitwise-identical summaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.vqm.tool import VqmTool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.resultstore import ResultStore
+
+#: Bump whenever the shape or meaning of :class:`ResultSummary` (or of
+#: the simulation outputs feeding it) changes. The version salts every
+#: fingerprint, so old on-disk cache entries simply stop matching.
+CACHE_SCHEMA_VERSION = 1
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Stable content hash of a spec (hex SHA-256).
+
+    Fields are serialized canonically (sorted names, compact JSON) and
+    salted with :data:`CACHE_SCHEMA_VERSION`; the digest is identical
+    across processes and interpreter restarts, unlike ``hash()``.
+    """
+    payload = {
+        f.name: getattr(spec, f.name) for f in dataclasses.fields(spec)
+    }
+    canonical = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "spec": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """Headline measurements of one run, small enough to ship anywhere.
+
+    Unlike :class:`ExperimentResult` this carries no display trace,
+    client record, or per-segment VQM detail — just the numbers the
+    figures, CSVs, and reports consume. ``elapsed_s`` (the wall-clock
+    cost of producing the result) is excluded from equality so cached
+    and fresh results of the same spec compare equal.
+    """
+
+    quality_score: float
+    lost_frame_fraction: float
+    packet_drop_fraction: float
+    frozen_fraction: float
+    rebuffer_events: int
+    total_stall_s: float
+    conformant_packets: int
+    dropped_packets: int
+    remarked_packets: int
+    dropped_bytes: int
+    server_aborted: bool
+    server_packets: int
+    client_packets: int
+    network: dict = field(default_factory=dict)
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    @classmethod
+    def from_result(
+        cls, result: ExperimentResult, elapsed_s: float = 0.0
+    ) -> "ResultSummary":
+        """Condense a full experiment result."""
+        stats = result.policer_stats
+        return cls(
+            quality_score=result.quality_score,
+            lost_frame_fraction=result.lost_frame_fraction,
+            packet_drop_fraction=result.packet_drop_fraction,
+            frozen_fraction=result.trace.frozen_fraction,
+            rebuffer_events=result.trace.rebuffer_events,
+            total_stall_s=result.trace.total_stall_s,
+            conformant_packets=stats.conformant_packets,
+            dropped_packets=stats.dropped_packets,
+            remarked_packets=stats.remarked_packets,
+            dropped_bytes=stats.dropped_bytes,
+            server_aborted=result.server_aborted,
+            server_packets=result.extras.get("server_packets", 0),
+            client_packets=result.extras.get("client_packets", 0),
+            network=dict(result.extras.get("network", {})),
+            elapsed_s=elapsed_s,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able dictionary (the cache file payload)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResultSummary":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+@dataclass
+class RunnerStats:
+    """What one runner did across its batches."""
+
+    submitted: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    time_saved_s: float = 0.0
+
+    def describe(self) -> str:
+        """One-line cache/throughput report."""
+        return (
+            f"{self.submitted} specs: {self.simulated} simulated, "
+            f"{self.cache_hits} cache hits "
+            f"(~{self.time_saved_s:.1f} s simulation saved)"
+        )
+
+
+def _summarize_run(
+    spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None
+) -> tuple[ResultSummary, ExperimentResult]:
+    started = time.perf_counter()
+    result = run_experiment(spec, vqm_tool=vqm_tool)
+    elapsed = time.perf_counter() - started
+    return ResultSummary.from_result(result, elapsed_s=elapsed), result
+
+
+def _pool_worker(spec: ExperimentSpec) -> ResultSummary:
+    """Process-pool entry point: fresh engine and VQM tool per call."""
+    summary, _ = _summarize_run(spec)
+    return summary
+
+
+class Runner:
+    """Base class: cache bookkeeping around a batch execution strategy.
+
+    Subclasses implement :meth:`_execute` for the specs the cache could
+    not answer. When a :class:`ResultStore` is attached, hits skip the
+    simulation entirely and fresh results are written back, so a
+    repeated batch costs only file reads.
+    """
+
+    def __init__(self, store: Optional["ResultStore"] = None):
+        self.store = store
+        self.stats = RunnerStats()
+
+    def run_batch(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> list[ResultSummary]:
+        """Run every spec, in order; cached points never re-simulate."""
+        specs = list(specs)
+        self.stats.submitted += len(specs)
+        summaries: list[Optional[ResultSummary]] = [None] * len(specs)
+        pending: list[tuple[int, ExperimentSpec, str]] = []
+        # NB: "is not None", not truthiness — ResultStore defines
+        # __len__, so an empty store is falsy.
+        for i, spec in enumerate(specs):
+            fingerprint = (
+                spec_fingerprint(spec) if self.store is not None else ""
+            )
+            cached = (
+                self.store.get(fingerprint)
+                if self.store is not None
+                else None
+            )
+            if cached is not None:
+                summaries[i] = cached
+                self.stats.cache_hits += 1
+                self.stats.time_saved_s += cached.elapsed_s
+            else:
+                pending.append((i, spec, fingerprint))
+        if pending:
+            fresh = self._execute([spec for _, spec, _ in pending])
+            self.stats.simulated += len(pending)
+            for (i, spec, fingerprint), summary in zip(pending, fresh):
+                summaries[i] = summary
+                if self.store is not None:
+                    self.store.put(fingerprint, spec, summary)
+        return summaries  # type: ignore[return-value]
+
+    def _execute(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> list[ResultSummary]:
+        raise NotImplementedError
+
+
+class SerialRunner(Runner):
+    """In-process, one-at-a-time execution.
+
+    The only runner that can retain full-detail results: with
+    ``keep_details=True``, :attr:`last_details` holds the
+    :class:`ExperimentResult` of every point the most recent batch
+    actually simulated (cache hits have no detail to keep), in
+    submission order.
+    """
+
+    def __init__(
+        self,
+        store: Optional["ResultStore"] = None,
+        vqm_tool: Optional[VqmTool] = None,
+        keep_details: bool = False,
+    ):
+        super().__init__(store=store)
+        self.vqm_tool = vqm_tool
+        self.keep_details = keep_details
+        self.last_details: list[ExperimentResult] = []
+
+    def _execute(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> list[ResultSummary]:
+        tool = self.vqm_tool or VqmTool()
+        summaries = []
+        if self.keep_details:
+            self.last_details = []
+        for spec in specs:
+            summary, result = _summarize_run(spec, vqm_tool=tool)
+            if self.keep_details:
+                self.last_details.append(result)
+            summaries.append(summary)
+        return summaries
+
+
+class ProcessPoolRunner(Runner):
+    """Fan a batch out over worker processes.
+
+    Workers build their own engine and VQM tool per spec, so results
+    are a pure function of the spec — independent of worker count and
+    bitwise-identical to :class:`SerialRunner` output.
+    """
+
+    def __init__(self, jobs: int, store: Optional["ResultStore"] = None):
+        super().__init__(store=store)
+        if jobs < 1:
+            raise ValueError(f"need at least one worker (jobs={jobs})")
+        self.jobs = jobs
+
+    def _execute(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> list[ResultSummary]:
+        if len(specs) == 1 or self.jobs == 1:
+            # Not worth forking for; also keeps single-point batches
+            # usable in environments without working multiprocessing.
+            return [_pool_worker(spec) for spec in specs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_pool_worker, specs))
+
+
+def make_runner(
+    jobs: int = 1,
+    store: Optional["ResultStore"] = None,
+    vqm_tool: Optional[VqmTool] = None,
+) -> Runner:
+    """The natural runner for a job count: serial for 1, pooled above."""
+    if jobs <= 1:
+        return SerialRunner(store=store, vqm_tool=vqm_tool)
+    return ProcessPoolRunner(jobs, store=store)

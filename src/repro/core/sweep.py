@@ -2,8 +2,12 @@
 
 The paper's figures plot video quality and frame loss against the
 token rate, one curve pair per bucket depth. :func:`token_rate_sweep`
-runs the cross product and returns a :class:`SweepResult` exposing the
-series in figure-ready form.
+builds the full (rate × depth) cross product, submits it as one batch
+through a :class:`~repro.core.runner.Runner`, and returns a
+:class:`SweepResult` exposing the series in figure-ready form. Pass a
+:class:`~repro.core.runner.ProcessPoolRunner` to spread the batch over
+worker processes, or a cache-backed runner to make repeated sweeps
+nearly free.
 """
 
 from __future__ import annotations
@@ -13,7 +17,8 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.experiment import ExperimentResult, ExperimentSpec, run_experiment
+from repro.core.experiment import ExperimentSpec
+from repro.core.runner import ResultSummary, Runner, SerialRunner
 from repro.vqm.tool import VqmTool
 
 
@@ -23,7 +28,7 @@ class SweepPoint:
 
     token_rate_bps: float
     bucket_depth_bytes: float
-    result: ExperimentResult
+    result: ResultSummary
 
     @property
     def quality_score(self) -> float:
@@ -67,31 +72,48 @@ class SweepResult:
         return rates, losses, scores
 
 
+def sweep_specs(
+    base_spec: ExperimentSpec,
+    token_rates_bps: Sequence[float],
+    bucket_depths_bytes: Iterable[float],
+) -> list[ExperimentSpec]:
+    """The (depth-major) cross product a sweep runs, as one flat batch."""
+    return [
+        base_spec.with_token_bucket(rate, depth)
+        for depth in bucket_depths_bytes
+        for rate in token_rates_bps
+    ]
+
+
 def token_rate_sweep(
     base_spec: ExperimentSpec,
     token_rates_bps: Sequence[float],
     bucket_depths_bytes: Iterable[float] = (3000.0, 4500.0),
     vqm_tool: Optional[VqmTool] = None,
+    runner: Optional[Runner] = None,
 ) -> SweepResult:
     """Run ``base_spec`` at every (rate, depth) combination.
 
-    The VQM tool is shared across runs (it is stateless), and the
-    per-clip feature caches make the marginal cost of each run the
-    simulation itself.
+    The whole cross product goes through ``runner`` (a fresh
+    :class:`SerialRunner` by default) as a single batch, so parallel
+    runners see all the work at once and cache-backed runners answer
+    repeated points without simulating. ``vqm_tool`` is only consulted
+    when the default serial runner is built; explicit runners own
+    their tooling.
     """
     if not token_rates_bps:
         raise ValueError("need at least one token rate")
-    tool = vqm_tool or VqmTool()
+    bucket_depths_bytes = tuple(bucket_depths_bytes)
+    specs = sweep_specs(base_spec, token_rates_bps, bucket_depths_bytes)
+    active = runner or SerialRunner(vqm_tool=vqm_tool)
+    summaries = active.run_batch(specs)
     sweep = SweepResult(base_spec=base_spec)
-    for depth in bucket_depths_bytes:
-        for rate in token_rates_bps:
-            spec = base_spec.with_token_bucket(rate, depth)
-            result = run_experiment(spec, vqm_tool=tool)
-            sweep.points.append(
-                SweepPoint(
-                    token_rate_bps=rate,
-                    bucket_depth_bytes=depth,
-                    result=result,
-                )
+    for spec, summary in zip(specs, summaries):
+        sweep.points.append(
+            SweepPoint(
+                token_rate_bps=spec.token_rate_bps,
+                bucket_depth_bytes=spec.bucket_depth_bytes,
+                result=summary,
             )
+        )
     return sweep

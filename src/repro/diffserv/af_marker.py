@@ -48,6 +48,14 @@ class AfMarker:
         self.stats = PolicerStats()
         self._on_drop = None  # parity with Policer wiring
 
+    def set_drop_listener(self, listener) -> None:
+        """Accept a drop callback for API parity with ``Policer``.
+
+        The marker never drops (it only colors), so the listener is
+        simply stored and never fired.
+        """
+        self._on_drop = listener
+
     def __call__(self, packet: Packet) -> Packet:
         color = self.meter.color(packet.size, self.engine.now)
         packet.dscp = int(self.colors_to_dscp[color])

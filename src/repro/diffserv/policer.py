@@ -91,6 +91,17 @@ class Policer:
         self.stats = PolicerStats()
         self._on_drop = on_drop
 
+    def set_drop_listener(
+        self, listener: Optional[Callable[[Packet], None]]
+    ) -> None:
+        """Install (or clear, with None) the drop callback after the fact.
+
+        Experiments wire the client's loss-attribution hook here once
+        the testbed and client both exist; constructing the policer
+        with ``on_drop`` is equivalent.
+        """
+        self._on_drop = listener
+
     def __call__(self, packet: Packet) -> Optional[Packet]:
         """Ingress-stage interface: return the packet or None if dropped."""
         now = self.engine.now

@@ -29,17 +29,32 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback. Users normally never touch these directly."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Mark the event dead; the engine skips it when popped."""
+        """Mark the event dead; the engine skips it when popped.
+
+        Idempotent: cancelling twice decrements the engine's live-event
+        counter once.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._live_events -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -57,6 +72,7 @@ class Engine:
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self._heap: list[Event] = []
+        self._live_events = 0
         self._seq = itertools.count()
         self._seed = seed
         self._rngs: dict[str, np.random.Generator] = {}
@@ -77,8 +93,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        event = Event(time, next(self._seq), callback)
+        event = Event(time, next(self._seq), callback, engine=self)
         heapq.heappush(self._heap, event)
+        self._live_events += 1
         return event
 
     # ------------------------------------------------------------------
@@ -92,6 +109,8 @@ class Engine:
                 continue
             if event.time < self.now:
                 raise SimulationError("event heap time went backwards")
+            self._live_events -= 1
+            event._engine = None  # a late cancel() must not re-decrement
             self.now = event.time
             event.callback()
             return True
@@ -120,8 +139,12 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events in the heap.
+
+        O(1): a live-event counter is maintained on schedule, cancel,
+        and pop instead of scanning the heap.
+        """
+        return self._live_events
 
     # ------------------------------------------------------------------
     # shared services

@@ -1,0 +1,113 @@
+"""End-to-end tests for the command line (``python -m repro ...``).
+
+Everything runs through :func:`repro.cli.main` on tiny synthetic clips
+so the full argument-parsing → runner → report path is exercised
+without subprocesses (except where the CLI itself forks workers).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.export import csv_to_rows
+
+
+RUN_ARGS = [
+    "run",
+    "--clip", "test-300",
+    "--encoding", "1.7",
+    "--rate", "2.2",
+    "--depth", "4500",
+    "--seed", "3",
+]
+
+
+def sweep_args(*extra):
+    return [
+        "sweep",
+        "--clip", "test-300",
+        "--encoding", "1.7",
+        "--rates", "2.0,2.2",
+        "--depths", "4500",
+        "--seed", "3",
+        *extra,
+    ]
+
+
+class TestRunCommand:
+    def test_exit_zero_and_headline_output(self, capsys):
+        assert main(RUN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "frame loss:" in out
+        assert "packet drops:" in out
+        assert "clip=test-300" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(RUN_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["clip"] == "test-300"
+        assert 0.0 <= payload["quality_score"] <= 1.15
+        assert "segments" in payload
+
+    def test_unknown_clip_exits_2(self, capsys):
+        args = list(RUN_ARGS)
+        args[args.index("test-300")] = "no-such-clip"
+        assert main(args) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_serial_sweep_prints_figure(self, capsys):
+        assert main(sweep_args()) == 0
+        out = capsys.readouterr().out
+        assert "token bucket depth = 4500" in out
+        assert "2.000" in out and "2.200" in out
+
+    def test_parallel_sweep_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        assert main(sweep_args("--jobs", "2", "--csv", str(csv_path))) == 0
+        rows = csv_to_rows(csv_path.read_text())
+        assert len(rows) == 2
+        assert {row["token_rate_mbps"] for row in rows} == {2.0, 2.2}
+        for row in rows:
+            assert 0.0 <= row["quality_score"] <= 1.15
+        assert f"wrote {csv_path}" in capsys.readouterr().out
+
+    def test_parallel_matches_serial(self, tmp_path, capsys):
+        serial_csv = tmp_path / "serial.csv"
+        pooled_csv = tmp_path / "pooled.csv"
+        assert main(sweep_args("--csv", str(serial_csv))) == 0
+        assert main(sweep_args("--jobs", "2", "--csv", str(pooled_csv))) == 0
+        assert serial_csv.read_text() == pooled_csv.read_text()
+
+    def test_cache_round_trip_reports_hits(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(sweep_args("--cache", "--cache-dir", str(cache))) == 0
+        first = capsys.readouterr().out
+        assert "2 specs: 2 simulated, 0 cache hits" in first
+
+        assert main(sweep_args("--cache", "--cache-dir", str(cache))) == 0
+        second = capsys.readouterr().out
+        assert "2 specs: 0 simulated, 2 cache hits" in second
+        # The rendered figure itself must be identical either way.
+        figure = lambda text: text.split("\ncache [")[0]
+        assert figure(first) == figure(second)
+
+    def test_cache_dir_implies_cache(self, tmp_path, capsys):
+        assert main(sweep_args("--cache-dir", str(tmp_path / "c"))) == 0
+        assert "cache [" in capsys.readouterr().out
+        assert len(list((tmp_path / "c").glob("*.json"))) == 2
+
+    def test_bad_jobs_exits_2(self, capsys):
+        assert main(sweep_args("--jobs", "0")) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestClipsCommand:
+    def test_lists_registered_clips(self, capsys):
+        assert main(["clips"]) == 0
+        out = capsys.readouterr().out
+        assert "lost" in out
+        assert "dark" in out
+        assert "duration (s)" in out

@@ -57,6 +57,17 @@ class TestPolicerDrop:
             policer(make_packet(engine))
         assert len(dropped) == 1
 
+    def test_set_drop_listener_after_construction(self, engine):
+        dropped = []
+        policer = Policer(engine, mbps(1), 3000)
+        policer.set_drop_listener(dropped.append)
+        for _ in range(3):
+            policer(make_packet(engine))
+        assert len(dropped) == 1
+        policer.set_drop_listener(None)
+        policer(make_packet(engine))
+        assert len(dropped) == 1  # cleared listener no longer fires
+
     def test_refill_restores_conformance(self, engine):
         policer = Policer(engine, mbps(12), 3000)  # 1.5 kB per ms
         policer(make_packet(engine, size=3000))

@@ -66,6 +66,36 @@ class TestCancellation:
         assert engine.pending_events == 1
         assert keep.time == 1.0
 
+    def test_double_cancel_counts_once(self, engine):
+        engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()  # idempotent: must not decrement twice
+        assert engine.pending_events == 1
+
+    def test_pending_events_tracks_pops(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending_events == 2
+        engine.step()
+        assert engine.pending_events == 1
+        engine.step()
+        assert engine.pending_events == 0
+
+    def test_cancel_after_fire_is_harmless(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        event.cancel()  # stale handle: counter must not go negative
+        assert engine.pending_events == 0
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending_events == 1
+
+    def test_run_until_leaves_future_events_pending(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(10.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.pending_events == 1
+
 
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self, engine):
