@@ -1,12 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test compile bench
+# Per-test wall-clock cap so a hung test fails fast instead of wedging
+# the loop. Served by pytest-timeout when installed, else by the
+# SIGALRM fallback plugin in conftest.py.
+TIMEOUT ?= 300
+TIMEOUT_OPTS = --timeout=$(TIMEOUT)
+
+.PHONY: check check-fast test test-fast compile bench
 
 check: test compile
 
+# Fast loop: skip the slow-marked full-figure/table benchmarks.
+check-fast: test-fast compile
+
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(TIMEOUT_OPTS)
+
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow" $(TIMEOUT_OPTS) tests benchmarks
 
 compile:
 	$(PYTHON) -m compileall -q src

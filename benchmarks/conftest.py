@@ -13,17 +13,21 @@ import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_DIR = pathlib.Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
 
 
 def pytest_collection_modifyitems(items):
     """Mark every full-figure/table benchmark ``slow``.
 
-    The tier-1 loop (``pytest tests/``) never collects these; the
-    marker lets mixed invocations deselect them with ``-m 'not slow'``.
+    The hook sees the whole session's items when a mixed invocation
+    collects ``tests`` alongside ``benchmarks``, so only items that
+    live under this directory get the marker; that lets
+    ``pytest -m 'not slow' tests benchmarks`` keep the unit tests.
     """
     for item in items:
-        item.add_marker(pytest.mark.slow)
+        if pathlib.Path(str(item.fspath)).is_relative_to(BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,59 @@
+"""Repo-root pytest plugin: per-test timeout fallback.
+
+``make check`` passes ``--timeout=N`` so a hung test fails fast
+instead of wedging the suite. When the real ``pytest-timeout`` plugin
+is installed it owns that option and this file stays out of the way;
+when it is not (this repo must run in environments where extra
+packages cannot be installed), the hooks below provide a compatible
+subset: the ``--timeout`` option and the ``@pytest.mark.timeout(N)``
+marker, enforced with ``SIGALRM`` on the main thread. Platforms
+without ``SIGALRM`` degrade to no enforcement rather than erroring.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+
+import pytest
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+_SIGALRM_OK = hasattr(signal, "SIGALRM")
+
+
+def pytest_addoption(parser):
+    if _HAVE_PYTEST_TIMEOUT:
+        return
+    parser.addoption(
+        "--timeout",
+        type=float,
+        default=0.0,
+        help="per-test timeout in seconds (SIGALRM fallback; 0 disables)",
+    )
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker and marker.args:
+        return float(marker.args[0])
+    return float(item.config.getoption("--timeout"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PYTEST_TIMEOUT or not _SIGALRM_OK:
+        return (yield)
+    seconds = _timeout_for(item)
+    if seconds <= 0:
+        return (yield)
+
+    def _on_alarm(signum, frame):
+        pytest.fail(f"test exceeded {seconds:.0f} s timeout (SIGALRM fallback)")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -5,7 +5,8 @@ Three subcommands mirror the library's main entry points::
     python -m repro run   --clip lost --encoding 1.7 --rate 1.9 --depth 3000
     python -m repro sweep --clip lost --encoding 1.7 \
         --rates 1.7,1.8,1.9,2.0 --depths 3000,4500 \
-        [--jobs 4] [--cache] [--cache-dir DIR] [--csv out.csv]
+        [--jobs 4] [--cache] [--cache-dir DIR] [--csv out.csv] \
+        [--max-retries 2] [--spec-timeout 600] [--journal FILE] [--resume]
     python -m repro clips
 
 ``run`` prints the headline measurements (and a MOS verdict) for one
@@ -16,6 +17,14 @@ spreads the batch over worker processes, and ``--cache`` keys each
 point's result by its spec fingerprint in an on-disk store so a
 repeated sweep performs no simulations (a hit/miss/time-saved line is
 printed after the figure).
+
+Fault tolerance: ``--max-retries``/``--spec-timeout`` attach a retry
+policy, so a crashing or hanging grid point is retried with backoff
+and, if it never recovers, quarantined while the rest of the sweep
+completes; a sweep with quarantined specs prints a one-line summary to
+stderr and exits 3. ``--journal FILE`` checkpoints every outcome as it
+resolves, and ``--resume`` reloads that journal so an interrupted
+campaign re-simulates nothing it already finished.
 """
 
 from __future__ import annotations
@@ -26,10 +35,11 @@ from typing import Optional, Sequence
 
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.export import result_to_json, sweep_to_csv
+from repro.core.faults import RetryPolicy
 from repro.core.report import render_sweep, render_table
 from repro.core.resultstore import ResultStore, default_cache_dir
 from repro.core.runner import make_runner
-from repro.core.sweep import token_rate_sweep
+from repro.core.sweep import token_rate_sweep, validate_grid
 from repro.units import mbps, to_mbps
 from repro.video.clips import CLIPS, encode_clip
 from repro.vqm.mos import describe
@@ -98,8 +108,13 @@ def _cmd_run(args) -> int:
 def _cmd_sweep(args) -> int:
     if args.jobs < 1:
         raise ValueError(f"--jobs must be at least 1 (got {args.jobs})")
+    if args.resume and not args.journal:
+        raise ValueError("--resume requires --journal FILE")
+    # Validate the whole grid up front: a typo'd rate or duplicated
+    # depth should die here, not an hour into the campaign.
     rates = [mbps(float(r)) for r in args.rates.split(",")]
     depths = [float(d) for d in args.depths.split(",")]
+    rates, depths = validate_grid(rates, depths)
     base = _spec_from_args(args, to_mbps(rates[0]), depths[0])
     use_cache = (
         args.cache if args.cache is not None else args.cache_dir is not None
@@ -107,15 +122,44 @@ def _cmd_sweep(args) -> int:
     store = None
     if use_cache:
         store = ResultStore(args.cache_dir or default_cache_dir())
-    runner = make_runner(jobs=args.jobs, store=store)
-    sweep = token_rate_sweep(base, rates, depths, runner=runner)
+    retry = None
+    if args.max_retries is not None or args.spec_timeout is not None:
+        retry = RetryPolicy(
+            max_retries=args.max_retries if args.max_retries is not None else 2,
+            spec_timeout_s=args.spec_timeout,
+        )
+    runner = make_runner(jobs=args.jobs, store=store, retry=retry)
+    sweep = token_rate_sweep(
+        base,
+        rates,
+        depths,
+        runner=runner,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
     print(render_sweep(sweep, title=f"sweep: {args.clip} ({args.codec})"))
     if store is not None:
         print(f"\ncache [{store.cache_dir}]: {runner.stats.describe()}")
+    if args.journal:
+        total = len(sweep.points) + len(sweep.failures)
+        resumed = total - runner.stats.submitted
+        print(f"\njournal [{args.journal}]: {resumed} of {total} specs resumed")
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(sweep_to_csv(sweep))
         print(f"\nwrote {args.csv}")
+    if sweep.failures:
+        detail = "; ".join(
+            f"r={to_mbps(f.token_rate_bps):.3f}Mbps "
+            f"b={f.bucket_depth_bytes:.0f}B {f.record.describe()}"
+            for f in sweep.failures
+        )
+        print(
+            f"quarantined {len(sweep.failures)} of "
+            f"{len(sweep.points) + len(sweep.failures)} specs: {detail}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -177,6 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--cache-dir", default=None,
         help=f"cache location (default {default_cache_dir()}; implies --cache)",
+    )
+    sweep_parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retries per failing spec before quarantine (enables fault tolerance)",
+    )
+    sweep_parser.add_argument(
+        "--spec-timeout", type=float, default=None,
+        help="per-attempt wall-clock budget in seconds (enables fault tolerance)",
+    )
+    sweep_parser.add_argument(
+        "--journal", default=None,
+        help="checkpoint every outcome to this append-only journal file",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="reload the journal and skip already-completed specs",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
 

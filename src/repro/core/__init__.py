@@ -4,11 +4,14 @@ This is the layer a "user" of the paper's study would touch: describe
 a configuration (:class:`~repro.core.experiment.ExperimentSpec`), run
 it end to end (stream → police → receive → render → VQM), sweep the
 token-bucket parameters (`sweep`) — serially or through a process
-pool, against an on-disk result cache (`runner`, `resultstore`) — and
-analyze/print the results (`analysis`, `report`).
+pool, against an on-disk result cache (`runner`, `resultstore`), with
+bounded retries, per-spec timeouts, quarantine, and checkpoint/resume
+(`faults`, `journal`, `chaos`) — and analyze/print the results
+(`analysis`, `report`).
 """
 
 from repro.core.experiment import ExperimentSpec, ExperimentResult, run_experiment
+from repro.core.faults import FailureRecord, RetryPolicy
 from repro.core.runner import (
     CACHE_SCHEMA_VERSION,
     ProcessPoolRunner,
@@ -19,7 +22,15 @@ from repro.core.runner import (
     spec_fingerprint,
 )
 from repro.core.resultstore import ResultStore, default_cache_dir
-from repro.core.sweep import SweepPoint, SweepResult, sweep_specs, token_rate_sweep
+from repro.core.journal import SweepJournal, sweep_fingerprint
+from repro.core.sweep import (
+    SweepFailure,
+    SweepPoint,
+    SweepResult,
+    sweep_specs,
+    token_rate_sweep,
+    validate_grid,
+)
 from repro.core.analysis import (
     find_quality_cutoff,
     nonlinearity_index,
@@ -31,10 +42,16 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "run_experiment",
+    "FailureRecord",
+    "RetryPolicy",
+    "SweepFailure",
+    "SweepJournal",
     "SweepPoint",
     "SweepResult",
+    "sweep_fingerprint",
     "sweep_specs",
     "token_rate_sweep",
+    "validate_grid",
     "CACHE_SCHEMA_VERSION",
     "Runner",
     "SerialRunner",

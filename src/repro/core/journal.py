@@ -1,0 +1,196 @@
+"""Sweep journal: incremental checkpointing for resumable campaigns.
+
+A journal is an append-only JSON-lines file that records each spec's
+outcome the moment it resolves, so an interrupted campaign (Ctrl-C,
+OOM kill, power loss) restarts from the last completed spec instead of
+from zero. The format:
+
+* line 1 — a header ``{"kind": "header", "schema": ..., "sweep_id": ...}``
+  binding the file to one exact campaign (the ``sweep_id`` is a hash
+  over every spec fingerprint in order, so resuming against a
+  different grid is an error, not a silent mix-up);
+* then one line per resolved spec —
+  ``{"kind": "done", "fingerprint": ..., "summary": {...}}`` for a
+  success, ``{"kind": "failed", "fingerprint": ..., "failure": {...}}``
+  for a quarantine.
+
+Every append is flushed and fsynced: a journal line exists on disk
+before the campaign moves on. Loading is torn-write tolerant — a
+truncated or corrupt tail line (the one the crash interrupted) is
+skipped, not fatal. On resume, ``done`` specs are served straight from
+the journal (zero re-simulation, cache or no cache) while ``failed``
+specs run again, since whatever quarantined them may have been
+transient.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.core.faults import FailureRecord
+from repro.core.runner import ResultSummary, spec_fingerprint
+
+#: Bump when the journal line format changes; old files stop resuming.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different campaign (or schema)."""
+
+
+def sweep_fingerprint(specs: Sequence) -> str:
+    """Identity of one exact campaign: hash of its ordered spec hashes."""
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(spec_fingerprint(spec).encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class SweepJournal:
+    """Append-only outcome log for one campaign.
+
+    Use :meth:`open` (not the constructor) so load/create semantics and
+    header validation happen in one place. ``completed`` and ``failed``
+    hold what the on-disk file already knew at open time, keyed by spec
+    fingerprint; a spec's latest line wins, so a ``failed`` spec that
+    succeeds on a resumed run is promoted to ``completed``.
+    """
+
+    def __init__(self, path: Path, sweep_id: str):
+        self.path = path
+        self.sweep_id = sweep_id
+        self.completed: dict[str, ResultSummary] = {}
+        self.failed: dict[str, FailureRecord] = {}
+        self._handle = None
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        sweep_id: str,
+        resume: bool = False,
+    ) -> "SweepJournal":
+        """Create a fresh journal, or (``resume=True``) reload one.
+
+        Without ``resume``, an existing file is overwritten — starting
+        a campaign means starting its log. With ``resume``, the header
+        must match ``sweep_id`` exactly (:class:`JournalMismatch`
+        otherwise); a missing file simply starts fresh, so ``--resume``
+        is safe on the very first run.
+        """
+        path = Path(path)
+        journal = cls(path, sweep_id)
+        if resume and path.exists():
+            journal._load()
+            journal._handle = open(path, "a")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            journal._handle = open(path, "w")
+            journal._append(
+                {
+                    "kind": "header",
+                    "schema": JOURNAL_SCHEMA_VERSION,
+                    "sweep_id": sweep_id,
+                }
+            )
+        return journal
+
+    def _load(self) -> None:
+        header_seen = False
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # Torn tail from an interrupted append: skip, don't die.
+                continue
+            if not isinstance(record, dict):
+                continue
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("schema") != JOURNAL_SCHEMA_VERSION:
+                    raise JournalMismatch(
+                        f"journal {self.path} uses schema "
+                        f"{record.get('schema')!r}, expected {JOURNAL_SCHEMA_VERSION}"
+                    )
+                if record.get("sweep_id") != self.sweep_id:
+                    raise JournalMismatch(
+                        f"journal {self.path} belongs to a different sweep "
+                        f"(grid or spec changed); delete it or drop --resume"
+                    )
+                header_seen = True
+            elif kind == "done":
+                try:
+                    fingerprint = record["fingerprint"]
+                    summary = ResultSummary.from_dict(record["summary"])
+                except (KeyError, TypeError):
+                    continue
+                self.completed[fingerprint] = summary
+                self.failed.pop(fingerprint, None)
+            elif kind == "failed":
+                try:
+                    fingerprint = record["fingerprint"]
+                    failure = FailureRecord.from_dict(record["failure"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self.failed[fingerprint] = failure
+                self.completed.pop(fingerprint, None)
+        if not header_seen:
+            raise JournalMismatch(
+                f"journal {self.path} has no valid header; delete it to start over"
+            )
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal is closed")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_success(self, fingerprint: str, summary: ResultSummary) -> None:
+        """Checkpoint one completed spec (durable before returning)."""
+        self._append(
+            {
+                "kind": "done",
+                "fingerprint": fingerprint,
+                "summary": summary.to_dict(),
+            }
+        )
+        self.completed[fingerprint] = summary
+        self.failed.pop(fingerprint, None)
+
+    def record_failure(self, fingerprint: str, failure: FailureRecord) -> None:
+        """Checkpoint one quarantined spec."""
+        self._append(
+            {
+                "kind": "failed",
+                "fingerprint": fingerprint,
+                "failure": failure.to_dict(),
+            }
+        )
+        self.failed[fingerprint] = failure
+        self.completed.pop(fingerprint, None)
+
+    def record(self, fingerprint: str, outcome) -> None:
+        """Dispatch on outcome type (summary vs failure record)."""
+        if isinstance(outcome, FailureRecord):
+            self.record_failure(fingerprint, outcome)
+        else:
+            self.record_success(fingerprint, outcome)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

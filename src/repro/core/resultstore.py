@@ -47,18 +47,46 @@ class ResultStore:
         return self.cache_dir / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> Optional[ResultSummary]:
-        """The cached summary, or None on miss/corruption/stale schema."""
+        """The cached summary, or None on miss/corruption/stale schema.
+
+        A corrupted or truncated entry (torn write, disk rot) is a
+        cache miss, and the bad file is deleted on the spot so the next
+        ``put`` rewrites it cleanly instead of the corruption surviving
+        forever. Entries from an older schema version are left alone —
+        they are valid files that simply no longer match any
+        fingerprint the current code computes.
+        """
         path = self._path(fingerprint)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            self._discard(path)
             return None
         if data.get("schema_version") != _runner.CACHE_SCHEMA_VERSION:
             return None
         try:
             return ResultSummary.from_dict(data["summary"])
-        except (KeyError, TypeError):
+        except (KeyError, TypeError, AttributeError):
+            self._discard(path)
             return None
+
+    #: Alias: ``load`` reads an entry with the same miss-and-discard
+    #: semantics as :meth:`get`.
+    load = get
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Remove a corrupted entry; losing a race to do so is fine."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(
         self,

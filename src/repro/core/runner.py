@@ -17,6 +17,18 @@ the batch the unit of work:
   out over worker processes. Each worker builds its own engine and
   VQM tool, so a spec's result is a pure function of the spec and the
   two runners produce bitwise-identical summaries.
+
+Fault tolerance (see :mod:`repro.core.faults`): attach a
+:class:`~repro.core.faults.RetryPolicy` and a batch survives its own
+specs. Each failing spec is retried with exponential backoff — every
+attempt rebuilds the engine from the spec's seed, so retries are
+RNG-safe replays — under a per-attempt wall-clock timeout (``SIGALRM``
+in-process, process termination in the pool). A spec that exhausts its
+budget is *quarantined*: its slot in the returned batch carries a
+structured :class:`~repro.core.faults.FailureRecord` instead of a
+summary, and the rest of the sweep completes. A pool whose workers die
+degrades to in-process execution rather than aborting the campaign.
+Quarantined specs are never written to the result cache.
 """
 
 from __future__ import annotations
@@ -26,12 +38,22 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
+from repro.core import chaos
 from repro.core.experiment import (
     ExperimentResult,
     ExperimentSpec,
     run_experiment,
+)
+from repro.core.faults import (
+    FailureRecord,
+    PoisonResult,
+    RetryPolicy,
+    SpecTimeout,
+    WorkerCrash,
+    classify_failure,
+    deadline,
 )
 from repro.vqm.tool import VqmTool
 
@@ -42,6 +64,14 @@ if TYPE_CHECKING:  # pragma: no cover
 #: the simulation outputs feeding it) changes. The version salts every
 #: fingerprint, so old on-disk cache entries simply stop matching.
 CACHE_SCHEMA_VERSION = 1
+
+#: One batch slot: a summary on success, a failure record on quarantine.
+BatchOutcome = Union["ResultSummary", FailureRecord]
+
+#: Per-outcome callback: ``(spec, fingerprint, outcome)``, invoked as
+#: each slot resolves (cache hit, fresh result, or quarantine) — the
+#: hook journals use to checkpoint incrementally.
+OutcomeCallback = Callable[[ExperimentSpec, str, BatchOutcome], None]
 
 
 def spec_fingerprint(spec: ExperimentSpec) -> str:
@@ -124,6 +154,29 @@ class ResultSummary:
         return cls(**{k: v for k, v in data.items() if k in names})
 
 
+def validate_summary(candidate) -> ResultSummary:
+    """Reject results a broken worker might hand back.
+
+    Raises :class:`~repro.core.faults.PoisonResult` unless ``candidate``
+    is a :class:`ResultSummary` whose headline numbers are finite and
+    sane — the cheap structural check that keeps one garbage-returning
+    worker from poisoning a cache or a figure.
+    """
+    import math
+
+    if not isinstance(candidate, ResultSummary):
+        raise PoisonResult(
+            f"worker returned {type(candidate).__name__}, not a ResultSummary"
+        )
+    for name in ("quality_score", "lost_frame_fraction", "packet_drop_fraction"):
+        value = getattr(candidate, name)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            raise PoisonResult(f"summary field {name} is not finite: {value!r}")
+    if candidate.dropped_packets < 0 or candidate.server_packets < 0:
+        raise PoisonResult("summary packet counts are negative")
+    return candidate
+
+
 @dataclass
 class RunnerStats:
     """What one runner did across its batches."""
@@ -132,82 +185,202 @@ class RunnerStats:
     simulated: int = 0
     cache_hits: int = 0
     time_saved_s: float = 0.0
+    retries: int = 0
+    quarantined: int = 0
+    fallbacks: int = 0
 
     def describe(self) -> str:
         """One-line cache/throughput report."""
-        return (
+        line = (
             f"{self.submitted} specs: {self.simulated} simulated, "
             f"{self.cache_hits} cache hits "
             f"(~{self.time_saved_s:.1f} s simulation saved)"
         )
+        if self.retries:
+            line += f", {self.retries} retries"
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
+        if self.fallbacks:
+            line += f", {self.fallbacks} pool fallbacks"
+        return line
 
 
 def _summarize_run(
     spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None
-) -> tuple[ResultSummary, ExperimentResult]:
+) -> tuple[BatchOutcome, Optional[ExperimentResult]]:
     started = time.perf_counter()
+    if chaos.enabled():
+        injected = chaos.maybe_inject(spec_fingerprint(spec))
+        if injected is not None:
+            # A garbage rule: hand the poison to the caller's validator.
+            return injected, None
     result = run_experiment(spec, vqm_tool=vqm_tool)
     elapsed = time.perf_counter() - started
     return ResultSummary.from_result(result, elapsed_s=elapsed), result
 
 
-def _pool_worker(spec: ExperimentSpec) -> ResultSummary:
+def _pool_worker(spec: ExperimentSpec) -> BatchOutcome:
     """Process-pool entry point: fresh engine and VQM tool per call."""
     summary, _ = _summarize_run(spec)
     return summary
+
+
+def _supervised_worker(conn, spec: ExperimentSpec) -> None:
+    """Entry point of one supervised worker process.
+
+    Sends ``("ok", summary)`` or ``("error", type_name, message)`` back
+    over the pipe; a worker that dies without sending anything (crash,
+    kill, ``os._exit``) is detected by the supervisor through its exit
+    code, and one that never sends is reaped at the deadline.
+    """
+    try:
+        outcome = _pool_worker(spec)
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 class Runner:
     """Base class: cache bookkeeping around a batch execution strategy.
 
     Subclasses implement :meth:`_execute` for the specs the cache could
-    not answer. When a :class:`ResultStore` is attached, hits skip the
-    simulation entirely and fresh results are written back, so a
-    repeated batch costs only file reads.
+    not answer, and may override :meth:`_execute_tolerant` with a
+    strategy-native fault path. When a :class:`ResultStore` is
+    attached, hits skip the simulation entirely and fresh results are
+    written back, so a repeated batch costs only file reads. When a
+    :class:`RetryPolicy` is attached, per-spec failures become
+    :class:`FailureRecord` slots instead of batch-aborting exceptions.
     """
 
-    def __init__(self, store: Optional["ResultStore"] = None):
+    def __init__(
+        self,
+        store: Optional["ResultStore"] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.store = store
+        self.retry = retry
         self.stats = RunnerStats()
 
     def run_batch(
-        self, specs: Sequence[ExperimentSpec]
-    ) -> list[ResultSummary]:
-        """Run every spec, in order; cached points never re-simulate."""
+        self,
+        specs: Sequence[ExperimentSpec],
+        on_outcome: Optional[OutcomeCallback] = None,
+    ) -> list[BatchOutcome]:
+        """Run every spec, in order; cached points never re-simulate.
+
+        Without a retry policy any spec failure propagates (the
+        historical behaviour). With one, each slot resolves to either a
+        summary or a :class:`FailureRecord` and the batch always
+        returns. ``on_outcome`` fires once per slot as it resolves —
+        cache hits immediately, fresh results/quarantines as execution
+        finishes — which is what lets a sweep journal checkpoint
+        incrementally.
+        """
         specs = list(specs)
         self.stats.submitted += len(specs)
-        summaries: list[Optional[ResultSummary]] = [None] * len(specs)
+        need_fingerprint = self.store is not None or on_outcome is not None
+        outcomes: list[Optional[BatchOutcome]] = [None] * len(specs)
         pending: list[tuple[int, ExperimentSpec, str]] = []
         # NB: "is not None", not truthiness — ResultStore defines
         # __len__, so an empty store is falsy.
         for i, spec in enumerate(specs):
-            fingerprint = (
-                spec_fingerprint(spec) if self.store is not None else ""
-            )
+            fingerprint = spec_fingerprint(spec) if need_fingerprint else ""
             cached = (
                 self.store.get(fingerprint)
                 if self.store is not None
                 else None
             )
             if cached is not None:
-                summaries[i] = cached
+                outcomes[i] = cached
                 self.stats.cache_hits += 1
                 self.stats.time_saved_s += cached.elapsed_s
+                if on_outcome is not None:
+                    on_outcome(spec, fingerprint, cached)
             else:
                 pending.append((i, spec, fingerprint))
-        if pending:
-            fresh = self._execute([spec for _, spec, _ in pending])
-            self.stats.simulated += len(pending)
-            for (i, spec, fingerprint), summary in zip(pending, fresh):
-                summaries[i] = summary
+
+        def finish(slot: tuple[int, ExperimentSpec, str], outcome: BatchOutcome):
+            i, spec, fingerprint = slot
+            outcomes[i] = outcome
+            if isinstance(outcome, FailureRecord):
+                self.stats.quarantined += 1
+            else:
+                self.stats.simulated += 1
                 if self.store is not None:
-                    self.store.put(fingerprint, spec, summary)
-        return summaries  # type: ignore[return-value]
+                    self.store.put(fingerprint, spec, outcome)
+            if on_outcome is not None:
+                on_outcome(spec, fingerprint, outcome)
+
+        if pending:
+            if self.retry is None:
+                fresh = self._execute([spec for _, spec, _ in pending])
+                for slot, summary in zip(pending, fresh):
+                    finish(slot, summary)
+            else:
+                self._execute_tolerant(pending, finish)
+        return outcomes  # type: ignore[return-value]
 
     def _execute(
         self, specs: Sequence[ExperimentSpec]
     ) -> list[ResultSummary]:
         raise NotImplementedError
+
+    def _execute_tolerant(
+        self,
+        slots: Sequence[tuple[int, ExperimentSpec, str]],
+        finish: Callable[[tuple[int, ExperimentSpec, str], BatchOutcome], None],
+    ) -> None:
+        """Fault-tolerant fallback: serial attempt loops with SIGALRM."""
+        tool = VqmTool()
+
+        def run_once(spec: ExperimentSpec) -> BatchOutcome:
+            with deadline(self.retry.spec_timeout_s):
+                candidate, _ = _summarize_run(spec, vqm_tool=tool)
+            return candidate
+
+        for slot in slots:
+            finish(slot, self._attempt_loop(slot[1], slot[2], run_once))
+
+    def _attempt_loop(
+        self,
+        spec: ExperimentSpec,
+        fingerprint: str,
+        run_once: Callable[[ExperimentSpec], BatchOutcome],
+    ) -> BatchOutcome:
+        """Retry ``run_once`` under the policy; quarantine on exhaustion.
+
+        Every attempt is hermetic — the engine is rebuilt from
+        ``spec.seed`` inside ``run_once`` — so a retry replays the
+        identical simulation instead of perturbing RNG state.
+        ``KeyboardInterrupt``/``SystemExit`` pass through untouched:
+        the operator's abort must never be "retried".
+        """
+        policy = self.retry
+        started = time.perf_counter()
+        failure_kind = "exception"
+        failure_message = "no attempt ran"
+        for attempt in range(1, policy.attempts + 1):
+            if attempt > 1:
+                self.stats.retries += 1
+                time.sleep(policy.backoff_s(attempt - 1))
+            try:
+                return validate_summary(run_once(spec))
+            except Exception as exc:  # noqa: BLE001 - classified below
+                failure_kind = classify_failure(exc)
+                failure_message = f"{type(exc).__name__}: {exc}"
+        return FailureRecord(
+            fingerprint=fingerprint or spec_fingerprint(spec),
+            kind=failure_kind,
+            message=failure_message,
+            attempts=policy.attempts,
+            elapsed_s=time.perf_counter() - started,
+            spec=dataclasses.asdict(spec),
+        )
 
 
 class SerialRunner(Runner):
@@ -217,7 +390,9 @@ class SerialRunner(Runner):
     ``keep_details=True``, :attr:`last_details` holds the
     :class:`ExperimentResult` of every point the most recent batch
     actually simulated (cache hits have no detail to keep), in
-    submission order.
+    submission order. Spec timeouts are enforced with ``SIGALRM``
+    (main thread, Unix); elsewhere timeout enforcement degrades to
+    none and the other retry machinery still applies.
     """
 
     def __init__(
@@ -225,8 +400,9 @@ class SerialRunner(Runner):
         store: Optional["ResultStore"] = None,
         vqm_tool: Optional[VqmTool] = None,
         keep_details: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ):
-        super().__init__(store=store)
+        super().__init__(store=store, retry=retry)
         self.vqm_tool = vqm_tool
         self.keep_details = keep_details
         self.last_details: list[ExperimentResult] = []
@@ -240,10 +416,37 @@ class SerialRunner(Runner):
             self.last_details = []
         for spec in specs:
             summary, result = _summarize_run(spec, vqm_tool=tool)
-            if self.keep_details:
+            if self.keep_details and result is not None:
                 self.last_details.append(result)
             summaries.append(summary)
         return summaries
+
+    def _execute_tolerant(self, slots, finish) -> None:
+        tool = self.vqm_tool or VqmTool()
+        if self.keep_details:
+            self.last_details = []
+
+        def run_once(spec: ExperimentSpec) -> BatchOutcome:
+            with deadline(self.retry.spec_timeout_s):
+                candidate, result = _summarize_run(spec, vqm_tool=tool)
+            if self.keep_details and result is not None:
+                self.last_details.append(result)
+            return candidate
+
+        for slot in slots:
+            finish(slot, self._attempt_loop(slot[1], slot[2], run_once))
+
+
+@dataclass
+class _Flight:
+    """One supervised in-flight attempt."""
+
+    slot: tuple[int, ExperimentSpec, str]
+    attempt: int
+    process: object
+    conn: object
+    deadline_at: Optional[float]
+    first_started: float
 
 
 class ProcessPoolRunner(Runner):
@@ -252,10 +455,26 @@ class ProcessPoolRunner(Runner):
     Workers build their own engine and VQM tool per spec, so results
     are a pure function of the spec — independent of worker count and
     bitwise-identical to :class:`SerialRunner` output.
+
+    Two degradation paths keep a campaign alive when workers die:
+
+    * without a retry policy, a batch that trips ``BrokenProcessPool``
+      (a worker segfaulted or was OOM-killed mid-``map``) is re-run
+      in-process instead of aborting;
+    * with a retry policy, each spec runs in its own supervised
+      process — a hung worker is terminated at the deadline, a dead
+      one is detected by its exit code, and both are retried/
+      quarantined per the policy. If processes cannot be spawned at
+      all, execution degrades to the serial fault path.
     """
 
-    def __init__(self, jobs: int, store: Optional["ResultStore"] = None):
-        super().__init__(store=store)
+    def __init__(
+        self,
+        jobs: int,
+        store: Optional["ResultStore"] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        super().__init__(store=store, retry=retry)
         if jobs < 1:
             raise ValueError(f"need at least one worker (jobs={jobs})")
         self.jobs = jobs
@@ -268,18 +487,153 @@ class ProcessPoolRunner(Runner):
             # usable in environments without working multiprocessing.
             return [_pool_worker(spec) for spec in specs]
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_pool_worker, specs))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_pool_worker, specs))
+        except BrokenProcessPool:
+            # A worker died mid-batch. Results are pure functions of
+            # their specs, so redo the whole batch in-process — slower,
+            # but the campaign completes.
+            self.stats.fallbacks += 1
+            return [_pool_worker(spec) for spec in specs]
+
+    def _execute_tolerant(self, slots, finish) -> None:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context()
+            self._supervise(ctx, list(slots), finish)
+        except OSError:
+            # Cannot spawn processes at all (fd/PID exhaustion,
+            # restricted sandbox): degrade to the serial fault path.
+            self.stats.fallbacks += 1
+            super()._execute_tolerant(slots, finish)
+
+    def _supervise(self, ctx, slots, finish) -> None:
+        """Per-spec supervised processes with retry scheduling.
+
+        The loop keeps at most ``jobs`` flights airborne. A flight
+        resolves by message (ok/error), by death (exit code, no
+        message), or by deadline (terminated). Failures re-enter the
+        queue with backoff until the policy is exhausted.
+        """
+        policy = self.retry
+        # (slot, attempt, not_before, first_started, last_kind, last_message)
+        queue: list[tuple] = [
+            (slot, 1, 0.0, time.perf_counter(), None, None) for slot in slots
+        ]
+        flights: list[_Flight] = []
+        first_started: dict[int, float] = {}
+
+        def launch(entry) -> None:
+            slot, attempt, _, started, _, _ = entry
+            first_started.setdefault(slot[0], started)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_supervised_worker,
+                args=(child_conn, slot[1]),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            deadline_at = (
+                time.monotonic() + policy.spec_timeout_s
+                if policy.spec_timeout_s
+                else None
+            )
+            flights.append(
+                _Flight(slot, attempt, process, parent_conn, deadline_at, started)
+            )
+
+        def fail(flight: _Flight, kind: str, message: str) -> None:
+            slot, attempt = flight.slot, flight.attempt
+            if attempt < policy.attempts:
+                self.stats.retries += 1
+                not_before = time.monotonic() + policy.backoff_s(attempt)
+                queue.append(
+                    (slot, attempt + 1, not_before, flight.first_started, kind, message)
+                )
+            else:
+                finish(
+                    slot,
+                    FailureRecord(
+                        fingerprint=slot[2] or spec_fingerprint(slot[1]),
+                        kind=kind,
+                        message=message,
+                        attempts=policy.attempts,
+                        elapsed_s=time.perf_counter() - flight.first_started,
+                        spec=dataclasses.asdict(slot[1]),
+                    ),
+                )
+
+        def reap(flight: _Flight) -> None:
+            flight.conn.close()
+            flight.process.join(timeout=5.0)
+
+        while queue or flights:
+            now = time.monotonic()
+            ready = [e for e in queue if e[2] <= now]
+            for entry in ready:
+                if len(flights) >= self.jobs:
+                    break
+                queue.remove(entry)
+                launch(entry)
+            progressed = False
+            for flight in list(flights):
+                if flight.conn.poll(0):
+                    try:
+                        message = flight.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    flights.remove(flight)
+                    reap(flight)
+                    progressed = True
+                    if message is None:
+                        fail(flight, "crash", "worker pipe closed mid-send")
+                    elif message[0] == "ok":
+                        try:
+                            finish(flight.slot, validate_summary(message[1]))
+                        except PoisonResult as exc:
+                            fail(flight, "poison", f"PoisonResult: {exc}")
+                    else:
+                        _, exc_type, text = message
+                        kind = "timeout" if exc_type == "SpecTimeout" else "exception"
+                        fail(flight, kind, f"{exc_type}: {text}")
+                elif not flight.process.is_alive():
+                    flights.remove(flight)
+                    reap(flight)
+                    progressed = True
+                    code = flight.process.exitcode
+                    fail(flight, "crash", f"worker died with exit code {code}")
+                elif flight.deadline_at is not None and now >= flight.deadline_at:
+                    flight.process.terminate()
+                    flight.process.join(timeout=1.0)
+                    if flight.process.is_alive():  # pragma: no cover - stubborn
+                        flight.process.kill()
+                        flight.process.join(timeout=1.0)
+                    flights.remove(flight)
+                    flight.conn.close()
+                    progressed = True
+                    fail(
+                        flight,
+                        "timeout",
+                        f"SpecTimeout: exceeded {policy.spec_timeout_s:.3g} s "
+                        f"wall-clock budget (worker terminated)",
+                    )
+            if not progressed:
+                time.sleep(0.02)
 
 
 def make_runner(
     jobs: int = 1,
     store: Optional["ResultStore"] = None,
     vqm_tool: Optional[VqmTool] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Runner:
     """The natural runner for a job count: serial for 1, pooled above."""
     if jobs <= 1:
-        return SerialRunner(store=store, vqm_tool=vqm_tool)
-    return ProcessPoolRunner(jobs, store=store)
+        return SerialRunner(store=store, vqm_tool=vqm_tool, retry=retry)
+    return ProcessPoolRunner(jobs, store=store, retry=retry)

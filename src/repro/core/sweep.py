@@ -8,17 +8,29 @@ through a :class:`~repro.core.runner.Runner`, and returns a
 :class:`~repro.core.runner.ProcessPoolRunner` to spread the batch over
 worker processes, or a cache-backed runner to make repeated sweeps
 nearly free.
+
+Fault tolerance: with a retry-policy-equipped runner, specs that fail
+all retries arrive as :class:`SweepFailure` entries in
+``SweepResult.failures`` while every healthy point still lands in
+``points``. With ``journal_path`` set, each outcome is checkpointed to
+an append-only journal the moment it resolves; ``resume=True`` reloads
+that journal and re-runs only the specs it does not already answer
+(previously quarantined specs run again — their failure may have been
+transient).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.experiment import ExperimentSpec
-from repro.core.runner import ResultSummary, Runner, SerialRunner
+from repro.core.faults import FailureRecord
+from repro.core.runner import ResultSummary, Runner, SerialRunner, spec_fingerprint
 from repro.vqm.tool import VqmTool
 
 
@@ -41,12 +53,33 @@ class SweepPoint:
         return self.result.lost_frame_fraction
 
 
+@dataclass(frozen=True)
+class SweepFailure:
+    """One quarantined (token rate, bucket depth) grid point."""
+
+    token_rate_bps: float
+    bucket_depth_bytes: float
+    record: FailureRecord
+
+
 @dataclass
 class SweepResult:
-    """All samples of one figure's sweep."""
+    """All samples of one figure's sweep.
+
+    ``points`` holds the healthy samples; ``failures`` the grid points
+    a fault-tolerant runner quarantined. Series helpers draw from
+    ``points`` only, so a partially-degraded sweep still renders — the
+    missing samples are simply absent from their curve.
+    """
 
     base_spec: ExperimentSpec
     points: list[SweepPoint] = field(default_factory=list)
+    failures: list[SweepFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when no grid point was quarantined."""
+        return not self.failures
 
     def depths(self) -> list[float]:
         """Distinct bucket depths, sorted."""
@@ -72,6 +105,40 @@ class SweepResult:
         return rates, losses, scores
 
 
+def validate_grid(
+    token_rates_bps: Sequence[float],
+    bucket_depths_bytes: Iterable[float],
+    forbid_duplicates: bool = True,
+) -> tuple[list[float], tuple[float, ...]]:
+    """Check a sweep grid before any simulation money is spent.
+
+    Rejects empty axes, non-finite or non-positive values, and (by
+    default) duplicated grid values — a duplicated rate silently doubles
+    a campaign's cost, which is exactly the kind of typo worth catching
+    up front. Returns the normalized ``(rates, depths)`` pair.
+    """
+    rates = list(token_rates_bps)
+    depths = tuple(bucket_depths_bytes)
+    if not rates:
+        raise ValueError("need at least one token rate")
+    if not depths:
+        raise ValueError("need at least one bucket depth")
+    for rate in rates:
+        if not math.isfinite(rate) or rate <= 0:
+            raise ValueError(f"token rate must be positive and finite (got {rate!r})")
+    for depth in depths:
+        if not math.isfinite(depth) or depth <= 0:
+            raise ValueError(
+                f"bucket depth must be positive and finite (got {depth!r})"
+            )
+    if forbid_duplicates:
+        if len(set(rates)) != len(rates):
+            raise ValueError("duplicate token rates in the sweep grid")
+        if len(set(depths)) != len(depths):
+            raise ValueError("duplicate bucket depths in the sweep grid")
+    return rates, depths
+
+
 def sweep_specs(
     base_spec: ExperimentSpec,
     token_rates_bps: Sequence[float],
@@ -91,6 +158,8 @@ def token_rate_sweep(
     bucket_depths_bytes: Iterable[float] = (3000.0, 4500.0),
     vqm_tool: Optional[VqmTool] = None,
     runner: Optional[Runner] = None,
+    journal_path: Union[str, Path, None] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run ``base_spec`` at every (rate, depth) combination.
 
@@ -100,20 +169,67 @@ def token_rate_sweep(
     repeated points without simulating. ``vqm_tool`` is only consulted
     when the default serial runner is built; explicit runners own
     their tooling.
+
+    ``journal_path`` enables incremental checkpointing (see
+    :mod:`repro.core.journal`): every outcome is durably appended as it
+    resolves. ``resume=True`` additionally pre-loads completed specs
+    from the journal and submits only the remainder to the runner —
+    zero re-simulation of finished work, with or without a result
+    cache.
     """
-    if not token_rates_bps:
-        raise ValueError("need at least one token rate")
-    bucket_depths_bytes = tuple(bucket_depths_bytes)
+    token_rates_bps, bucket_depths_bytes = validate_grid(
+        token_rates_bps, bucket_depths_bytes, forbid_duplicates=False
+    )
     specs = sweep_specs(base_spec, token_rates_bps, bucket_depths_bytes)
     active = runner or SerialRunner(vqm_tool=vqm_tool)
-    summaries = active.run_batch(specs)
-    sweep = SweepResult(base_spec=base_spec)
-    for spec, summary in zip(specs, summaries):
-        sweep.points.append(
-            SweepPoint(
-                token_rate_bps=spec.token_rate_bps,
-                bucket_depth_bytes=spec.bucket_depth_bytes,
-                result=summary,
-            )
+
+    outcomes: list = [None] * len(specs)
+    to_run = list(range(len(specs)))
+    journal = None
+    if journal_path is not None:
+        from repro.core.journal import SweepJournal, sweep_fingerprint
+
+        journal = SweepJournal.open(
+            journal_path, sweep_id=sweep_fingerprint(specs), resume=resume
         )
+        if resume:
+            to_run = []
+            for i, spec in enumerate(specs):
+                done = journal.completed.get(spec_fingerprint(spec))
+                if done is not None:
+                    outcomes[i] = done
+                else:
+                    to_run.append(i)
+    try:
+        if to_run:
+            on_outcome = None
+            if journal is not None:
+                on_outcome = lambda spec, fp, outcome: journal.record(fp, outcome)
+            fresh = active.run_batch(
+                [specs[i] for i in to_run], on_outcome=on_outcome
+            )
+            for i, outcome in zip(to_run, fresh):
+                outcomes[i] = outcome
+    finally:
+        if journal is not None:
+            journal.close()
+
+    sweep = SweepResult(base_spec=base_spec)
+    for spec, outcome in zip(specs, outcomes):
+        if isinstance(outcome, FailureRecord):
+            sweep.failures.append(
+                SweepFailure(
+                    token_rate_bps=spec.token_rate_bps,
+                    bucket_depth_bytes=spec.bucket_depth_bytes,
+                    record=outcome,
+                )
+            )
+        else:
+            sweep.points.append(
+                SweepPoint(
+                    token_rate_bps=spec.token_rate_bps,
+                    bucket_depth_bytes=spec.bucket_depth_bytes,
+                    result=outcome,
+                )
+            )
     return sweep

@@ -10,7 +10,12 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.core import chaos
+from repro.core.experiment import ExperimentSpec
 from repro.core.export import csv_to_rows
+from repro.core.runner import spec_fingerprint
+from repro.core.sweep import sweep_specs
+from repro.units import mbps
 
 
 RUN_ARGS = [
@@ -102,6 +107,104 @@ class TestSweepCommand:
     def test_bad_jobs_exits_2(self, capsys):
         assert main(sweep_args("--jobs", "0")) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+def chaos_plan_for(tmp_path, rate_mbps, rule):
+    """A plan targeting the sweep_args() grid point at ``rate_mbps``."""
+    base = ExperimentSpec(
+        clip="test-300",
+        codec="mpeg1",
+        encoding_rate_bps=mbps(1.7),
+        token_rate_bps=mbps(2.0),
+        bucket_depth_bytes=4500.0,
+        seed=3,
+    )
+    specs = sweep_specs(base, [mbps(2.0), mbps(2.2)], (4500.0,))
+    by_rate = {round(s.token_rate_bps / 1e6, 3): s for s in specs}
+    fingerprint = spec_fingerprint(by_rate[rate_mbps])
+    return chaos.ChaosPlan(tmp_path / "chaos").add(fingerprint, rule)
+
+
+class TestSweepValidation:
+    def test_duplicate_rates_exit_2(self, capsys):
+        args = sweep_args()
+        args[args.index("2.0,2.2")] = "2.0,2.0"
+        assert main(args) == 2
+        assert "duplicate token rates" in capsys.readouterr().err
+
+    def test_negative_rate_exits_2(self, capsys):
+        args = sweep_args()
+        args[args.index("2.0,2.2")] = "-1.0"
+        assert main(args) == 2
+        assert "positive and finite" in capsys.readouterr().err
+
+    def test_nonpositive_depth_exits_2(self, capsys):
+        args = sweep_args()
+        args[args.index("4500")] = "0"
+        assert main(args) == 2
+        assert "bucket depth" in capsys.readouterr().err
+
+    def test_resume_without_journal_exits_2(self, capsys):
+        assert main(sweep_args("--resume")) == 2
+        assert "--journal" in capsys.readouterr().err
+
+
+class TestSweepFaultTolerance:
+    def test_quarantine_exits_3_with_summary(self, tmp_path, capsys):
+        plan = chaos_plan_for(tmp_path, 2.2, chaos.ChaosRule("raise"))
+        with plan.installed():
+            code = main(sweep_args("--max-retries", "1"))
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "quarantined 1 of 2 specs" in captured.err
+        assert "ChaosError" in captured.err
+        # The healthy point still rendered.
+        assert "2.000" in captured.out
+
+    def test_retry_recovers_and_exits_0(self, tmp_path, capsys):
+        plan = chaos_plan_for(tmp_path, 2.2, chaos.ChaosRule("raise", times=1))
+        with plan.installed():
+            code = main(sweep_args("--max-retries", "2"))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2.200" in captured.out
+
+    def test_spec_timeout_flag_smoke(self, capsys):
+        assert main(sweep_args("--spec-timeout", "120")) == 0
+        assert "2.200" in capsys.readouterr().out
+
+    def test_journal_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        assert main(sweep_args("--journal", str(journal))) == 0
+        first = capsys.readouterr().out
+        assert "0 of 2 specs resumed" in first
+
+        assert main(sweep_args("--journal", str(journal), "--resume")) == 0
+        second = capsys.readouterr().out
+        assert "2 of 2 specs resumed" in second
+        # The rendered figure itself must be identical either way.
+        figure = lambda text: text.split("\njournal [")[0]
+        assert figure(first) == figure(second)
+
+    def test_resume_after_quarantine_completes(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        plan = chaos_plan_for(tmp_path, 2.2, chaos.ChaosRule("raise"))
+        with plan.installed():
+            code = main(
+                sweep_args("--max-retries", "0", "--journal", str(journal))
+            )
+        assert code == 3
+        capsys.readouterr()
+        # Chaos gone: resume re-runs only the quarantined spec.
+        code = main(
+            sweep_args(
+                "--max-retries", "0", "--journal", str(journal), "--resume"
+            )
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "1 of 2 specs resumed" in captured.out
+        assert "2.200" in captured.out
 
 
 class TestClipsCommand:

@@ -1,0 +1,197 @@
+"""Failure-pattern elements: loss statistics and ordering guarantees.
+
+The ablation benches lean on :mod:`repro.testbeds.impairments` to
+separate "how much loss" from "what loss pattern"; these tests pin the
+statistical contracts those benches assume: Gilbert loss hits its
+average rate while clustering drops into bursts of the configured mean
+length, and delay spikes never reorder the packet stream.
+"""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet
+from repro.testbeds.impairments import (
+    DelaySpikeElement,
+    GilbertLossElement,
+    RandomLossElement,
+)
+
+
+class CollectingSink:
+    """Records every delivered packet id with its delivery time."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.arrivals: list[tuple[float, int]] = []
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        self.arrivals.append((self.engine.now, packet.packet_id))
+
+    @property
+    def ids(self) -> list[int]:
+        return [pid for _, pid in self.arrivals]
+
+
+def pour_packets(element, n: int) -> list[int]:
+    """Push ``n`` packets through and return the dropped ids."""
+    for i in range(n):
+        element.receive(Packet(packet_id=i, flow_id="video", size=1000))
+    delivered = set(element._sink.ids)
+    return [i for i in range(n) if i not in delivered]
+
+
+def drop_run_lengths(dropped: list[int]) -> list[int]:
+    """Lengths of maximal runs of consecutive dropped ids."""
+    runs, current = [], 0
+    previous = None
+    for i in dropped:
+        if previous is not None and i == previous + 1:
+            current += 1
+        else:
+            if current:
+                runs.append(current)
+            current = 1
+        previous = i
+    if current:
+        runs.append(current)
+    return runs
+
+
+class TestRandomLossElement:
+    def test_observed_rate_matches_configured(self):
+        engine = Engine(seed=7)
+        sink = CollectingSink(engine)
+        element = RandomLossElement(engine, sink=sink, loss_rate=0.05)
+        dropped = pour_packets(element, 20_000)
+        assert element.observed_loss_rate == pytest.approx(0.05, abs=0.01)
+        assert len(dropped) == element.dropped_packets
+
+
+class TestGilbertLossElement:
+    N = 40_000
+
+    def test_average_rate_is_honoured(self):
+        """Burstiness redistributes the loss budget, never inflates it."""
+        engine = Engine(seed=11)
+        sink = CollectingSink(engine)
+        element = GilbertLossElement(
+            engine, sink=sink, mean_loss_rate=0.05, mean_burst_packets=5.0
+        )
+        pour_packets(element, self.N)
+        assert element.observed_loss_rate == pytest.approx(0.05, abs=0.015)
+
+    def test_mean_burst_length_matches_configuration(self):
+        engine = Engine(seed=13)
+        sink = CollectingSink(engine)
+        element = GilbertLossElement(
+            engine, sink=sink, mean_loss_rate=0.05, mean_burst_packets=5.0
+        )
+        dropped = pour_packets(element, self.N)
+        runs = drop_run_lengths(dropped)
+        assert runs, "expected some loss bursts"
+        mean_run = sum(runs) / len(runs)
+        assert mean_run == pytest.approx(5.0, abs=1.2)
+        # Genuinely bursty: multi-packet runs must exist.
+        assert max(runs) > 1
+
+    def test_burst_length_one_degenerates_to_iid(self):
+        """p_exit = 1 ⇒ every bad period lasts exactly one packet."""
+        engine = Engine(seed=17)
+        sink = CollectingSink(engine)
+        element = GilbertLossElement(
+            engine, sink=sink, mean_loss_rate=0.05, mean_burst_packets=1.0
+        )
+        dropped = pour_packets(element, self.N)
+        runs = drop_run_lengths(dropped)
+        assert max(runs) == 1
+        assert element.observed_loss_rate == pytest.approx(0.05, abs=0.01)
+
+    def test_same_rate_across_burstiness_settings(self):
+        """The knob the loss-pattern ablation turns: pattern changes,
+        budget does not."""
+        rates = []
+        for burst in (1.0, 8.0):
+            engine = Engine(seed=23)
+            sink = CollectingSink(engine)
+            element = GilbertLossElement(
+                engine, sink=sink, mean_loss_rate=0.04, mean_burst_packets=burst
+            )
+            pour_packets(element, self.N)
+            rates.append(element.observed_loss_rate)
+        assert rates[0] == pytest.approx(rates[1], abs=0.015)
+
+    def test_zero_loss_never_drops(self):
+        engine = Engine(seed=29)
+        sink = CollectingSink(engine)
+        element = GilbertLossElement(
+            engine, sink=sink, mean_loss_rate=0.0, mean_burst_packets=5.0
+        )
+        pour_packets(element, 2_000)
+        assert element.dropped_packets == 0
+
+    def test_parameter_validation(self):
+        engine = Engine(seed=1)
+        with pytest.raises(ValueError):
+            GilbertLossElement(engine, mean_loss_rate=1.0)
+        with pytest.raises(ValueError):
+            GilbertLossElement(engine, mean_burst_packets=0.5)
+
+
+class TestDelaySpikeElement:
+    def run_stream(self, n=300, spike_probability=0.15, spike_delay_s=0.05):
+        engine = Engine(seed=31)
+        sink = CollectingSink(engine)
+        element = DelaySpikeElement(
+            engine,
+            sink=sink,
+            spike_probability=spike_probability,
+            spike_delay_s=spike_delay_s,
+        )
+        send_times = {}
+        for i in range(n):
+            t = i * 0.01
+            send_times[i] = t
+            packet = Packet(packet_id=i, flow_id="video", size=1000)
+            engine.schedule_at(t, lambda p=packet: element.receive(p))
+        engine.run(until=n * 0.01 + 10.0)
+        return element, sink, send_times
+
+    def test_order_preserved_despite_spikes(self):
+        """A spiked packet holds everything behind it — never reorders."""
+        element, sink, _ = self.run_stream()
+        assert element.spikes > 0
+        assert sink.ids == sorted(sink.ids)
+        times = [t for t, _ in sink.arrivals]
+        assert times == sorted(times)
+
+    def test_nothing_is_lost(self):
+        _, sink, send_times = self.run_stream()
+        assert len(sink.arrivals) == len(send_times)
+
+    def test_spiked_packets_are_late(self):
+        element, sink, send_times = self.run_stream()
+        delays = [t - send_times[pid] for t, pid in sink.arrivals]
+        assert max(delays) >= element.spike_delay_s
+        # Un-spiked, un-blocked packets pass through with zero delay.
+        assert min(delays) == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_probability_is_transparent(self):
+        engine = Engine(seed=37)
+        sink = CollectingSink(engine)
+        element = DelaySpikeElement(engine, sink=sink, spike_probability=0.0)
+        for i in range(50):
+            packet = Packet(packet_id=i, flow_id="video", size=1000)
+            engine.schedule_at(i * 0.01, lambda p=packet: element.receive(p))
+        engine.run(until=2.0)
+        assert element.spikes == 0
+        delays = [t - pid * 0.01 for t, pid in sink.arrivals]
+        assert max(delays) == pytest.approx(0.0, abs=1e-9)
+
+    def test_parameter_validation(self):
+        engine = Engine(seed=1)
+        with pytest.raises(ValueError):
+            DelaySpikeElement(engine, spike_probability=1.5)
+        with pytest.raises(ValueError):
+            DelaySpikeElement(engine, spike_delay_s=-0.1)

@@ -184,6 +184,54 @@ class TestResultStore:
         (tmp_path / "bad.json").write_text("{not json")
         assert store.get("bad") is None
 
+    def test_corrupt_entry_is_deleted(self, tmp_path):
+        """Bad files are removed so the next put rewrites them cleanly."""
+        store = ResultStore(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert store.get("bad") is None
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_truncated_entry_is_deleted(self, tmp_path):
+        """A torn write (power loss mid-flush) reads as a miss, once."""
+        store = ResultStore(tmp_path)
+        fingerprint = spec_fingerprint(fast_spec())
+        store.put(fingerprint, fast_spec(), make_summary())
+        path = tmp_path / f"{fingerprint}.json"
+        path.write_bytes(path.read_bytes()[:40])
+        assert store.get(fingerprint) is None
+        assert not path.exists()
+
+    def test_wrong_shape_entry_is_deleted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / "odd.json").write_text(
+            json.dumps({"schema_version": 1, "summary": "not-a-dict"})
+        )
+        assert store.get("odd") is None
+        assert not (tmp_path / "odd.json").exists()
+
+    def test_load_is_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        summary = make_summary()
+        store.put("abc", fast_spec(), summary)
+        assert store.load("abc") == summary
+
+    def test_corrupted_entry_resimulated_and_healed(self, tmp_path):
+        """End to end: corruption costs one re-simulation, not a crash."""
+        store = ResultStore(tmp_path)
+        spec = fast_spec()
+        fingerprint = spec_fingerprint(spec)
+        [fresh] = SerialRunner(store=store).run_batch([spec])
+        (tmp_path / f"{fingerprint}.json").write_text("\x00garbage")
+        healer = SerialRunner(store=store)
+        [again] = healer.run_batch([spec])
+        assert healer.stats.cache_hits == 0
+        assert healer.stats.simulated == 1
+        assert again == fresh
+        # The entry was rewritten: a third run hits cleanly.
+        third = SerialRunner(store=store)
+        third.run_batch([spec])
+        assert third.stats.cache_hits == 1
+
     def test_schema_bump_invalidates_entries(self, tmp_path, monkeypatch):
         store = ResultStore(tmp_path)
         fingerprint = spec_fingerprint(fast_spec())
