@@ -7,9 +7,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 TIMEOUT ?= 300
 TIMEOUT_OPTS = --timeout=$(TIMEOUT)
 
-.PHONY: check check-fast test test-fast compile bench
+.PHONY: check check-fast test test-fast test-recovery compile bench
 
-check: test compile
+check: test test-recovery compile
 
 # Fast loop: skip the slow-marked full-figure/table benchmarks.
 check-fast: test-fast compile
@@ -19,6 +19,10 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow" $(TIMEOUT_OPTS) tests benchmarks
+
+# The error-control suite by itself (ARQ/FEC/feedback/chaos-feedback).
+test-recovery:
+	$(PYTHON) -m pytest -x -q -m recovery $(TIMEOUT_OPTS)
 
 compile:
 	$(PYTHON) -m compileall -q src

@@ -66,6 +66,22 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--cross", type=float, default=0.0, help="cross traffic (Mbps)")
     parser.add_argument("--adaptation", action="store_true")
+    parser.add_argument(
+        "--arq", action="store_true",
+        help="selective-repeat ARQ with deadline-aware repair (UDP only)",
+    )
+    parser.add_argument(
+        "--fec", type=int, default=0, metavar="K",
+        help="XOR parity packet per K data packets (0 = off; UDP only)",
+    )
+    parser.add_argument(
+        "--feedback-loss", type=float, default=0.0, metavar="P",
+        help="loss rate of the client-to-server feedback channel",
+    )
+    parser.add_argument(
+        "--feedback-rtt", type=float, default=0.02, metavar="S",
+        help="round-trip time of the feedback channel (seconds)",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -83,6 +99,10 @@ def _spec_from_args(args, token_rate_mbps: float, depth: float) -> ExperimentSpe
         cross_traffic_bps=mbps(args.cross),
         reference=args.reference,
         adaptation=args.adaptation,
+        arq=args.arq,
+        fec_group=args.fec,
+        feedback_loss=args.feedback_loss,
+        feedback_rtt_s=args.feedback_rtt,
         seed=args.seed,
     )
 
@@ -101,6 +121,15 @@ def _cmd_run(args) -> int:
     print(f"packet drops:      {100 * result.packet_drop_fraction:.2f}%")
     print(f"frozen display:    {100 * result.trace.frozen_fraction:.2f}%")
     print(f"rebuffer stalls:   {result.trace.rebuffer_events}")
+    recovery = result.extras.get("recovery")
+    if recovery is not None:
+        print(
+            f"recovery:          {recovery['nacks_sent']} NACKs, "
+            f"{recovery['repairs_sent']} repairs "
+            f"({recovery['repairs_arrived_late']} late), "
+            f"{recovery['fec_repaired']} FEC-repaired, "
+            f"{recovery['feedback_lost']} feedback lost"
+        )
     print(describe(result.quality_score))
     return 0
 

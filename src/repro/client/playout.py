@@ -54,6 +54,22 @@ class ClientRecord:
     first_arrival_time: float
 
     @property
+    def mean_lateness_s(self) -> float:
+        """Mean positive lateness of arrived frames vs their playout time.
+
+        Repairs that beat the deadline contribute nothing; repairs (or
+        congested originals) that complete a frame after its nominal
+        presentation time contribute their overshoot. This is the
+        delay half of the recovery trade-off.
+        """
+        late = [
+            max(0.0, r.arrival_time - r.presentation_time)
+            for r in self.records
+            if r.arrival_time is not None
+        ]
+        return sum(late) / len(late) if late else 0.0
+
+    @property
     def lost_frame_fraction(self) -> float:
         """Fraction of source frames that never became displayable.
 
@@ -104,6 +120,13 @@ class PlayoutClient:
         When a feedback callback is registered via
         :meth:`set_feedback`, loss fractions are reported at this
         period (the RTCP-ish channel the adaptive servers listen to).
+    buffer_cap_frames:
+        Bound on the playout buffer, in frames not yet displayed.
+        ``0`` (default) models the unbounded buffer the paper's
+        storage filter effectively had. With a cap, a frame completing
+        while the buffer is full is discarded
+        (``buffer_overflow_drops``) and never becomes displayable —
+        real set-top clients drop exactly this way.
     """
 
     def __init__(
@@ -115,9 +138,12 @@ class PlayoutClient:
         gop: Optional[GopStructure] = None,
         expected_frame_bytes: Optional[np.ndarray] = None,
         loss_report_interval: float = 1.0,
+        buffer_cap_frames: int = 0,
     ):
         if decode_mode not in ("gop", "independent"):
             raise ValueError(f"bad decode_mode {decode_mode!r}")
+        if buffer_cap_frames < 0:
+            raise ValueError(f"buffer_cap_frames must be >= 0: {buffer_cap_frames}")
         self.engine = engine
         self.clip = clip
         self.startup_delay = startup_delay
@@ -139,6 +165,9 @@ class PlayoutClient:
         self._interval_lost_packets = 0
         self._interval_delays: list[float] = []
         self.received_packets = 0
+        self.buffer_cap_frames = buffer_cap_frames
+        self.buffer_overflow_drops = 0
+        self._completed_count = 0
 
     # ------------------------------------------------------------------
     # feedback channel
@@ -202,7 +231,7 @@ class PlayoutClient:
             np.isnan(self._completion[frame_id])
             and self._received_bytes[frame_id] >= self._expected[frame_id]
         ):
-            self._completion[frame_id] = time
+            self._complete(frame_id, time)
 
     def _credit(self, frame_id: int, payload: int) -> None:
         if self._first_arrival is None:
@@ -212,7 +241,35 @@ class PlayoutClient:
             np.isnan(self._completion[frame_id])
             and self._received_bytes[frame_id] >= self._expected[frame_id]
         ):
-            self._completion[frame_id] = self.engine.now
+            self._complete(frame_id, self.engine.now)
+
+    def _complete(self, frame_id: int, when: float) -> None:
+        """Record frame completion, subject to the buffer bound."""
+        if (
+            self.buffer_cap_frames
+            and self._buffered_at(when) >= self.buffer_cap_frames
+        ):
+            self.buffer_overflow_drops += 1
+            return
+        self._completion[frame_id] = when
+        self._completed_count += 1
+
+    def _buffered_at(self, when: float) -> int:
+        """Completed-but-undisplayed frames at time ``when``."""
+        played = 0
+        start = self.playback_start
+        if start is not None and when > start:
+            played = min(
+                int((when - start) * self.clip.fps), self.clip.n_frames
+            )
+        return max(self._completed_count - played, 0)
+
+    @property
+    def playback_start(self) -> Optional[float]:
+        """Nominal playout start time; None before any data arrives."""
+        if self._first_arrival is None:
+            return None
+        return self._first_arrival + self.startup_delay
 
     # ------------------------------------------------------------------
     # offline record

@@ -70,11 +70,19 @@ class DisplayTrace:
 class RendererEmulation:
     """Offline replay of the storage-filter record (paper §3.1.2)."""
 
-    def __init__(self, max_stall_s: float = 10.0):
+    def __init__(self, max_stall_s: float = 10.0, resume_buffer_s: float = 0.0):
+        if resume_buffer_s < 0.0:
+            raise ValueError(f"resume_buffer_s must be >= 0: {resume_buffer_s}")
         #: A stall longer than this means the session effectively died
         #: (the paper's clients eventually dropped the connection);
         #: the emulation gives up on the remaining frames.
         self.max_stall_s = max_stall_s
+        #: Stall-then-resume recovery: after an underrun, real players
+        #: keep stalling until this much extra buffer accumulates
+        #: before resuming, trading a longer single stall for fewer
+        #: repeat underruns. 0 resumes the instant the late frame
+        #: lands (the paper's Figure 2 behaviour).
+        self.resume_buffer_s = resume_buffer_s
 
     def replay(self, record: ClientRecord) -> DisplayTrace:
         """Replay a client record into a display trace (see class docs)."""
@@ -103,7 +111,7 @@ class RendererEmulation:
             # the playback point — the "offset" going negative in the
             # paper's script, answered by inserting previous-frame
             # copies.
-            stall = rec.arrival_time - scheduled
+            stall = rec.arrival_time - scheduled + self.resume_buffer_s
             if stall > self.max_stall_s:
                 # Session is hopeless from here on; screen freezes.
                 remaining = n - f

@@ -30,8 +30,16 @@ from repro.core.faults import WorkerCrash
 #: Environment variable pointing at an installed plan's JSON file.
 CHAOS_PLAN_ENV = "REPRO_CHAOS_PLAN"
 
-#: Supported injected behaviours.
-ACTIONS = ("raise", "hang", "crash", "garbage")
+#: Supported injected behaviours. The ``feedback-*`` actions do not
+#: fail the run: they disrupt the in-simulation recovery feedback
+#: channel (every NACK/report dropped, or delivered garbled), proving
+#: a broken reverse path degrades to no-ARQ behaviour instead of
+#: wedging the experiment.
+ACTIONS = ("raise", "hang", "crash", "garbage", "feedback-drop", "feedback-garble")
+
+#: Actions consumed by the recovery feedback channel rather than the
+#: runner's injection point.
+FEEDBACK_ACTIONS = ("feedback-drop", "feedback-garble")
 
 #: What a ``garbage`` rule makes the worker return in place of a
 #: summary — anything that is not a ResultSummary works; a string makes
@@ -171,6 +179,10 @@ def maybe_inject(fingerprint: str) -> Optional[str]:
     rule = _load_rules(plan_path).get(fingerprint)
     if rule is None:
         return None
+    if rule.action in FEEDBACK_ACTIONS:
+        # Not a worker fault: the recovery session picks these up via
+        # feedback_disruption(). Don't burn an attempt slot.
+        return None
     attempt = _count_attempt(plan_path.parent / "attempts", fingerprint)
     if rule.times is not None and attempt > rule.times:
         return None
@@ -186,6 +198,24 @@ def maybe_inject(fingerprint: str) -> Optional[str]:
     if rule.action == "garbage":
         return GARBAGE
     return None  # pragma: no cover - ACTIONS is exhaustive
+
+
+def feedback_disruption(fingerprint: str) -> Optional[str]:
+    """Disruption mode for this spec's recovery feedback channel.
+
+    Returns ``"drop"`` or ``"garble"`` when a ``feedback-*`` rule
+    matches the fingerprint (or the ``"*"`` wildcard entry, which lets
+    a sweep disrupt every spec without enumerating fingerprints);
+    ``None`` otherwise.
+    """
+    plan_path = os.environ.get(CHAOS_PLAN_ENV)
+    if not plan_path:
+        return None
+    rules = _load_rules(Path(plan_path))
+    rule = rules.get(fingerprint) or rules.get("*")
+    if rule is None or rule.action not in FEEDBACK_ACTIONS:
+        return None
+    return rule.action.removeprefix("feedback-")
 
 
 def truncate_cache_entry(path: Union[str, Path], keep_bytes: int = 20) -> None:

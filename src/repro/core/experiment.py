@@ -59,6 +59,12 @@ class ExperimentSpec:
     startup_delay_s: float = 2.0
     decode_mode: str = "gop"  # gop | independent
     adaptation: bool = False
+    # --- application-layer error control (repro.recovery) ---
+    arq: bool = False  # selective-repeat ARQ over the feedback channel
+    fec_group: int = 0  # XOR parity per k data packets (0 = off)
+    feedback_loss: float = 0.0  # loss rate of the client→server path
+    feedback_rtt_s: float = 0.02  # round-trip time of that path
+    client_buffer_frames: int = 0  # playout buffer cap (0 = unbounded)
     seed: int = 0
 
     def with_token_bucket(
@@ -135,8 +141,15 @@ def _build_testbed(spec: ExperimentSpec, engine: Engine):
     raise ValueError(f"unknown testbed {spec.testbed!r}")
 
 
-def _build_server(spec: ExperimentSpec, engine, encoded, testbed, client):
-    """Instantiate the server model and wire its feedback channels."""
+def _build_server(
+    spec: ExperimentSpec, engine, encoded, testbed, client, wire_feedback=True
+):
+    """Instantiate the server model and wire its feedback channels.
+
+    ``wire_feedback=False`` skips the direct client→server loss-report
+    shortcut; the recovery session owns that loop instead (reports then
+    travel over the modeled, lossy feedback channel).
+    """
     premark = DSCP.EF if spec.testbed == "qbone" else None
     if spec.server == "videocharger":
         if spec.transport != "udp":
@@ -170,7 +183,7 @@ def _build_server(spec: ExperimentSpec, engine, encoded, testbed, client):
                 premark_dscp=premark,
                 adaptation=spec.adaptation,
             )
-        if spec.adaptation:
+        if spec.adaptation and wire_feedback:
             client.set_feedback(lambda loss, _delay: server.report_loss(loss))
         return server
     if spec.server == "adaptive-vc":
@@ -187,7 +200,8 @@ def _build_server(spec: ExperimentSpec, engine, encoded, testbed, client):
         server = AdaptiveVideoChargerServer(
             engine, ladder, testbed.ingress, premark_dscp=premark
         )
-        client.set_feedback(lambda loss, _delay: server.report_loss(loss))
+        if wire_feedback:
+            client.set_feedback(lambda loss, _delay: server.report_loss(loss))
         return server
     if spec.server == "largeudp":
         if spec.transport != "udp":
@@ -199,7 +213,7 @@ def _build_server(spec: ExperimentSpec, engine, encoded, testbed, client):
             premark_dscp=premark,
             adaptation=spec.adaptation,
         )
-        if spec.adaptation:
+        if spec.adaptation and wire_feedback:
             client.set_feedback(server.report_feedback)
         return server
     raise ValueError(f"unknown server {spec.server!r}")
@@ -210,19 +224,42 @@ def run_experiment(spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None) -> 
     engine = Engine(seed=spec.seed)
     encoded = encode_clip(spec.clip, spec.codec, spec.encoding_rate_bps)
 
+    from repro.recovery import RecoverySession, recovery_active
+    from repro.recovery.session import validate_recovery
+
+    validate_recovery(spec)
+    with_recovery = recovery_active(spec)
+
     testbed = _build_testbed(spec, engine)
     client = PlayoutClient(
         engine,
         encoded,
         startup_delay=spec.startup_delay_s,
         decode_mode=spec.decode_mode,
+        buffer_cap_frames=spec.client_buffer_frames,
     )
     if spec.transport == "udp":
         reassembler = DatagramReassembler(engine, sink=client)
         testbed.client_host.attach(reassembler)
     # (TCP wiring happens in _build_server, which owns the sender.)
 
-    server = _build_server(spec, engine, encoded, testbed, client)
+    server = _build_server(
+        spec, engine, encoded, testbed, client, wire_feedback=not with_recovery
+    )
+    recovery = None
+    if with_recovery:
+        recovery = RecoverySession(
+            engine,
+            spec,
+            encoded,
+            server=server,
+            client=client,
+            reassembler=reassembler,
+            ingress=testbed.ingress,
+        )
+        # The recovery receiver replaces the bare reassembler at the
+        # client host; non-recovery traffic still passes through it.
+        testbed.client_host.attach(recovery.receiver)
     # The policer tells the client about drops so the loss-report
     # feedback channel sees them (adaptation experiments).
     testbed.policer.set_drop_listener(client.note_policer_drop)
@@ -261,6 +298,15 @@ def run_experiment(spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None) -> 
 
     from repro.core.netmetrics import summarize_path
 
+    extras = {
+        "server_packets": server.stats.packets_sent,
+        "client_packets": getattr(client, "received_packets", 0),
+        "network": summarize_path(
+            testbed.server_tap.records, testbed.client_tap.records
+        ),
+    }
+    if recovery is not None:
+        extras["recovery"] = recovery.stats.to_dict()
     return ExperimentResult(
         spec=spec,
         vqm=vqm,
@@ -269,11 +315,5 @@ def run_experiment(spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None) -> 
         trace=trace,
         client_record=record,
         server_aborted=server.stats.aborted,
-        extras={
-            "server_packets": server.stats.packets_sent,
-            "client_packets": getattr(client, "received_packets", 0),
-            "network": summarize_path(
-                testbed.server_tap.records, testbed.client_tap.records
-            ),
-        },
+        extras=extras,
     )

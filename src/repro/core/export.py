@@ -19,8 +19,13 @@ from repro.units import to_mbps
 
 
 def spec_to_dict(spec) -> dict:
-    """Flatten an ExperimentSpec into plain JSON-able values."""
-    return {
+    """Flatten an ExperimentSpec into plain JSON-able values.
+
+    Recovery fields only appear when engaged, so documents for
+    recovery-free specs are byte-identical to what earlier versions
+    emitted (regression baselines keep matching).
+    """
+    data = {
         "clip": spec.clip,
         "codec": spec.codec,
         "encoding_rate_bps": spec.encoding_rate_bps,
@@ -37,6 +42,14 @@ def spec_to_dict(spec) -> dict:
         "adaptation": spec.adaptation,
         "seed": spec.seed,
     }
+    if spec.arq or spec.fec_group or spec.feedback_loss:
+        data["arq"] = spec.arq
+        data["fec_group"] = spec.fec_group
+        data["feedback_loss"] = spec.feedback_loss
+        data["feedback_rtt_s"] = spec.feedback_rtt_s
+    if spec.client_buffer_frames:
+        data["client_buffer_frames"] = spec.client_buffer_frames
+    return data
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -51,6 +64,11 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "total_stall_s": result.trace.total_stall_s,
         "server_aborted": result.server_aborted,
         "network": result.extras.get("network", {}),
+        **(
+            {"recovery": result.extras["recovery"]}
+            if "recovery" in result.extras
+            else {}
+        ),
         "segments": [
             {
                 "index": s.segment.index,

@@ -63,7 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Bump whenever the shape or meaning of :class:`ResultSummary` (or of
 #: the simulation outputs feeding it) changes. The version salts every
 #: fingerprint, so old on-disk cache entries simply stop matching.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2  # v2: recovery spec fields + recovery counters
 
 #: One batch slot: a summary on success, a failure record on quarantine.
 BatchOutcome = Union["ResultSummary", FailureRecord]
@@ -117,6 +117,13 @@ class ResultSummary:
     server_packets: int
     client_packets: int
     network: dict = field(default_factory=dict)
+    # Recovery counters (all zero unless the spec enables ARQ / FEC /
+    # feedback loss; see repro.recovery).
+    nacks_sent: int = 0
+    repairs_sent: int = 0
+    repairs_arrived_late: int = 0
+    fec_repaired: int = 0
+    feedback_lost: int = 0
     elapsed_s: float = field(default=0.0, compare=False)
 
     @classmethod
@@ -125,6 +132,7 @@ class ResultSummary:
     ) -> "ResultSummary":
         """Condense a full experiment result."""
         stats = result.policer_stats
+        recovery = result.extras.get("recovery", {})
         return cls(
             quality_score=result.quality_score,
             lost_frame_fraction=result.lost_frame_fraction,
@@ -140,6 +148,11 @@ class ResultSummary:
             server_packets=result.extras.get("server_packets", 0),
             client_packets=result.extras.get("client_packets", 0),
             network=dict(result.extras.get("network", {})),
+            nacks_sent=recovery.get("nacks_sent", 0),
+            repairs_sent=recovery.get("repairs_sent", 0),
+            repairs_arrived_late=recovery.get("repairs_arrived_late", 0),
+            fec_repaired=recovery.get("fec_repaired", 0),
+            feedback_lost=recovery.get("feedback_lost", 0),
             elapsed_s=elapsed_s,
         )
 

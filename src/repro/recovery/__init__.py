@@ -1,0 +1,52 @@
+"""Application-layer error control (paper §3.2, §4.3 discussion).
+
+The paper attributes much of the commercial servers' viability under
+EF policing to recovery above the network: VideoCharger retransmitted
+lost messages, WMT thinned its stream on loss feedback, and TCP traded
+retransmit delay for loss. This package models that machinery as a
+subsystem that threads through server, client, and testbed layers:
+
+* :class:`~repro.recovery.feedback.FeedbackChannel` — the client →
+  server reverse path, itself lossy and delayed (NACKs and receiver
+  reports can die too);
+* :class:`~repro.recovery.arq.ArqSender` /
+  :class:`~repro.recovery.arq.RecoveryReceiver` — selective-repeat
+  ARQ with per-packet retry budgets, NACK backoff, and **deadline
+  awareness**: a repair is only transmitted if it can still arrive
+  before the frame's playout time;
+* :class:`~repro.recovery.arq.RecoveryEgressTap` — server egress
+  sequencing plus optional XOR FEC parity per packet group (parity
+  bytes drain the policer's token bucket, which is the interesting
+  tension);
+* :class:`~repro.recovery.session.RecoverySession` — wires the above
+  into one experiment and owns the RTCP-like receiver-report loop that
+  closes the thinning feedback loop.
+
+Everything is off by default: with no recovery flags set, an
+experiment never constructs any of these objects and its outputs are
+bit-identical to the pre-recovery pipeline.
+"""
+
+from repro.recovery.arq import (
+    ArqSender,
+    LossReport,
+    Nack,
+    RecoveryEgressTap,
+    RecoveryReceiver,
+)
+from repro.recovery.feedback import GARBLED, FeedbackChannel
+from repro.recovery.session import RecoverySession, recovery_active
+from repro.recovery.stats import RecoveryStats
+
+__all__ = [
+    "ArqSender",
+    "FeedbackChannel",
+    "GARBLED",
+    "LossReport",
+    "Nack",
+    "RecoveryEgressTap",
+    "RecoveryReceiver",
+    "RecoverySession",
+    "RecoveryStats",
+    "recovery_active",
+]

@@ -1,0 +1,364 @@
+"""Selective-repeat ARQ and XOR FEC for the UDP servers.
+
+Three cooperating pieces:
+
+* :class:`RecoveryEgressTap` sits between a server and the testbed
+  ingress. It stamps every data packet with a transport sequence
+  number (``annotations["arq_seq"]``), retains a repair template for
+  the ARQ sender, and — when FEC is enabled — emits one XOR parity
+  packet per group of ``k`` data packets. Parity packets share the
+  video flow id, so their bytes drain the policer's token bucket just
+  like media bytes: resilience is paid for in tokens.
+
+* :class:`ArqSender` answers client NACKs. A repair is cloned from the
+  retained template (new packet id, ``is_retransmission=True``) and
+  injected at the testbed ingress, subject to a per-packet retry
+  budget and the **deadline rule**: if the repair cannot reach the
+  client before the frame's playout time, it is suppressed — sending
+  it would only burn tokens that live packets need.
+
+* :class:`RecoveryReceiver` wraps the client-side reassembler. It
+  detects sequence gaps, NACKs them over the feedback channel with
+  exponential backoff between retries, reconstructs single losses from
+  parity without a round trip, filters duplicates, and keeps the
+  interval loss/delay measurements the receiver-report loop publishes.
+
+Sequence numbers only exist inside this subsystem; with recovery off,
+no packet ever carries ``arq_seq`` and none of these classes are
+instantiated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet, PacketSink
+
+from repro.recovery.feedback import FeedbackChannel
+from repro.recovery.stats import RecoveryStats
+
+#: Annotation key carrying the recovery-layer sequence number.
+SEQ_KEY = "arq_seq"
+#: Annotation marking a packet as FEC parity (value: member templates).
+PARITY_KEY = "fec_members"
+
+#: Default number of repairs a single packet may receive.
+DEFAULT_RETRY_BUDGET = 3
+#: Default number of NACKs sent per missing packet before giving up.
+DEFAULT_MAX_NACKS = 3
+#: Delay between detecting a gap and the first NACK (reordering guard).
+DEFAULT_NACK_DELAY_S = 0.005
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Client → server: packet ``seq`` is missing, please repair.
+
+    Carries the client's playback start time so the server can compute
+    the frame's playout deadline without a shared clock abstraction
+    (the paper's RTSP setup exchanged equivalent timing in SETUP/PLAY).
+    """
+
+    seq: int
+    playback_start: float
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class LossReport:
+    """Client → server RTCP-style receiver report for one interval."""
+
+    loss_fraction: float
+    mean_delay_s: float
+
+
+def _template(packet: Packet, seq: int) -> dict:
+    """Everything needed to re-materialize ``packet`` later."""
+    annotations = dict(packet.annotations)
+    annotations[SEQ_KEY] = seq
+    return {
+        "seq": seq,
+        "flow_id": packet.flow_id,
+        "size": packet.size,
+        "dscp": packet.dscp,
+        "frame_id": packet.frame_id,
+        "datagram_id": packet.datagram_id,
+        "fragment_index": packet.fragment_index,
+        "fragment_count": packet.fragment_count,
+        "annotations": annotations,
+        "repairs": 0,
+    }
+
+
+def _materialize(engine: Engine, template: dict, *, retransmission: bool) -> Packet:
+    return Packet(
+        packet_id=engine.next_packet_id(),
+        flow_id=template["flow_id"],
+        size=template["size"],
+        dscp=template["dscp"],
+        created_at=engine.now,
+        frame_id=template["frame_id"],
+        datagram_id=template["datagram_id"],
+        fragment_index=template["fragment_index"],
+        fragment_count=template["fragment_count"],
+        is_retransmission=retransmission,
+        annotations=dict(template["annotations"]),
+    )
+
+
+class ArqSender:
+    """Server-side repair engine: answers NACKs, enforces the deadline."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: PacketSink,
+        stats: RecoveryStats,
+        *,
+        fps: float,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        transit_estimate_s: float = 0.02,
+    ) -> None:
+        if retry_budget < 1:
+            raise ValueError(f"retry_budget must be >= 1: {retry_budget}")
+        self.engine = engine
+        self.sink = sink
+        self.stats = stats
+        self.fps = fps
+        self.retry_budget = retry_budget
+        #: How long the server assumes a repair takes to reach the
+        #: client — the one-way media-path estimate used by the
+        #: deadline rule. Deliberately optimistic (the real path adds
+        #: queueing), so marginal repairs are attempted and some arrive
+        #: late, which is exactly the paper's delay-for-loss trade.
+        self.transit_estimate_s = transit_estimate_s
+        self._sent: Dict[int, dict] = {}
+
+    def retain(self, seq: int, packet: Packet) -> None:
+        """Remember ``packet`` (called by the egress tap per emission)."""
+        self._sent[seq] = _template(packet, seq)
+
+    def frame_deadline(self, frame_id: Optional[int], playback_start: float) -> float:
+        """Playout time of ``frame_id`` given the client's timeline."""
+        if frame_id is None:
+            return float("inf")
+        return playback_start + frame_id / self.fps
+
+    def on_nack(self, nack: Nack) -> None:
+        template = self._sent.get(nack.seq)
+        if template is None:
+            return  # never sent (or a pre-handoff seq): nothing to repair
+        if template["repairs"] >= self.retry_budget:
+            self.stats.repair_budget_exhausted += 1
+            return
+        deadline = self.frame_deadline(template["frame_id"], nack.playback_start)
+        if self.engine.now + self.transit_estimate_s > deadline:
+            self.stats.repairs_suppressed += 1
+            return
+        template["repairs"] += 1
+        self.stats.repairs_sent += 1
+        self.sink.receive(_materialize(self.engine, template, retransmission=True))
+
+
+class RecoveryEgressTap:
+    """Server egress stage: sequence numbering, retention, FEC parity."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: PacketSink,
+        stats: RecoveryStats,
+        *,
+        arq_sender: Optional[ArqSender] = None,
+        fec_group: int = 0,
+    ) -> None:
+        if fec_group < 0:
+            raise ValueError(f"fec_group must be >= 0: {fec_group}")
+        self.engine = engine
+        self.sink = sink
+        self.stats = stats
+        self.arq_sender = arq_sender
+        self.fec_group = fec_group
+        self._next_seq = 0
+        self._group: List[dict] = []
+
+    def receive(self, packet: Packet) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        packet.annotations[SEQ_KEY] = seq
+        if self.arq_sender is not None:
+            self.arq_sender.retain(seq, packet)
+        group_member = _template(packet, seq) if self.fec_group else None
+        self.sink.receive(packet)
+        if group_member is not None:
+            self._group.append(group_member)
+            if len(self._group) >= self.fec_group:
+                self._emit_parity()
+
+    def _emit_parity(self) -> None:
+        members = self._group
+        self._group = []
+        # XOR parity is as long as the longest member; it rides the
+        # same flow, so the policer treats it exactly like media.
+        parity = Packet(
+            packet_id=self.engine.next_packet_id(),
+            flow_id=members[-1]["flow_id"],
+            size=max(m["size"] for m in members),
+            dscp=members[-1]["dscp"],
+            created_at=self.engine.now,
+            annotations={PARITY_KEY: members},
+        )
+        self.stats.fec_parity_sent += 1
+        self.sink.receive(parity)
+
+
+class RecoveryReceiver:
+    """Client-side recovery endpoint wrapping the reassembler."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: PacketSink,
+        stats: RecoveryStats,
+        feedback: FeedbackChannel,
+        client,
+        *,
+        fps: float,
+        arq: bool = True,
+        fec: bool = False,
+        max_nacks: int = DEFAULT_MAX_NACKS,
+        nack_delay_s: float = DEFAULT_NACK_DELAY_S,
+        nack_timeout_s: float = 0.05,
+    ) -> None:
+        self.engine = engine
+        self.sink = sink
+        self.stats = stats
+        self.feedback = feedback
+        self.client = client
+        self.fps = fps
+        self.arq = arq
+        self.fec = fec
+        self.max_nacks = max_nacks
+        self.nack_delay_s = nack_delay_s
+        self.nack_timeout_s = nack_timeout_s
+        self._received: Set[int] = set()
+        self._highest = -1
+        self._nacks_for: Dict[int, int] = {}
+        # Interval measurements for the receiver-report loop.
+        self._interval_received = 0
+        self._interval_lost = 0
+        self._interval_delay_sum = 0.0
+
+    # ------------------------------------------------------------------
+    # packet path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        members = packet.annotations.get(PARITY_KEY)
+        if members is not None:
+            self._handle_parity(members)
+            return
+        seq = packet.annotations.get(SEQ_KEY)
+        if seq is None:
+            self.sink.receive(packet)  # non-recovery traffic: pass through
+            return
+        if seq in self._received:
+            self.stats.duplicates_dropped += 1
+            return
+        self._accept(seq)
+        self._interval_received += 1
+        self._interval_delay_sum += self.engine.now - packet.created_at
+        if packet.is_retransmission:
+            deadline = self._frame_deadline(packet.frame_id)
+            if deadline is not None and self.engine.now > deadline:
+                self.stats.repairs_arrived_late += 1
+        self.sink.receive(packet)
+
+    def _accept(self, seq: int) -> None:
+        self._received.add(seq)
+        if seq > self._highest:
+            for missing in range(self._highest + 1, seq):
+                self._note_gap(missing)
+            self._highest = seq
+        else:
+            # A hole just filled (repair or reordered arrival); any
+            # pending re-NACK sees it in _received and stands down.
+            self._nacks_for.pop(seq, None)
+
+    def _note_gap(self, seq: int) -> None:
+        self._interval_lost += 1
+        if not self.arq:
+            return
+        self._nacks_for[seq] = 0
+        self.engine.schedule(self.nack_delay_s, lambda seq=seq: self._nack(seq))
+
+    def _nack(self, seq: int) -> None:
+        if seq in self._received:
+            return
+        attempts = self._nacks_for.get(seq)
+        if attempts is None or attempts >= self.max_nacks:
+            return
+        self._nacks_for[seq] = attempts + 1
+        self.stats.nacks_sent += 1
+        self.feedback.send(
+            Nack(seq=seq, playback_start=self._playback_start(), attempt=attempts + 1)
+        )
+        if attempts + 1 < self.max_nacks:
+            # Exponential backoff between retries: the repair may be in
+            # flight, or the NACK itself may have been lost.
+            self.engine.schedule(
+                self.nack_timeout_s * (2.0**attempts),
+                lambda seq=seq: self._nack(seq),
+            )
+
+    def _handle_parity(self, members: List[dict]) -> None:
+        missing = [m for m in members if m["seq"] not in self._received]
+        if not self.fec:
+            return
+        if len(missing) != 1:
+            if len(missing) > 1:
+                self.stats.fec_unrecoverable += 1
+            return
+        # XOR of the k-1 survivors with parity yields the lost packet;
+        # in the simulation the parity's member metadata *is* that
+        # reconstruction.
+        template = missing[0]
+        self.stats.fec_repaired += 1
+        rebuilt = _materialize(self.engine, template, retransmission=False)
+        self._accept(template["seq"])
+        self._interval_received += 1
+        self._interval_delay_sum += self.engine.now - rebuilt.created_at
+        self.sink.receive(rebuilt)
+
+    # ------------------------------------------------------------------
+    # timing / reporting
+    # ------------------------------------------------------------------
+    def _playback_start(self) -> float:
+        start = getattr(self.client, "playback_start", None)
+        if start is not None:
+            return start
+        # No frame has completed reassembly yet; anchor on now.
+        return self.engine.now + getattr(self.client, "startup_delay", 0.0)
+
+    def _frame_deadline(self, frame_id: Optional[int]) -> Optional[float]:
+        if frame_id is None:
+            return None
+        start = getattr(self.client, "playback_start", None)
+        if start is None:
+            return None
+        return start + frame_id / self.fps
+
+    def drain_interval(self) -> Tuple[float, float]:
+        """Return (loss_fraction, mean_delay_s) and reset the window."""
+        total = self._interval_received + self._interval_lost
+        loss = self._interval_lost / total if total else 0.0
+        delay = (
+            self._interval_delay_sum / self._interval_received
+            if self._interval_received
+            else 0.0
+        )
+        self._interval_received = 0
+        self._interval_lost = 0
+        self._interval_delay_sum = 0.0
+        return loss, delay

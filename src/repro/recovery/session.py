@@ -1,0 +1,162 @@
+"""Per-experiment wiring of the recovery subsystem.
+
+:func:`recovery_active` is the single gate the experiment pipeline
+consults: when it returns False the session is never constructed and
+the packet path is byte-for-byte the pre-recovery pipeline.
+
+When active, :class:`RecoverySession` splices a
+:class:`~repro.recovery.arq.RecoveryEgressTap` between the server and
+the testbed ingress, wraps the client's reassembler in a
+:class:`~repro.recovery.arq.RecoveryReceiver`, and owns the
+RTCP-like receiver-report loop that carries measured loss back to the
+adaptive servers over the (lossy) feedback channel — closing the loop
+that the adaptation tests used to poke by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import chaos
+from repro.sim.engine import Engine
+from repro.sim.packet import PacketSink
+
+from repro.recovery.arq import ArqSender, LossReport, Nack, RecoveryEgressTap, RecoveryReceiver
+from repro.recovery.feedback import FeedbackChannel
+from repro.recovery.stats import RecoveryStats
+
+#: Server-side estimate of the media-path one-way transit, used by the
+#: deadline rule. Deliberately optimistic — real queueing adds more —
+#: so marginal repairs are attempted and some arrive late (the paper's
+#: delay-for-loss trade shows up in `repairs_arrived_late`).
+TRANSIT_ESTIMATE_S = 0.02
+
+#: Period of the RTCP-like receiver-report loop.
+REPORT_INTERVAL_S = 1.0
+
+
+def recovery_active(spec) -> bool:
+    """True when any recovery knob on ``spec`` is engaged."""
+    return bool(spec.arq or spec.fec_group or spec.feedback_loss)
+
+
+def validate_recovery(spec) -> None:
+    """Reject incoherent recovery configurations up front."""
+    if not recovery_active(spec):
+        return
+    if spec.transport != "udp":
+        raise ValueError(
+            "recovery (--arq/--fec/--feedback-loss) models UDP streaming; "
+            "TCP already retransmits at the transport layer"
+        )
+    if spec.fec_group < 0:
+        raise ValueError(f"fec group size must be >= 0: {spec.fec_group}")
+    if not 0.0 <= spec.feedback_loss < 1.0:
+        raise ValueError(
+            f"feedback loss must be in [0, 1): {spec.feedback_loss}"
+        )
+    if spec.feedback_rtt_s < 0.0:
+        raise ValueError(f"feedback rtt must be >= 0: {spec.feedback_rtt_s}")
+
+
+class RecoverySession:
+    """Error control for one experiment run."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec,
+        clip,
+        *,
+        server,
+        client,
+        reassembler: PacketSink,
+        ingress: PacketSink,
+    ) -> None:
+        validate_recovery(spec)
+        self.engine = engine
+        self.spec = spec
+        self.server = server
+        self.client = client
+        self.stats = RecoveryStats()
+
+        disruption = None
+        if chaos.enabled():
+            # Local import: runner imports experiment imports us.
+            from repro.core.runner import spec_fingerprint
+
+            disruption = chaos.feedback_disruption(spec_fingerprint(spec))
+
+        self.channel = FeedbackChannel(
+            engine,
+            self.stats,
+            loss_rate=spec.feedback_loss,
+            rtt_s=spec.feedback_rtt_s,
+            disruption=disruption,
+        )
+        self.arq_sender: Optional[ArqSender] = None
+        if spec.arq:
+            self.arq_sender = ArqSender(
+                engine,
+                ingress,
+                self.stats,
+                fps=clip.fps,
+                transit_estimate_s=TRANSIT_ESTIMATE_S,
+            )
+        # Splice the egress tap in front of whatever the server was
+        # already sending to (ingress, possibly behind a shaper).
+        self.tap = RecoveryEgressTap(
+            engine,
+            server.sink,
+            self.stats,
+            arq_sender=self.arq_sender,
+            fec_group=spec.fec_group,
+        )
+        server.sink = self.tap
+        self.receiver = RecoveryReceiver(
+            engine,
+            reassembler,
+            self.stats,
+            self.channel,
+            client,
+            fps=clip.fps,
+            arq=spec.arq,
+            fec=spec.fec_group > 0,
+            nack_timeout_s=max(0.05, 1.5 * spec.feedback_rtt_s),
+        )
+        self.channel.connect(self._on_feedback)
+        if spec.adaptation:
+            engine.schedule(REPORT_INTERVAL_S, self._report)
+
+    # ------------------------------------------------------------------
+    # feedback dispatch (server side of the channel)
+    # ------------------------------------------------------------------
+    def _on_feedback(self, message: object) -> None:
+        if isinstance(message, Nack):
+            if self.arq_sender is not None:
+                self.arq_sender.on_nack(message)
+            return
+        if isinstance(message, LossReport):
+            self._deliver_report(message)
+            return
+        # GARBLED (or anything unrecognized) degrades silently: a
+        # broken feedback channel must never wedge the run.
+        self.stats.feedback_garbled += 1
+
+    def _deliver_report(self, report: LossReport) -> None:
+        report_loss = getattr(self.server, "report_loss", None)
+        if report_loss is not None:
+            report_loss(report.loss_fraction)
+            return
+        report_feedback = getattr(self.server, "report_feedback", None)
+        if report_feedback is not None:
+            report_feedback(report.loss_fraction, report.mean_delay_s)
+
+    # ------------------------------------------------------------------
+    # receiver-report loop (client side)
+    # ------------------------------------------------------------------
+    def _report(self) -> None:
+        loss, mean_delay = self.receiver.drain_interval()
+        self.stats.loss_reports_sent += 1
+        self.channel.send(LossReport(loss_fraction=loss, mean_delay_s=mean_delay))
+        self.engine.schedule(REPORT_INTERVAL_S, self._report)

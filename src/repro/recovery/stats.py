@@ -1,0 +1,48 @@
+"""Counters shared by the recovery components.
+
+One :class:`RecoveryStats` instance is threaded through the feedback
+channel, the ARQ endpoints, and the FEC coder of a session, and ends
+up in ``ExperimentResult.extras["recovery"]`` →
+:class:`~repro.core.runner.ResultSummary` → the CLI report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class RecoveryStats:
+    """What one session's error-control machinery did."""
+
+    #: NACK messages the client handed to the feedback channel.
+    nacks_sent: int = 0
+    #: Repair packets the server actually (re)transmitted.
+    repairs_sent: int = 0
+    #: Repairs the deadline rule suppressed (could no longer arrive
+    #: before the frame's playout time).
+    repairs_suppressed: int = 0
+    #: Repairs that did arrive, but after the frame's playout time.
+    repairs_arrived_late: int = 0
+    #: NACKs refused because the packet's retry budget was spent.
+    repair_budget_exhausted: int = 0
+    #: Packets discarded at the client as already-received duplicates.
+    duplicates_dropped: int = 0
+    #: FEC parity packets emitted (each drains bucket tokens).
+    fec_parity_sent: int = 0
+    #: Data packets reconstructed from parity without a round trip.
+    fec_repaired: int = 0
+    #: Parity groups with more than one missing member (unrecoverable).
+    fec_unrecoverable: int = 0
+    #: Messages handed to the feedback channel (NACKs + reports).
+    feedback_sent: int = 0
+    #: Feedback messages the lossy reverse path discarded.
+    feedback_lost: int = 0
+    #: Feedback messages that arrived unparseable (chaos garbling).
+    feedback_garbled: int = 0
+    #: RTCP-like receiver reports the client emitted.
+    loss_reports_sent: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able dictionary (the extras/export payload)."""
+        return asdict(self)

@@ -33,6 +33,10 @@ MSS = 1460
 #: Coarse retransmission timeout (seconds).
 DEFAULT_RTO = 0.6
 
+#: Ceiling on the backed-off timeout (RFC 6298 caps at 60 s; 10 s is
+#: plenty for clip-length sessions and keeps tests fast).
+DEFAULT_MAX_RTO = 10.0
+
 
 @dataclass
 class TcpStats:
@@ -42,6 +46,9 @@ class TcpStats:
     retransmissions: int = 0
     timeouts: int = 0
     fast_retransmits: int = 0
+    #: Timeouts that fired with the RTO already backed off (i.e. the
+    #: second and later timeouts of a consecutive run).
+    backed_off_timeouts: int = 0
 
 
 class TcpSender:
@@ -65,12 +72,16 @@ class TcpSender:
         ack_path_delay: float = 0.01,
         initial_cwnd_segments: int = 2,
         rto: float = DEFAULT_RTO,
+        max_rto: float = DEFAULT_MAX_RTO,
     ):
+        if max_rto < rto:
+            raise ValueError(f"max_rto {max_rto} must be >= rto {rto}")
         self.engine = engine
         self.sink = sink
         self.flow_id = flow_id
         self.ack_path_delay = ack_path_delay
         self.rto = rto
+        self.max_rto = max_rto
         self.stats = TcpStats()
 
         self._buffer: deque[tuple[int, int]] = deque()  # (frame_id, bytes)
@@ -83,6 +94,7 @@ class TcpSender:
         self._ssthresh = 64.0
         self._dupacks = 0
         self._rto_event = None
+        self._backoff = 1.0  # multiplier doubled per consecutive timeout
         self._receiver: Optional["TcpReceiver"] = None
 
     # -- wiring ----------------------------------------------------------
@@ -156,16 +168,27 @@ class TcpSender:
         self.sink.receive(packet)
         self._arm_rto()
 
+    @property
+    def current_rto(self) -> float:
+        """The timeout the next armed timer will use (backoff applied)."""
+        return min(self.rto * self._backoff, self.max_rto)
+
     def _arm_rto(self) -> None:
         if self._rto_event is not None:
             self._rto_event.cancel()
-        self._rto_event = self.engine.schedule(self.rto, self._on_timeout)
+        self._rto_event = self.engine.schedule(self.current_rto, self._on_timeout)
 
     def _on_timeout(self) -> None:
         self._rto_event = None
         if self._send_una >= self._created_next:
             return  # everything acked
         self.stats.timeouts += 1
+        if self._backoff > 1.0:
+            self.stats.backed_off_timeouts += 1
+        # Exponential backoff, capped: during a long outage (a policer
+        # black-holing the flow) successive timers space out 2× each
+        # time instead of re-firing a fixed-interval retransmit storm.
+        self._backoff = min(self._backoff * 2.0, self.max_rto / self.rto)
         self._ssthresh = max(2.0, self._cwnd / 2.0)
         self._cwnd = 1.0
         self._dupacks = 0
@@ -182,6 +205,7 @@ class TcpSender:
             self._send_una = cumulative_seq
             self._send_next = max(self._send_next, cumulative_seq)
             self._dupacks = 0
+            self._backoff = 1.0  # ack progress: the path is alive again
             if self._cwnd < self._ssthresh:
                 self._cwnd += newly  # slow start
             else:

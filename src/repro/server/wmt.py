@@ -190,11 +190,17 @@ class WindowsMediaServer(StreamingServer):
             self._clean_reports = 0
         elif loss_fraction == 0.0:
             self._clean_reports += 1
-            # Step back up after 5 s of clean reports.
+            # Step back up after 5 s of clean reports — never on a
+            # single clean interval, which would oscillate against the
+            # very loss the thinning just removed.
             if self._clean_reports >= 5 and self._level > 0:
                 self._level -= 1
                 self.stats.rate_changes += 1
                 self._clean_reports = 0
+        else:
+            # Mild residual loss (0 < loss <= 2%): hold the level and
+            # restart the clean-streak clock.
+            self._clean_reports = 0
 
     @property
     def current_level(self) -> int:

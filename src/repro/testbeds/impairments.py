@@ -10,7 +10,11 @@ any point of a topology, which is how the ablation benches separate
   loss with configurable burstiness at the same average rate;
 * :class:`DelaySpikeElement` — occasional multi-millisecond delay
   spikes (order-preserving), a heavier-tailed cousin of
-  :class:`~repro.testbeds.jitter.JitterElement`.
+  :class:`~repro.testbeds.jitter.JitterElement`;
+* :class:`LinkOutageElement` — on/off link flapping: total loss during
+  deterministic (or RNG-drawn) outage windows, which is what recovery
+  machinery has to survive — random loss thins a stream, an outage
+  black-holes it.
 """
 
 from __future__ import annotations
@@ -175,3 +179,93 @@ class DelaySpikeElement:
         self._last_release = release
         sink = self._sink
         self.engine.schedule_at(release, lambda p=packet: sink.receive(p))
+
+
+class LinkOutageElement:
+    """A link that flaps: up for ``up_s``, then down for ``down_s``.
+
+    Packets arriving while the link is down are dropped; packets
+    arriving while it is up pass through untouched (no added delay, so
+    arrival order is preserved). Windows are half-open: a packet
+    arriving exactly when an outage begins is lost, one arriving
+    exactly when it ends gets through.
+
+    Parameters
+    ----------
+    up_s / down_s:
+        Durations of the up and down phases. With
+        ``random_outages=False`` (default) the flap schedule is exactly
+        periodic — boundary-timing tests rely on this.
+    start_up_s:
+        Length of the *first* up phase (defaults to ``up_s``), so an
+        outage can be placed anywhere relative to stream start.
+    random_outages:
+        When True, each phase duration is drawn from an exponential
+        distribution with the configured mean, from the named engine
+        RNG stream (deterministic per seed).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: Optional[PacketSink] = None,
+        up_s: float = 5.0,
+        down_s: float = 1.0,
+        start_up_s: Optional[float] = None,
+        random_outages: bool = False,
+        rng_stream: str = "link-outage",
+    ):
+        if up_s <= 0 or down_s <= 0:
+            raise ValueError("up_s and down_s must be positive")
+        if start_up_s is not None and start_up_s < 0:
+            raise ValueError("start_up_s cannot be negative")
+        self.engine = engine
+        self._sink = sink
+        self.up_s = up_s
+        self.down_s = down_s
+        self.random_outages = random_outages
+        self.rng_stream = rng_stream
+        self._down = False
+        # Time at which the current phase ends. The state machine is
+        # lazy: it only advances when a packet arrives, so an idle
+        # element schedules no events at all.
+        self._phase_end = start_up_s if start_up_s is not None else up_s
+        self.dropped_packets = 0
+        self.passed_packets = 0
+        self.outages = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach (or replace) the downstream receiver."""
+        self._sink = sink
+
+    def _phase_duration(self, down: bool) -> float:
+        mean = self.down_s if down else self.up_s
+        if not self.random_outages:
+            return mean
+        return max(
+            float(self.engine.rng(self.rng_stream).exponential(mean)), 1e-9
+        )
+
+    def _advance(self, now: float) -> None:
+        while now >= self._phase_end:
+            self._down = not self._down
+            if self._down:
+                self.outages += 1
+            self._phase_end += self._phase_duration(self._down)
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet (PacketSink interface)."""
+        if self._sink is None:
+            raise RuntimeError("outage element not connected")
+        self._advance(self.engine.now)
+        if self._down:
+            self.dropped_packets += 1
+            return
+        self.passed_packets += 1
+        self._sink.receive(packet)
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Fraction of packets this element has dropped so far."""
+        total = self.dropped_packets + self.passed_packets
+        return self.dropped_packets / total if total else 0.0

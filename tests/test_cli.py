@@ -62,6 +62,56 @@ class TestRunCommand:
         assert "error:" in capsys.readouterr().err
 
 
+WMT_RUN_ARGS = [
+    "run",
+    "--clip", "test-300",
+    "--codec", "wmv",
+    "--server", "wmt",
+    "--testbed", "local",
+    "--rate", "1.2",
+    "--depth", "3000",
+    "--seed", "3",
+]
+
+
+@pytest.mark.recovery
+class TestRunRecoveryOutput:
+    def test_arq_prints_recovery_counters(self, capsys):
+        assert main(WMT_RUN_ARGS + ["--arq"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery:" in out
+        # Sits with the other client-side timeliness numbers.
+        lines = out.splitlines()
+        stalls = next(i for i, l in enumerate(lines) if "rebuffer stalls" in l)
+        assert lines[stalls + 1].startswith("recovery:")
+        assert "NACKs" in lines[stalls + 1]
+        assert "repairs" in lines[stalls + 1]
+
+    def test_no_flags_no_recovery_line(self, capsys):
+        assert main(WMT_RUN_ARGS) == 0
+        assert "recovery:" not in capsys.readouterr().out
+
+    def test_json_includes_recovery_when_enabled(self, capsys):
+        assert main(WMT_RUN_ARGS + ["--arq", "--fec", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["arq"] is True
+        assert payload["spec"]["fec_group"] == 10
+        assert payload["recovery"]["nacks_sent"] > 0
+        assert payload["recovery"]["repairs_sent"] > 0
+
+    def test_json_excludes_recovery_when_disabled(self, capsys):
+        assert main(WMT_RUN_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "recovery" not in payload
+        assert "arq" not in payload["spec"]
+
+    def test_recovery_flags_reject_tcp(self, capsys):
+        args = WMT_RUN_ARGS + ["--transport", "tcp", "--arq"]
+        args[args.index("1.2")] = "1.0"
+        assert main(args) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSweepCommand:
     def test_serial_sweep_prints_figure(self, capsys):
         assert main(sweep_args()) == 0

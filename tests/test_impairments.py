@@ -195,3 +195,83 @@ class TestDelaySpikeElement:
             DelaySpikeElement(engine, spike_probability=1.5)
         with pytest.raises(ValueError):
             DelaySpikeElement(engine, spike_delay_s=-0.1)
+
+
+class TestLinkOutageElement:
+    def flap_stream(self, times, seed=11, **kwargs):
+        """Send one packet per entry of ``times``; return element+sink."""
+        engine = Engine(seed=seed)
+        sink = CollectingSink(engine)
+        from repro.testbeds.impairments import LinkOutageElement
+
+        element = LinkOutageElement(engine, sink=sink, **kwargs)
+        for i, t in enumerate(times):
+            packet = Packet(packet_id=i, flow_id="video", size=1000)
+            engine.schedule_at(t, lambda p=packet: element.receive(p))
+        engine.run(until=max(times) + 1.0)
+        return element, sink
+
+    def test_periodic_flap_schedule(self):
+        # up [0,1), down [1,1.5), up [1.5,2.5), down [2.5,3.0), ...
+        times = [0.2, 0.9, 1.2, 1.4, 1.7, 2.4, 2.6, 3.1]
+        element, sink = self.flap_stream(times, up_s=1.0, down_s=0.5)
+        assert sink.ids == [0, 1, 4, 5, 7]
+        assert element.dropped_packets == 3
+        assert element.passed_packets == 5
+        assert element.observed_loss_rate == pytest.approx(3 / 8)
+
+    def test_boundary_packets(self):
+        """Down windows are half-open: [outage-start, outage-end)."""
+        element, sink = self.flap_stream(
+            [1.0, 1.5], up_s=1.0, down_s=0.5
+        )
+        # Exactly at outage start: lost. Exactly at outage end: passes.
+        assert sink.ids == [1]
+        assert element.dropped_packets == 1
+
+    def test_start_up_s_places_first_outage(self):
+        element, sink = self.flap_stream(
+            [0.1, 0.3, 0.6], up_s=5.0, down_s=0.5, start_up_s=0.2
+        )
+        assert sink.ids == [0]  # 0.3 and 0.6 fall inside [0.2, 0.7)
+        assert element.outages == 1
+
+    def test_outage_counter(self):
+        times = [x * 0.25 for x in range(20)]  # 0 .. 4.75s
+        element, _ = self.flap_stream(times, up_s=1.0, down_s=0.5)
+        # Outages begin at t=1.0, 2.5, 4.0 — three within the stream.
+        assert element.outages == 3
+
+    def test_order_and_timing_preserved(self):
+        times = [x * 0.1 for x in range(40)]
+        element, sink = self.flap_stream(times, up_s=1.0, down_s=0.5)
+        assert sink.ids == sorted(sink.ids)
+        for when, pid in sink.arrivals:
+            assert when == pytest.approx(times[pid])  # zero added delay
+
+    def test_random_outages_deterministic_per_seed(self):
+        times = [x * 0.05 for x in range(200)]
+
+        def survivors(seed):
+            _, sink = self.flap_stream(
+                times, seed=seed, up_s=1.0, down_s=0.5, random_outages=True
+            )
+            return sink.ids
+
+        assert survivors(5) == survivors(5)
+        assert survivors(5) != survivors(6)
+
+    def test_parameter_validation(self):
+        from repro.testbeds.impairments import LinkOutageElement
+
+        engine = Engine(seed=1)
+        with pytest.raises(ValueError):
+            LinkOutageElement(engine, up_s=0.0)
+        with pytest.raises(ValueError):
+            LinkOutageElement(engine, down_s=-1.0)
+        with pytest.raises(ValueError):
+            LinkOutageElement(engine, start_up_s=-0.1)
+        with pytest.raises(RuntimeError):
+            LinkOutageElement(engine).receive(
+                Packet(packet_id=0, flow_id="video", size=100)
+            )

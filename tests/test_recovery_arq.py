@@ -1,0 +1,345 @@
+"""Unit tests for the ARQ/FEC recovery components.
+
+These exercise the pieces in isolation with stub sinks — the
+end-to-end behaviour (recovery threaded through a real testbed) lives
+in test_recovery_integration.py.
+"""
+
+import pytest
+
+from repro.diffserv.policer import Policer
+from repro.recovery.arq import (
+    ArqSender,
+    Nack,
+    RecoveryEgressTap,
+    RecoveryReceiver,
+)
+from repro.recovery.feedback import FeedbackChannel
+from repro.recovery.stats import RecoveryStats
+from repro.sim.packet import Packet
+from repro.units import mbps
+
+pytestmark = pytest.mark.recovery
+
+FPS = 25.0
+
+
+class ListSink:
+    """Collects received packets."""
+
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        """Accept a packet (PacketSink interface)."""
+        self.packets.append(packet)
+
+
+class FakeClient:
+    """Just enough PlayoutClient surface for the receiver."""
+
+    def __init__(self, playback_start=None, startup_delay=2.0):
+        self.playback_start = playback_start
+        self.startup_delay = startup_delay
+
+
+def video_packet(engine, frame_id=0, size=1200, **kwargs):
+    return Packet(
+        packet_id=engine.next_packet_id(),
+        flow_id="video",
+        size=size,
+        created_at=engine.now,
+        frame_id=frame_id,
+        **kwargs,
+    )
+
+
+def build_sender(engine, stats=None, **kwargs):
+    stats = stats or RecoveryStats()
+    wire = ListSink()
+    sender = ArqSender(engine, wire, stats, fps=FPS, **kwargs)
+    return sender, wire, stats
+
+
+def build_receiver(engine, stats=None, client=None, **kwargs):
+    stats = stats or RecoveryStats()
+    channel = FeedbackChannel(engine, stats, rtt_s=0.02)
+    sent = []
+    channel.connect(sent.append)
+    delivered = ListSink()
+    receiver = RecoveryReceiver(
+        engine,
+        delivered,
+        stats,
+        channel,
+        client or FakeClient(playback_start=100.0),
+        fps=FPS,
+        **kwargs,
+    )
+    return receiver, delivered, sent, stats
+
+
+class TestEgressTap:
+    def test_assigns_consecutive_sequence_numbers(self, engine):
+        wire = ListSink()
+        tap = RecoveryEgressTap(engine, wire, RecoveryStats())
+        for i in range(5):
+            tap.receive(video_packet(engine, frame_id=i))
+        assert [p.annotations["arq_seq"] for p in wire.packets] == list(range(5))
+
+    def test_retains_templates_for_arq(self, engine):
+        sender, _, _ = build_sender(engine)
+        tap = RecoveryEgressTap(engine, ListSink(), RecoveryStats(), arq_sender=sender)
+        tap.receive(video_packet(engine, frame_id=7, size=987))
+        template = sender._sent[0]
+        assert template["frame_id"] == 7
+        assert template["size"] == 987
+
+    def test_fec_parity_every_k_packets(self, engine):
+        stats = RecoveryStats()
+        wire = ListSink()
+        tap = RecoveryEgressTap(engine, wire, stats, fec_group=3)
+        for i in range(7):
+            tap.receive(video_packet(engine, frame_id=i))
+        parities = [p for p in wire.packets if "fec_members" in p.annotations]
+        assert len(parities) == 2 == stats.fec_parity_sent
+        assert len(wire.packets) == 9  # 7 data + 2 parity
+        # Parity is as long as the longest member and rides the flow.
+        assert parities[0].size == 1200
+        assert parities[0].flow_id == "video"
+
+    def test_parity_bytes_drain_the_policer_bucket(self, engine):
+        """The paper tension: resilience is paid for in tokens."""
+
+        class PolicedSink:
+            def __init__(self, policer, sink):
+                self.policer = policer
+                self.sink = sink
+
+            def receive(self, packet):
+                out = self.policer(packet)
+                if out is not None:
+                    self.sink.receive(out)
+
+        def run(fec_group):
+            policer = Policer(engine, rate_bps=mbps(0.001), depth_bytes=6000.0)
+            tap = RecoveryEgressTap(
+                engine,
+                PolicedSink(policer, ListSink()),
+                RecoveryStats(),
+                fec_group=fec_group,
+            )
+            for i in range(5):
+                tap.receive(video_packet(engine, frame_id=i, size=1200))
+            return policer.stats.dropped_packets
+
+        # 5 x 1200B data exactly fits the 6000B bucket; adding parity
+        # pushes the tail over and the policer drops.
+        assert run(fec_group=0) == 0
+        assert run(fec_group=2) > 0
+
+
+class TestArqSender:
+    def test_repairs_clone_the_original(self, engine):
+        sender, wire, stats = build_sender(engine)
+        original = video_packet(
+            engine, frame_id=3, size=1111, datagram_id=9,
+            fragment_index=1, fragment_count=2,
+        )
+        original.annotations["frame_total"] = 4444
+        sender.retain(0, original)
+        sender.on_nack(Nack(seq=0, playback_start=engine.now + 10.0))
+        [repair] = wire.packets
+        assert repair.is_retransmission
+        assert repair.packet_id != original.packet_id
+        assert repair.size == 1111
+        assert repair.frame_id == 3
+        assert (repair.datagram_id, repair.fragment_index, repair.fragment_count) == (9, 1, 2)
+        assert repair.annotations["arq_seq"] == 0
+        assert repair.annotations["frame_total"] == 4444
+        assert stats.repairs_sent == 1
+
+    def test_unknown_seq_ignored(self, engine):
+        sender, wire, stats = build_sender(engine)
+        sender.on_nack(Nack(seq=42, playback_start=engine.now + 10.0))
+        assert wire.packets == []
+        assert stats.repairs_sent == 0
+
+    def test_retry_budget_enforced(self, engine):
+        sender, wire, stats = build_sender(engine, retry_budget=2)
+        sender.retain(0, video_packet(engine, frame_id=0))
+        for _ in range(4):
+            sender.on_nack(Nack(seq=0, playback_start=engine.now + 10.0))
+        assert len(wire.packets) == 2
+        assert stats.repair_budget_exhausted == 2
+
+    def test_no_repair_for_passed_playout_time(self, engine):
+        """Acceptance: a frame whose deadline passed gets no repair."""
+        sender, wire, stats = build_sender(engine)
+        engine.schedule(50.0, lambda: None)
+        while engine.step():
+            pass
+        sender.retain(0, video_packet(engine, frame_id=10))
+        # Playback started at t=10: frame 10's playout time (10.4) is
+        # long gone at t=50.
+        sender.on_nack(Nack(seq=0, playback_start=10.0))
+        assert wire.packets == []
+        assert stats.repairs_sent == 0
+        assert stats.repairs_suppressed == 1
+
+    def test_deadline_accounts_for_transit(self, engine):
+        sender, wire, stats = build_sender(engine, transit_estimate_s=0.5)
+        sender.retain(0, video_packet(engine, frame_id=0))
+        # Deadline 0.3s away: reachable only if transit < 0.3.
+        sender.on_nack(Nack(seq=0, playback_start=engine.now + 0.3))
+        assert wire.packets == []
+        assert stats.repairs_suppressed == 1
+
+
+class TestRecoveryReceiver:
+    def tap_for(self, engine, receiver):
+        # Sequences packets into the void; the test hands chosen
+        # packets to the receiver itself (simulating path loss).
+        return RecoveryEgressTap(engine, ListSink(), receiver.stats)
+
+    def test_gap_triggers_nack(self, engine):
+        receiver, delivered, sent, stats = build_receiver(engine)
+        tap = self.tap_for(engine, receiver)
+        p0, p1, p2 = (video_packet(engine, frame_id=i) for i in range(3))
+        for p in (p0, p1, p2):
+            tap.receive(p)
+        # "Lose" p1: deliver 0 then 2 directly.
+        receiver.receive(p0)
+        receiver.receive(p2)
+        engine.run(until=1.0)
+        assert stats.nacks_sent >= 1
+        assert [n.seq for n in sent][:1] == [1]
+        assert [p.annotations["arq_seq"] for p in delivered.packets] == [0, 2]
+
+    def test_nacks_back_off_exponentially(self, engine):
+        receiver, _, sent, stats = build_receiver(
+            engine, max_nacks=3, nack_delay_s=0.01, nack_timeout_s=0.1
+        )
+        tap = self.tap_for(engine, receiver)
+        p0, p1, p2 = (video_packet(engine, frame_id=i) for i in range(3))
+        for p in (p0, p1, p2):
+            tap.receive(p)
+        receiver.receive(p0)
+        times = []
+        original_send = receiver.feedback.send
+
+        def timed_send(message):
+            times.append(engine.now)
+            return original_send(message)
+
+        receiver.feedback.send = timed_send
+        receiver.receive(p2)
+        engine.run(until=5.0)
+        assert stats.nacks_sent == 3  # capped by max_nacks
+        # Spacing doubles: 0.1 then 0.2 between attempts.
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps == pytest.approx([0.1, 0.2])
+
+    def test_repair_cancels_pending_renacks(self, engine):
+        receiver, delivered, sent, stats = build_receiver(
+            engine, nack_delay_s=0.01, nack_timeout_s=0.5
+        )
+        tap = self.tap_for(engine, receiver)
+        p0, p1, p2 = (video_packet(engine, frame_id=i) for i in range(3))
+        for p in (p0, p1, p2):
+            tap.receive(p)
+        receiver.receive(p0)
+        receiver.receive(p2)
+        # Repair of seq 1 arrives before the first re-NACK timeout.
+        engine.schedule(0.1, lambda: receiver.receive(p1))
+        engine.run(until=5.0)
+        assert stats.nacks_sent == 1
+        assert len(delivered.packets) == 3
+
+    def test_duplicates_dropped(self, engine):
+        receiver, delivered, _, stats = build_receiver(engine)
+        tap = self.tap_for(engine, receiver)
+        p0 = video_packet(engine, frame_id=0)
+        tap.receive(p0)
+        receiver.receive(p0)
+        receiver.receive(p0)
+        assert len(delivered.packets) == 1
+        assert stats.duplicates_dropped == 1
+
+    def test_late_repair_counted(self, engine):
+        client = FakeClient(playback_start=0.0)  # playout long started
+        receiver, delivered, _, stats = build_receiver(engine, client=client)
+        tap = self.tap_for(engine, receiver)
+        p0 = video_packet(engine, frame_id=0)
+        tap.receive(p0)
+        repair = video_packet(engine, frame_id=0, is_retransmission=True)
+        repair.annotations["arq_seq"] = 0
+        engine.schedule(1.0, lambda: receiver.receive(repair))
+        engine.run(until=2.0)
+        # Frame 0's playout time was t=0; the repair landed at t=1.
+        assert stats.repairs_arrived_late == 1
+        assert len(delivered.packets) == 1  # still delivered (decode may use it)
+
+    def test_non_recovery_traffic_passes_through(self, engine):
+        receiver, delivered, _, stats = build_receiver(engine)
+        stray = video_packet(engine, frame_id=None)
+        receiver.receive(stray)
+        assert delivered.packets == [stray]
+        assert stats.nacks_sent == 0
+
+    def test_drain_interval_measures_loss(self, engine):
+        receiver, _, _, _ = build_receiver(engine)
+        tap = self.tap_for(engine, receiver)
+        packets = [video_packet(engine, frame_id=i) for i in range(10)]
+        for p in packets:
+            tap.receive(p)
+        for i, p in enumerate(packets):
+            if i not in (3, 7):
+                receiver.receive(p)
+        loss, _delay = receiver.drain_interval()
+        assert loss == pytest.approx(0.2)
+        # Window resets after draining.
+        assert receiver.drain_interval()[0] == 0.0
+
+
+class TestFec:
+    def build(self, engine, fec_group=4, arq=False):
+        receiver, delivered, sent, stats = build_receiver(engine, arq=arq, fec=True)
+        tap = RecoveryEgressTap(engine, receiver, stats, fec_group=fec_group)
+        return tap, receiver, delivered, stats
+
+    def feed(self, engine, tap, receiver, n, lose):
+        wire = ListSink()
+        tap.sink = wire
+        for i in range(n):
+            tap.receive(video_packet(engine, frame_id=i, size=1000 + i))
+        for p in wire.packets:
+            seq = p.annotations.get("arq_seq")
+            if seq not in lose:
+                receiver.receive(p)
+
+    def test_single_loss_repaired_without_round_trip(self, engine):
+        tap, receiver, delivered, stats = self.build(engine, fec_group=4)
+        self.feed(engine, tap, receiver, 4, lose={2})
+        assert stats.fec_repaired == 1
+        rebuilt = [p for p in delivered.packets if p.annotations["arq_seq"] == 2]
+        assert len(rebuilt) == 1
+        assert rebuilt[0].frame_id == 2
+        assert rebuilt[0].size == 1002
+        assert len(delivered.packets) == 4
+
+    def test_double_loss_unrecoverable(self, engine):
+        tap, receiver, delivered, stats = self.build(engine, fec_group=4)
+        self.feed(engine, tap, receiver, 4, lose={1, 2})
+        assert stats.fec_repaired == 0
+        assert stats.fec_unrecoverable == 1
+        assert len(delivered.packets) == 2
+
+    def test_fec_repair_cancels_nack_retries(self, engine):
+        tap, receiver, delivered, stats = self.build(engine, fec_group=4, arq=True)
+        self.feed(engine, tap, receiver, 4, lose={2})
+        engine.run(until=5.0)
+        # The parity (arriving right after the group) repaired seq 2
+        # before the first NACK delay expired.
+        assert stats.fec_repaired == 1
+        assert stats.nacks_sent == 0

@@ -1,0 +1,204 @@
+"""Feedback channel model + chaos disruption of the reverse path.
+
+The acceptance property at the bottom is the robustness headline: a
+feedback channel that chaos has broken entirely (every NACK dropped,
+or every message garbled) leaves the experiment producing exactly the
+no-ARQ baseline numbers — recovery degrades, it never wedges.
+"""
+
+import pytest
+
+from repro.core import chaos
+from repro.core.chaos import ChaosPlan, ChaosRule
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.runner import spec_fingerprint
+from repro.recovery.feedback import GARBLED, FeedbackChannel
+from repro.recovery.stats import RecoveryStats
+from repro.sim.engine import Engine
+from repro.units import mbps
+
+pytestmark = pytest.mark.recovery
+
+
+def build_channel(engine, **kwargs):
+    stats = RecoveryStats()
+    channel = FeedbackChannel(engine, stats, **kwargs)
+    received = []
+    channel.connect(received.append)
+    return channel, received, stats
+
+
+class TestFeedbackChannel:
+    def test_delivers_after_half_rtt(self, engine):
+        channel, received, stats = build_channel(engine, rtt_s=0.2)
+        assert channel.send("hello")
+        assert received == []  # not synchronous
+        engine.run(until=0.099)
+        assert received == []
+        engine.run(until=0.11)
+        assert received == ["hello"]
+        assert stats.feedback_sent == 1
+        assert stats.feedback_lost == 0
+
+    def test_lossy_channel_drops_some_messages(self, engine):
+        channel, received, stats = build_channel(engine, loss_rate=0.5)
+        for i in range(200):
+            channel.send(i)
+        engine.run(until=1.0)
+        assert stats.feedback_lost > 0
+        assert len(received) == 200 - stats.feedback_lost
+        # Survivors keep their order.
+        assert received == sorted(received)
+
+    def test_loss_sequence_is_seed_deterministic(self):
+        def lost_pattern(seed):
+            engine = Engine(seed=seed)
+            channel, _, stats = build_channel(engine, loss_rate=0.3)
+            pattern = []
+            for i in range(50):
+                before = stats.feedback_lost
+                channel.send(i)
+                pattern.append(stats.feedback_lost > before)
+            return pattern
+
+        assert lost_pattern(7) == lost_pattern(7)
+        assert lost_pattern(7) != lost_pattern(8)
+
+    def test_lossless_channel_draws_no_rng(self, engine):
+        channel, _, _ = build_channel(engine, loss_rate=0.0)
+        for i in range(10):
+            channel.send(i)
+        # The named stream was never consumed: its first draw matches
+        # a fresh engine's.
+        fresh = Engine(seed=42)
+        assert engine.rng(channel.rng_stream).random() == (
+            fresh.rng(channel.rng_stream).random()
+        )
+
+    def test_drop_disruption_loses_everything(self, engine):
+        channel, received, stats = build_channel(engine, disruption="drop")
+        for i in range(5):
+            assert not channel.send(i)
+        engine.run(until=1.0)
+        assert received == []
+        assert stats.feedback_lost == 5
+
+    def test_garble_disruption_delivers_sentinel(self, engine):
+        channel, received, stats = build_channel(engine, disruption="garble")
+        channel.send("real message")
+        engine.run(until=1.0)
+        assert received == [GARBLED]
+        assert stats.feedback_lost == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": 1.0},
+            {"loss_rate": -0.1},
+            {"rtt_s": -1.0},
+            {"disruption": "explode"},
+        ],
+    )
+    def test_rejects_bad_parameters(self, engine, kwargs):
+        with pytest.raises(ValueError):
+            FeedbackChannel(engine, RecoveryStats(), **kwargs)
+
+
+ARQ_SPEC = ExperimentSpec(
+    clip="test-300",
+    codec="wmv",
+    server="wmt",
+    transport="udp",
+    testbed="local",
+    token_rate_bps=mbps(1.2),
+    bucket_depth_bytes=3000.0,
+    arq=True,
+    seed=3,
+)
+
+
+class TestChaosFeedbackRules:
+    def test_feedback_actions_are_valid_rules(self):
+        ChaosRule(action="feedback-drop")
+        ChaosRule(action="feedback-garble")
+
+    def test_maybe_inject_ignores_feedback_rules(self, tmp_path):
+        fingerprint = spec_fingerprint(ARQ_SPEC)
+        plan = ChaosPlan(tmp_path).add(
+            fingerprint, ChaosRule(action="feedback-drop")
+        )
+        with plan.installed():
+            assert chaos.maybe_inject(fingerprint) is None
+        # No attempt slot burned: worker-fault accounting untouched.
+        assert plan.attempts(fingerprint) == 0
+
+    def test_feedback_disruption_matches_fingerprint(self, tmp_path):
+        fingerprint = spec_fingerprint(ARQ_SPEC)
+        plan = ChaosPlan(tmp_path).add(
+            fingerprint, ChaosRule(action="feedback-garble")
+        )
+        with plan.installed():
+            assert chaos.feedback_disruption(fingerprint) == "garble"
+            assert chaos.feedback_disruption("somebody-else") is None
+        assert chaos.feedback_disruption(fingerprint) is None  # uninstalled
+
+    def test_feedback_disruption_wildcard(self, tmp_path):
+        plan = ChaosPlan(tmp_path).add("*", ChaosRule(action="feedback-drop"))
+        with plan.installed():
+            assert chaos.feedback_disruption("anything") == "drop"
+
+    def test_worker_fault_rules_do_not_disrupt_feedback(self, tmp_path):
+        plan = ChaosPlan(tmp_path).add("*", ChaosRule(action="raise"))
+        with plan.installed():
+            assert chaos.feedback_disruption("anything") is None
+
+
+class TestBrokenFeedbackDegradesToBaseline:
+    """Acceptance: a dead reverse path == no ARQ at all, not a wedge."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_experiment(
+            ExperimentSpec(
+                **{
+                    **{
+                        f: getattr(ARQ_SPEC, f)
+                        for f in (
+                            "clip", "codec", "server", "transport", "testbed",
+                            "token_rate_bps", "bucket_depth_bytes", "seed",
+                        )
+                    },
+                    "arq": False,
+                }
+            )
+        )
+
+    def run_disrupted(self, tmp_path, action):
+        plan = ChaosPlan(tmp_path).add(
+            spec_fingerprint(ARQ_SPEC), ChaosRule(action=action)
+        )
+        with plan.installed():
+            return run_experiment(ARQ_SPEC)
+
+    def test_drop_disruption_equals_no_arq(self, tmp_path, baseline):
+        result = self.run_disrupted(tmp_path, "feedback-drop")
+        recovery = result.extras["recovery"]
+        assert recovery["nacks_sent"] > 0
+        assert recovery["feedback_lost"] == recovery["feedback_sent"]
+        assert recovery["repairs_sent"] == 0
+        assert result.quality_score == baseline.quality_score
+        assert result.lost_frame_fraction == baseline.lost_frame_fraction
+        assert result.trace.total_stall_s == baseline.trace.total_stall_s
+        assert (
+            result.policer_stats.dropped_packets
+            == baseline.policer_stats.dropped_packets
+        )
+
+    def test_garble_disruption_equals_no_arq(self, tmp_path, baseline):
+        result = self.run_disrupted(tmp_path, "feedback-garble")
+        recovery = result.extras["recovery"]
+        assert recovery["nacks_sent"] > 0
+        assert recovery["feedback_garbled"] == recovery["feedback_sent"]
+        assert recovery["repairs_sent"] == 0
+        assert result.quality_score == baseline.quality_score
+        assert result.lost_frame_fraction == baseline.lost_frame_fraction

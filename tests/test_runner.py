@@ -61,6 +61,11 @@ class TestSpecFingerprint:
             startup_delay_s=5.0,
             decode_mode="independent",
             adaptation=True,
+            arq=True,
+            fec_group=8,
+            feedback_loss=0.1,
+            feedback_rtt_s=0.1,
+            client_buffer_frames=60,
             seed=4,
         )
         spec_fields = {f.name for f in dataclasses.fields(ExperimentSpec)}
@@ -204,7 +209,12 @@ class TestResultStore:
     def test_wrong_shape_entry_is_deleted(self, tmp_path):
         store = ResultStore(tmp_path)
         (tmp_path / "odd.json").write_text(
-            json.dumps({"schema_version": 1, "summary": "not-a-dict"})
+            json.dumps(
+                {
+                    "schema_version": runner_mod.CACHE_SCHEMA_VERSION,
+                    "summary": "not-a-dict",
+                }
+            )
         )
         assert store.get("odd") is None
         assert not (tmp_path / "odd.json").exists()

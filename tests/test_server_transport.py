@@ -131,6 +131,91 @@ class TestLossRecovery:
         assert sum(n for _, n, _ in delivered) == 150 * 3300
 
 
+class GateSink:
+    """Forwards packets only while open; a closed gate black-holes."""
+
+    def __init__(self, sink):
+        self.sink = sink
+        self.open = False
+
+    def receive(self, packet):
+        if self.open:
+            self.sink.receive(packet)
+
+
+class TestRtoBackoff:
+    """Consecutive timeouts must space out 2x, capped, and reset on
+    ack progress — a black-holed flow may not retransmit at a fixed
+    interval forever."""
+
+    def black_holed_sender(self, engine, **kwargs):
+        sender = TcpSender(
+            engine, sink=Host("blackhole"), flow_id="video", **kwargs
+        )
+        receiver = TcpReceiver(engine, on_deliver=lambda f, n, t: None)
+        sender.attach_receiver(receiver)
+        timeout_times = []
+        original = sender._on_timeout
+
+        def recording_timeout():
+            timeout_times.append(engine.now)
+            original()
+
+        sender._on_timeout = recording_timeout
+        return sender, timeout_times
+
+    def test_timeout_intervals_double_then_cap(self, engine):
+        sender, times = self.black_holed_sender(engine, rto=0.6, max_rto=10.0)
+        sender.write(0, 1000)
+        engine.run(until=60)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert times[0] == pytest.approx(0.6)
+        # 1.2, 2.4, 4.8, 9.6 — each consecutive timeout waits twice as
+        # long — then the cap flattens the curve at max_rto.
+        assert gaps[:4] == pytest.approx([1.2, 2.4, 4.8, 9.6])
+        assert max(gaps) == pytest.approx(10.0)
+        assert gaps == sorted(gaps)
+
+    def test_backed_off_timeouts_counted(self, engine):
+        sender, times = self.black_holed_sender(engine)
+        sender.write(0, 1000)
+        engine.run(until=30)
+        assert sender.stats.timeouts == len(times) > 2
+        # Every timeout after the first of the run fired backed off.
+        assert sender.stats.backed_off_timeouts == sender.stats.timeouts - 1
+
+    def test_no_fixed_interval_retransmit_storm(self, engine):
+        sender, _ = self.black_holed_sender(engine, rto=0.6, max_rto=10.0)
+        sender.write(0, 1000)
+        horizon = 60
+        engine.run(until=horizon)
+        fixed_interval_firings = horizon / 0.6  # what no backoff would do
+        assert sender.stats.timeouts < fixed_interval_firings / 4
+
+    def test_backoff_resets_on_ack_progress(self, engine):
+        delivered = []
+        receiver = TcpReceiver(
+            engine, on_deliver=lambda f, n, t: delivered.append(n)
+        )
+        gate = GateSink(Host("client", application=receiver))
+        sender = TcpSender(engine, sink=gate, flow_id="video", rto=0.6)
+        sender.attach_receiver(receiver)
+        sender.write(0, 2000)
+        engine.run(until=5)  # a few timeouts while the gate is closed
+        assert sender.current_rto > sender.rto
+        gate.open = True
+        engine.run(until=30)
+        assert sum(delivered) == 2000
+        assert sender.all_acked
+        assert sender.current_rto == sender.rto  # backoff cleared
+
+    def test_rejects_cap_below_rto(self, engine):
+        with pytest.raises(ValueError):
+            TcpSender(
+                engine, sink=Host("x"), flow_id="v", rto=1.0, max_rto=0.5
+            )
+
+
 class TestReceiver:
     def test_out_of_order_buffered_until_gap_fills(self, engine):
         delivered = []

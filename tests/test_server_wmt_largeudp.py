@@ -88,6 +88,66 @@ class TestWmtAdaptation:
             server.report_loss(0.0)
         assert server.current_level == 0
 
+    def test_single_clean_report_does_not_step_up(self, engine, small_clip_wmv):
+        """Hysteresis: one clean second must not undo the thinning the
+        loss just forced — that would oscillate forever."""
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, Host("h"), adaptation=True
+        )
+        server.report_loss(0.10)
+        assert server.current_level == 1
+        server.report_loss(0.0)
+        assert server.current_level == 1
+        server.report_loss(0.0)
+        server.report_loss(0.0)
+        server.report_loss(0.0)
+        assert server.current_level == 1  # still only 4 clean reports
+
+    def test_mild_loss_resets_clean_streak(self, engine, small_clip_wmv):
+        """Residual loss (0 < loss <= 2%) holds the level AND restarts
+        the clean-streak clock — step-up needs 5 consecutive zeros."""
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, Host("h"), adaptation=True
+        )
+        server.report_loss(0.10)
+        for _ in range(4):
+            server.report_loss(0.0)
+        server.report_loss(0.01)  # mild: no step in either direction...
+        assert server.current_level == 1
+        for _ in range(4):
+            server.report_loss(0.0)
+        assert server.current_level == 1  # ...but the streak restarted
+        server.report_loss(0.0)  # fifth consecutive clean report
+        assert server.current_level == 0
+
+    def test_step_up_consumes_the_streak(self, engine, small_clip_wmv):
+        """Each recovery step needs its own 5 clean reports."""
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, Host("h"), adaptation=True
+        )
+        server.report_loss(0.10)
+        server.report_loss(0.10)
+        assert server.current_level == 2
+        for _ in range(5):
+            server.report_loss(0.0)
+        assert server.current_level == 1  # one step, not a free fall
+        for _ in range(4):
+            server.report_loss(0.0)
+        assert server.current_level == 1
+        server.report_loss(0.0)
+        assert server.current_level == 0
+
+    def test_sustained_loss_keeps_stream_thin(self, engine, small_clip_wmv):
+        server = WindowsMediaServer(
+            engine, small_clip_wmv, Host("h"), adaptation=True
+        )
+        server.report_loss(0.10)
+        level = server.current_level
+        for _ in range(10):
+            server.report_loss(0.03)  # above the 2% thinning threshold
+        assert server.current_level == len(server.THINNING_LEVELS) - 1
+        assert server.current_level > level
+
     def test_adaptation_off_ignores_reports(self, engine, small_clip_wmv):
         server = WindowsMediaServer(engine, small_clip_wmv, Host("h"))
         server.report_loss(0.5)
