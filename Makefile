@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 TIMEOUT ?= 300
 TIMEOUT_OPTS = --timeout=$(TIMEOUT)
 
-.PHONY: check check-fast test test-fast test-recovery compile bench
+.PHONY: check check-fast test test-fast test-recovery compile bench bench-figures
 
 check: test test-recovery compile
 
@@ -18,7 +18,7 @@ test:
 	$(PYTHON) -m pytest -x -q $(TIMEOUT_OPTS)
 
 test-fast:
-	$(PYTHON) -m pytest -x -q -m "not slow" $(TIMEOUT_OPTS) tests benchmarks
+	$(PYTHON) -m pytest -x -q -m "not slow and not perf" $(TIMEOUT_OPTS) tests benchmarks
 
 # The error-control suite by itself (ARQ/FEC/feedback/chaos-feedback).
 test-recovery:
@@ -27,5 +27,11 @@ test-recovery:
 compile:
 	$(PYTHON) -m compileall -q src
 
+# Perf-regression bench: times the event engine against the vectorized
+# fast path on a paper sweep (cache disabled so both sides simulate)
+# and writes BENCH_sweep.json at the repo root.
 bench:
+	REPRO_BENCH_CACHE=0 $(PYTHON) -m pytest -q -s benchmarks/perf $(TIMEOUT_OPTS)
+
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,20 @@
+"""Perf-harness plumbing: everything here is marked ``perf``.
+
+The perf benches time real workloads, so they are excluded from the
+fast check loop (``make check-fast`` runs ``-m "not slow and not
+perf"``) and run through ``make bench`` with the result cache disabled.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+PERF_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if pathlib.Path(str(item.fspath)).is_relative_to(PERF_DIR):
+            item.add_marker(pytest.mark.perf)

@@ -1,0 +1,172 @@
+"""Perf-regression harness: event-loop microbench + fast-path sweep.
+
+``make bench`` runs this module with the result cache disabled
+(``REPRO_BENCH_CACHE=0``) and writes ``BENCH_sweep.json`` at the repo
+root:
+
+* a microbenchmark of the event engine (events/second on a synthetic
+  self-rescheduling workload, including a cancel-heavy phase that
+  exercises heap compaction);
+* an end-to-end (token rate x bucket depth) paper sweep timed twice —
+  once forced onto the event engine (``REPRO_FASTPATH=0``), once on the
+  vectorized fast path (``REPRO_FASTPATH=1``) — reporting the median
+  wall-clock per grid point, the speedup of the medians, and the
+  fast-lane hit rate.
+
+Results are bit-identical between the two timings (asserted per point),
+so the speedup is a pure implementation delta, not a model change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro.core import fastlane
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.runner import ResultSummary
+from repro.sim.engine import Engine
+from repro.units import mbps
+
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+OUT_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+#: The paper's Figure-7 shape: 1.7 Mbps encoding over its sweep rates.
+RATES_MBPS = (1.65, 1.75, 1.9, 2.0)
+DEPTHS_BYTES = (3000.0, 4500.0)
+REPEATS = 3
+
+
+def _microbench(n_events: int = 200_000, chains: int = 64) -> dict:
+    """Events/second on a synthetic self-rescheduling workload."""
+    engine = Engine(seed=1)
+    fired = 0
+
+    def tick():
+        nonlocal fired
+        fired += 1
+        if fired <= n_events - chains:
+            engine.schedule(0.001, tick)
+
+    for _ in range(chains):
+        engine.schedule(0.001, tick)
+    started = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - started
+
+    # Cancel-heavy phase: timers that almost always get cancelled, the
+    # pattern heap compaction exists for.
+    engine2 = Engine(seed=2)
+    n_cancel = 50_000
+    cancel_started = time.perf_counter()
+    pending = []
+    for i in range(n_cancel):
+        pending.append(engine2.schedule(1.0 + i * 1e-4, lambda: None))
+        if len(pending) >= 100:
+            for event in pending[:-1]:
+                event.cancel()
+            pending = pending[-1:]
+    engine2.run()
+    cancel_elapsed = time.perf_counter() - cancel_started
+
+    return {
+        "events": fired,
+        "elapsed_s": elapsed,
+        "events_per_sec": fired / elapsed,
+        "cancel_events": n_cancel,
+        "cancel_elapsed_s": cancel_elapsed,
+        "cancel_events_per_sec": n_cancel / cancel_elapsed,
+    }
+
+
+def _grid():
+    for rate in RATES_MBPS:
+        for depth in DEPTHS_BYTES:
+            yield ExperimentSpec(
+                clip="lost",
+                codec="mpeg1",
+                encoding_rate_bps=mbps(1.7),
+                token_rate_bps=mbps(rate),
+                bucket_depth_bytes=depth,
+                policer_action="drop",
+            )
+
+
+def _point_key(spec: ExperimentSpec) -> str:
+    return f"r{spec.token_rate_bps / 1e6:g}-b{spec.bucket_depth_bytes:.0f}"
+
+
+def _time_grid(monkeypatch, mode: str) -> tuple[dict, dict]:
+    """Median wall-clock and summary per grid point under one mode."""
+    monkeypatch.setenv(fastlane.FASTPATH_ENV, mode)
+    timings: dict[str, float] = {}
+    summaries: dict[str, ResultSummary] = {}
+    for spec in _grid():
+        run_experiment(spec)  # warm encode/feature caches out of the timing
+        samples = []
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            result = run_experiment(spec)
+            samples.append(time.perf_counter() - started)
+        timings[_point_key(spec)] = statistics.median(samples)
+        summaries[_point_key(spec)] = ResultSummary.from_result(
+            result, elapsed_s=0.0
+        )
+    return timings, summaries
+
+
+def test_perf_sweep(monkeypatch):
+    micro = _microbench()
+
+    engine_times, engine_summaries = _time_grid(monkeypatch, "0")
+    fastlane.stats.reset()
+    fast_times, fast_summaries = _time_grid(monkeypatch, "1")
+    hit_rate = fastlane.stats.hit_rate
+
+    # The timings only mean something if the outputs are the same runs.
+    for key, engine_summary in engine_summaries.items():
+        assert engine_summary == fast_summaries[key], key
+
+    engine_median = statistics.median(engine_times.values())
+    fast_median = statistics.median(fast_times.values())
+    speedup = engine_median / fast_median
+
+    payload = {
+        "workload": {
+            "clip": "lost",
+            "encoding_mbps": 1.7,
+            "rates_mbps": list(RATES_MBPS),
+            "depths_bytes": list(DEPTHS_BYTES),
+            "repeats_per_point": REPEATS,
+            "policer_action": "drop",
+            "cache": "disabled (REPRO_BENCH_CACHE=0)",
+        },
+        "engine": {
+            "median_s_per_point": engine_median,
+            "per_point_s": engine_times,
+        },
+        "fastpath": {
+            "median_s_per_point": fast_median,
+            "per_point_s": fast_times,
+            "hit_rate": hit_rate,
+        },
+        "speedup_median": speedup,
+        "bit_identical_points": len(engine_summaries),
+        "microbench": micro,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nengine median {engine_median:.3f}s/point, "
+        f"fast median {fast_median:.3f}s/point, "
+        f"speedup {speedup:.2f}x, hit rate {hit_rate:.0%}, "
+        f"microbench {micro['events_per_sec']:.0f} ev/s "
+        f"(cancel-heavy {micro['cancel_events_per_sec']:.0f} ev/s)"
+    )
+
+    assert hit_rate == 1.0
+    # Regression floor: the acceptance target is 5x on an idle machine;
+    # 3x here keeps the bench meaningful without going flaky under load.
+    assert speedup >= 3.0, f"fast-path speedup regressed to {speedup:.2f}x"
+    assert micro["events_per_sec"] > 50_000

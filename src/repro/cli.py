@@ -25,11 +25,17 @@ completes; a sweep with quarantined specs prints a one-line summary to
 stderr and exits 3. ``--journal FILE`` checkpoints every outcome as it
 resolves, and ``--resume`` reloads that journal so an interrupted
 campaign re-simulates nothing it already finished.
+
+Profiling: ``run --profile`` / ``sweep --profile`` (or the
+``REPRO_PROFILE=1`` environment variable) execute the command under
+``cProfile`` and print the top 20 cumulative-time functions to stderr
+after the normal output.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -228,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--rate", type=float, required=True, help="token rate (Mbps)")
     run_parser.add_argument("--depth", type=float, default=3000.0, help="bucket depth (bytes)")
     run_parser.add_argument("--json", action="store_true", help="emit JSON")
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile; top-20 cumulative functions to stderr",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = commands.add_parser("sweep", help="token-rate sweep (one figure)")
@@ -267,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="reload the journal and skip already-completed specs",
     )
+    sweep_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile; top-20 cumulative functions to stderr",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     clips_parser = commands.add_parser("clips", help="list registered clips")
@@ -281,7 +297,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     one-line message and exit 2 instead of dumping a traceback.
     """
     args = build_parser().parse_args(argv)
+    profile = (
+        bool(getattr(args, "profile", False))
+        or os.environ.get("REPRO_PROFILE", "") == "1"
+    )
     try:
+        if profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            try:
+                return profiler.runcall(args.func, args)
+            finally:
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(20)
         return args.func(args)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -219,8 +219,55 @@ def _build_server(
     raise ValueError(f"unknown server {spec.server!r}")
 
 
+def assess_playback(
+    spec: ExperimentSpec,
+    record: ClientRecord,
+    vqm_tool: Optional[VqmTool] = None,
+    received_features=None,
+):
+    """Offline assessment stages shared by the engine and fast paths.
+
+    Replays the client record through the renderer emulation and scores
+    it with VQM against the spec's reference. ``received_features``
+    overrides the clip-derived features (the adaptive server passes its
+    per-frame composite). Returns ``(trace, vqm_result)``.
+    """
+    trace = RendererEmulation().replay(record)
+    if received_features is None:
+        received_features = clip_features(
+            spec.clip, spec.codec, spec.encoding_rate_bps
+        )
+    if spec.reference == "transmitted":
+        reference_features = received_features
+    elif spec.reference == "fixed":
+        reference_features = clip_features(
+            spec.clip, spec.codec, spec.fixed_reference_rate_bps
+        )
+    else:
+        raise ValueError(f"unknown reference mode {spec.reference!r}")
+    tool = vqm_tool or VqmTool()
+    return trace, tool.assess(reference_features, received_features, trace)
+
+
 def run_experiment(spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None) -> ExperimentResult:
-    """Run one full experiment and assess the received video."""
+    """Run one full experiment and assess the received video.
+
+    Qualifying specs (see :mod:`repro.core.fastlane`) are served by the
+    vectorized fast path, which produces a bit-identical result without
+    building an engine; everything else runs the discrete-event
+    simulation below. ``REPRO_FASTPATH=0|1|auto`` overrides dispatch.
+    """
+    from repro.core import fastlane
+
+    if fastlane.use_fastpath(spec):
+        return fastlane.run_fastpath(spec, vqm_tool=vqm_tool)
+    return _run_engine_experiment(spec, vqm_tool)
+
+
+def _run_engine_experiment(
+    spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None
+) -> ExperimentResult:
+    """The discrete-event path of :func:`run_experiment`."""
     engine = Engine(seed=spec.seed)
     encoded = encode_clip(spec.clip, spec.codec, spec.encoding_rate_bps)
 
@@ -268,7 +315,6 @@ def run_experiment(spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None) -> 
     engine.run(until=encoded.duration_s + spec.startup_delay_s + RUN_SLACK_S)
 
     record = client.finalize()
-    trace = RendererEmulation().replay(record)
 
     if spec.server == "adaptive-vc":
         # Multi-rate session: each frame carries the features of the
@@ -281,20 +327,10 @@ def run_experiment(spec: ExperimentSpec, vqm_tool: Optional[VqmTool] = None) -> 
         ]
         received_features = FrameFeatures.composite(versions, server.selection)
     else:
-        received_features = clip_features(
-            spec.clip, spec.codec, spec.encoding_rate_bps
-        )
-    if spec.reference == "transmitted":
-        reference_features = received_features
-    elif spec.reference == "fixed":
-        reference_features = clip_features(
-            spec.clip, spec.codec, spec.fixed_reference_rate_bps
-        )
-    else:
-        raise ValueError(f"unknown reference mode {spec.reference!r}")
-
-    tool = vqm_tool or VqmTool()
-    vqm = tool.assess(reference_features, received_features, trace)
+        received_features = None
+    trace, vqm = assess_playback(
+        spec, record, vqm_tool, received_features=received_features
+    )
 
     from repro.core.netmetrics import summarize_path
 

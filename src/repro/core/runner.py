@@ -238,6 +238,41 @@ def _pool_worker(spec: ExperimentSpec) -> BatchOutcome:
     return summary
 
 
+def _warm_plan(specs: Sequence[ExperimentSpec]) -> list[tuple]:
+    """Unique ``(clip, codec, rate)`` warm-up triples covering a batch.
+
+    Covers everything a worker will encode: the streamed version, the
+    pristine reference features, a fixed-rate reference when one is
+    requested, and the whole MPEG-1 ladder for adaptive runs.
+    """
+    from repro.video.clips import MPEG_RATES_BPS
+
+    plan: list[tuple] = []
+    seen: set[tuple] = set()
+
+    def add(entry: tuple) -> None:
+        if entry not in seen:
+            seen.add(entry)
+            plan.append(entry)
+
+    for spec in specs:
+        add((spec.clip, None, None))
+        add((spec.clip, spec.codec, spec.encoding_rate_bps))
+        if spec.reference == "fixed":
+            add((spec.clip, spec.codec, spec.fixed_reference_rate_bps))
+        if spec.adaptation:
+            for rate in MPEG_RATES_BPS:
+                add((spec.clip, "mpeg1", rate))
+    return plan
+
+
+def _warm_worker_caches(plan: list[tuple]) -> None:
+    """Pool initializer: pre-encode the batch's clips once per worker."""
+    from repro.video.clips import warm_clip_caches
+
+    warm_clip_caches(plan)
+
+
 def _supervised_worker(conn, spec: ExperimentSpec) -> None:
     """Entry point of one supervised worker process.
 
@@ -504,7 +539,11 @@ class ProcessPoolRunner(Runner):
 
         workers = min(self.jobs, len(specs))
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_warm_worker_caches,
+                initargs=(_warm_plan(specs),),
+            ) as pool:
                 return list(pool.map(_pool_worker, specs))
         except BrokenProcessPool:
             # A worker died mid-batch. Results are pure functions of

@@ -39,6 +39,47 @@ from repro.server.base import StreamingServer
 DEFAULT_MESSAGE_BYTES = MTU_PAYLOAD
 
 
+def message_schedule(
+    clip: EncodedClip,
+    message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    start_time: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute the whole emission schedule as numpy arrays.
+
+    Returns ``(frame_ids, payload_bytes, due_times)`` — one entry per
+    application message, in emission order. The arithmetic replicates
+    the scalar :meth:`VideoChargerServer._due_time` /
+    :meth:`VideoChargerServer._next_chunk` pair operation-for-operation
+    (same dtypes, same IEEE-754 rounding), so event-driven and
+    fast-path runs see bit-identical timestamps.
+    """
+    sizes = np.array([f.size_bytes for f in clip.frames], dtype=np.int64)
+    mb = int(message_bytes)
+    counts = (sizes + mb - 1) // mb  # messages per frame (0 for empty frames)
+    total = int(counts.sum())
+    frame_ids = np.repeat(np.arange(len(sizes), dtype=np.int64), counts)
+    lens = np.full(total, mb, dtype=np.int64)
+    if total:
+        last = (np.cumsum(counts) - 1)[counts > 0]
+        lens[last] = (sizes - (counts - 1) * mb)[counts > 0]
+    targets = np.cumsum(lens)  # stream position after each message
+
+    slots = np.asarray(clip.transport_slots, dtype=np.int64)
+    cumulative = np.concatenate([[0], np.cumsum(slots)]).astype(np.int64)
+    slot_duration = 1.0 / clip.fps
+    f = np.searchsorted(cumulative, targets, "left") - 1
+    f = np.clip(f, 0, max(len(slots) - 1, 0))
+    slot_bytes = slots[f] if len(slots) else np.zeros(total, dtype=np.int64)
+    safe = np.where(slot_bytes > 0, slot_bytes, 1)
+    into_slot = np.where(
+        slot_bytes > 0, (targets - cumulative[f]) / safe, 1.0
+    )
+    dues = start_time + (f + into_slot) * slot_duration
+    beyond = cumulative[np.minimum(f + 1, len(cumulative) - 1)] < targets
+    dues[beyond] = start_time + len(slots) * slot_duration
+    return frame_ids, lens, dues
+
+
 class VideoChargerServer(StreamingServer):
     """Paced small-message UDP streamer.
 
@@ -51,6 +92,13 @@ class VideoChargerServer(StreamingServer):
     message_bytes:
         Application message payload cap.
     """
+
+    #: Messages scheduled per batch. The whole emission schedule is
+    #: precomputed at construction; batching amortizes the per-message
+    #: scheduling callback without changing any event timestamp (the
+    #: delay recurrence below is the one ``_send_next`` would have
+    #: produced message-by-message).
+    BATCH_MESSAGES = 64
 
     def __init__(
         self,
@@ -73,10 +121,45 @@ class VideoChargerServer(StreamingServer):
         self._cumulative = np.concatenate(
             [[0], np.cumsum(clip.transport_slots)]
         ).astype(np.int64)
+        # Precomputed emission schedule (frame id, payload, due time
+        # relative to the session start) — shared with the fast path.
+        self._msg_fids, self._msg_lens, self._msg_dues = message_schedule(
+            clip, message_bytes
+        )
+        self._msg_targets = np.cumsum(self._msg_lens)
+        self._next_message = 0
+        self._sent_messages = 0
 
     def _begin(self) -> None:
         self._start_time = self.engine.now
-        self._send_next()
+        self._schedule_batch()
+
+    def _schedule_batch(self) -> None:
+        """Schedule the next ``BATCH_MESSAGES`` message emissions.
+
+        Timestamps replicate the original one-callback-per-message
+        recurrence exactly: each message fires at
+        ``t = t_prev + max(0.0, due - t_prev)``, with ``t_prev`` the
+        previous message's firing time (``engine.now`` at batch head).
+        """
+        i = self._next_message
+        n = len(self._msg_dues)
+        if i >= n:
+            return
+        stop = min(i + self.BATCH_MESSAGES, n)
+        t = self.engine.now
+        start = self._start_time
+        for m in range(i, stop):
+            delay = start + self._msg_dues[m] - t
+            if delay < 0.0:
+                delay = 0.0
+            t = t + delay
+            chunk = PayloadChunk(
+                frame_id=int(self._msg_fids[m]), n_bytes=int(self._msg_lens[m])
+            )
+            self.engine.schedule_at(t, lambda c=chunk: self._send_message(c))
+        self._next_message = stop
+        self._stream_pos = int(self._msg_targets[stop - 1])
 
     def _due_time(self, target_bytes: int) -> float:
         """Absolute time at which C(t) reaches ``target_bytes``."""
@@ -106,23 +189,15 @@ class VideoChargerServer(StreamingServer):
         )
         return PayloadChunk(frame_id=frame_id, n_bytes=chunk_len)
 
-    def _send_next(self) -> None:
-        """Release the next message when its last byte comes due."""
-        chunk = self._next_chunk()
-        if chunk is None:
-            return
-        due = self._due_time(self._stream_pos + chunk.n_bytes)
-        self._stream_pos += chunk.n_bytes
-        delay = max(0.0, due - self.engine.now)
-        self.engine.schedule(delay, lambda c=chunk: self._send_message(c))
-
     def _send_message(self, chunk: PayloadChunk) -> None:
         packets = self.packetizer.packetize_chunk(chunk, self.engine.now)
         if self.premark_dscp is not None:
             for packet in packets:
                 packet.dscp = int(self.premark_dscp)
         self._emit_packets(packets)
-        self._send_next()
+        self._sent_messages += 1
+        if self._sent_messages == self._next_message:
+            self._schedule_batch()
 
     @property
     def finished(self) -> bool:

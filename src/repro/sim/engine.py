@@ -54,7 +54,7 @@ class Event:
             return
         self.cancelled = True
         if self._engine is not None:
-            self._engine._live_events -= 1
+            self._engine._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -69,9 +69,16 @@ class Engine:
         Master seed for all random streams handed out by :meth:`rng`.
     """
 
+    #: Heaps smaller than this are never compacted: rebuilding a
+    #: handful of entries costs more than carrying the dead weight.
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        # Heap entries are (time, seq, event) tuples rather than bare
+        # Event objects: tuple comparison happens in C, so the heap
+        # never dispatches to Event.__lt__ on the hot path.
+        self._heap: list[tuple[float, int, Event]] = []
         self._live_events = 0
         self._seq = itertools.count()
         self._seed = seed
@@ -94,7 +101,7 @@ class Engine:
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
         event = Event(time, next(self._seq), callback, engine=self)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.seq, event))
         self._live_events += 1
         return event
 
@@ -104,14 +111,14 @@ class Engine:
     def step(self) -> bool:
         """Run the next pending event. Returns False if none remain."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            if event.time < self.now:
+            if time < self.now:
                 raise SimulationError("event heap time went backwards")
             self._live_events -= 1
             event._engine = None  # a late cancel() must not re-decrement
-            self.now = event.time
+            self.now = time
             event.callback()
             return True
         return False
@@ -124,7 +131,7 @@ class Engine:
         """
         executed = 0
         while self._heap:
-            if until is not None and self._heap[0].time > until:
+            if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return
             if not self.step():
@@ -136,6 +143,22 @@ class Engine:
                 )
         if until is not None and self.now < until:
             self.now = until
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for a cancelled event, with lazy heap compaction.
+
+        Cancel-heavy workloads (ARQ timers that almost always get
+        cancelled by the ACK) would otherwise grow the heap without
+        bound: dead events are only discarded when popped, which may be
+        arbitrarily far in the future. When more than half the heap is
+        dead and the heap is non-trivial, rebuild it from the live
+        entries — amortized O(1) per cancel.
+        """
+        self._live_events -= 1
+        heap = self._heap
+        if len(heap) > self.COMPACT_MIN_HEAP and len(heap) > 2 * self._live_events:
+            self._heap = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(self._heap)
 
     @property
     def pending_events(self) -> int:

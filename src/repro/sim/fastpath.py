@@ -1,0 +1,359 @@
+"""Vectorized fast-path simulation of the qualifying QBone pipeline.
+
+The dominant experiment in every paper figure is a CBR VideoCharger
+session streaming UDP through the QBone path with no recovery, no
+adaptation, and no cross traffic. That pipeline is *deterministic given
+the spec*: the server's emission schedule is a pure function of the
+clip, the campus LAN and backbone links are FIFO recurrences, the
+jitter element consumes a named RNG stream whose draws depend only on
+the seed, and the token bucket is a one-pass scan over arrival times.
+None of it needs the event heap.
+
+This module re-derives the exact per-packet timeline as array
+computations plus a few tight scalar recurrences. **The contract is
+bit-identity**: every timestamp, every drop decision, and every counter
+must equal what :class:`repro.sim.engine.Engine` would have produced,
+operation for IEEE-754 operation. Where numpy vectorization would
+change rounding (the FIFO recurrence ``d = max(a, d) + tx``, the token
+bucket's clipped refill) the recurrence is kept as a sequential scan
+over the precomputed arrays — still two orders of magnitude fewer
+Python operations than the event loop, because all per-packet object
+construction, heap traffic, and callback dispatch are gone.
+
+Tie semantics mirror the engine's seq ordering: on this topology an
+arrival event that coincides exactly with a link's transmission-finish
+event was always *scheduled* earlier (propagation and jitter delays
+exceed every serialization time), so at equal timestamps arrivals
+enter the queue before the finish event dequeues. The scans below bake
+that rule in (``arr <= finish`` absorbs ties into the queue).
+
+See DESIGN.md §8 for the qualification rules and the equivalence test
+contract (``tests/test_fastpath_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.diffserv.policer import PolicerAction, PolicerStats
+from repro.server.videocharger import message_schedule
+from repro.testbeds.qbone import QBoneTestbedConfig
+from repro.units import UDP_IP_HEADER
+from repro.video.mpeg import EncodedClip
+
+
+@dataclass
+class FastPathSession:
+    """Everything the experiment harness needs from one fast-path run.
+
+    Field-for-field, this carries the observable state the event-driven
+    run would leave behind in the testbed taps, the policer, the server
+    stats, and the playout client's internal arrays. The tap streams are
+    stored as arrays (send times in packet-id order; delivered packet
+    ids and arrival times in arrival order) rather than TraceRecord
+    objects; :meth:`network_summary` derives the same metrics dict
+    :func:`repro.core.netmetrics.summarize_path` would.
+    """
+
+    send_times: np.ndarray  # emission time per packet id (float64)
+    recv_ids: np.ndarray  # delivered packet ids, arrival order (int64)
+    recv_times: np.ndarray  # arrival times, arrival order (float64)
+    policer_stats: PolicerStats
+    server_messages: int
+    server_packets: int
+    server_bytes: int
+    received_packets: int
+    received_bytes: np.ndarray  # per-frame delivered payload (int64)
+    completion: np.ndarray  # per-frame completion time (NaN = never)
+    first_arrival: Optional[float]
+
+    def network_summary(self) -> dict:
+        """The :func:`~repro.core.netmetrics.summarize_path` dict.
+
+        Computed straight from the tap arrays with the identical
+        arithmetic the record-based implementation performs: per-packet
+        transit is the same float subtraction (vectorized elementwise —
+        bit-equal), the RFC 3550 EWMA stays a sequential loop, and loss
+        runs come from the delivered mask in send order.
+        """
+        sent_n = len(self.send_times)
+        transits = self.recv_times - self.send_times[self.recv_ids]
+        if len(transits):
+            jitter = 0.0
+            for d in np.abs(np.diff(transits)).tolist():
+                jitter += (d - jitter) / 16.0
+            delay_mean = float(transits.mean())
+            delay_p95 = float(np.percentile(transits, 95))
+            delay_p99 = float(np.percentile(transits, 99))
+            delay_max = float(transits.max())
+        else:
+            jitter = delay_mean = delay_p95 = delay_p99 = delay_max = 0.0
+        delivered_mask = np.zeros(sent_n, dtype=bool)
+        delivered_mask[self.recv_ids] = True
+        delivered = int(delivered_mask.sum())
+        lost_idx = np.flatnonzero(~delivered_mask)
+        if lost_idx.size:
+            splits = np.flatnonzero(np.diff(lost_idx) != 1) + 1
+            runs = np.diff(np.concatenate(([0], splits, [lost_idx.size])))
+            loss_runs = len(runs)
+            mean_run = float(np.mean(runs))
+            max_run = int(runs.max())
+        else:
+            loss_runs = 0
+            mean_run = 0.0
+            max_run = 0
+        return {
+            "delay_mean_s": delay_mean,
+            "delay_p95_s": delay_p95,
+            "delay_p99_s": delay_p99,
+            "delay_max_s": delay_max,
+            "jitter_rfc3550_s": float(jitter),
+            "loss_fraction": (sent_n - delivered) / sent_n if sent_n else 0.0,
+            "loss_runs": loss_runs,
+            "loss_mean_run": mean_run,
+            "loss_max_run": max_run,
+        }
+
+
+def _emission_times(dues: np.ndarray) -> list[float]:
+    """Replay the server's self-scheduling recurrence.
+
+    The event engine fires message ``m`` at
+    ``t_m = t_{m-1} + max(0.0, due_m - t_{m-1})`` (``schedule(delay)``
+    adds the clamped delay to the previous firing time), which is *not*
+    bitwise the same as ``max(t_{m-1}, due_m)``; keep the exact chain.
+    """
+    times: list[float] = []
+    t = 0.0
+    for due in dues.tolist():
+        delay = due - t
+        if delay < 0.0:
+            delay = 0.0
+        t = t + delay
+        times.append(t)
+    return times
+
+
+def _fifo_departs(arrivals: list[float], tx: list[float]) -> list[float]:
+    """FIFO link: departure times for in-order arrivals.
+
+    Sequential on purpose: ``d = max(a, d) + t`` must round exactly as
+    the engine's per-event adds; a cumsum reformulation would not.
+    """
+    departs: list[float] = []
+    free = float("-inf")
+    for a, t in zip(arrivals, tx):
+        free = (a if a > free else free) + t
+        departs.append(free)
+    return departs
+
+
+def _priority_link(
+    arrivals: list[float], tx: list[float], is_ef: list[bool]
+) -> tuple[list[float], list[int]]:
+    """Two-level strict-priority link serving time-ordered arrivals.
+
+    Returns ``(departs, order)``: ``departs[k]`` is packet ``k``'s
+    transmission-finish time and ``order`` lists packet indices in
+    service order (EF overtakes queued BE, FIFO within a class — the
+    engine's :class:`~repro.diffserv.scheduler.PriorityScheduler`).
+    Arrivals exactly at a finish instant join the queue before the
+    dequeue, matching the engine's event seq ordering on this topology.
+    """
+    n = len(arrivals)
+    departs = [0.0] * n
+    order: list[int] = []
+    ef: deque[int] = deque()
+    be: deque[int] = deque()
+    i = 0
+    while len(order) < n:
+        if not ef and not be:
+            # Idle link: the first arrival starts service immediately,
+            # before any same-timestamp arrival can be classified.
+            k = i
+            i += 1
+            start = arrivals[k]
+        else:
+            start = free
+            k = ef.popleft() if ef else be.popleft()
+        free = start + tx[k]
+        while i < n and arrivals[i] <= free:
+            (ef if is_ef[i] else be).append(i)
+            i += 1
+        departs[k] = free
+        order.append(k)
+    return departs, order
+
+
+def simulate_qbone_session(
+    spec, encoded: EncodedClip, config: Optional[QBoneTestbedConfig] = None
+) -> FastPathSession:
+    """Run one qualifying spec through the analytic pipeline.
+
+    ``spec`` is an :class:`~repro.core.experiment.ExperimentSpec` that
+    passed :func:`repro.core.fastlane.qualifies_for_fastpath`; the
+    caller owns qualification (this function assumes the default QBone
+    topology, a VideoCharger server, and no recovery machinery).
+    """
+    cfg = config or QBoneTestbedConfig(
+        token_rate_bps=spec.token_rate_bps,
+        bucket_depth_bytes=spec.bucket_depth_bytes,
+        policer_action=PolicerAction(
+            {"drop": "drop", "remark": "remark-be"}[spec.policer_action]
+        ),
+    )
+    # ------------------------------------------------------------------
+    # Server: precomputed emission schedule → one packet per message.
+    # ------------------------------------------------------------------
+    fids_arr, lens_arr, dues = message_schedule(encoded)
+    emit_times = _emission_times(dues)
+    sizes_arr = lens_arr + UDP_IP_HEADER
+    n_packets = len(emit_times)
+    fids = fids_arr.tolist()
+    sizes = sizes_arr.tolist()
+
+    # ------------------------------------------------------------------
+    # Campus LAN (FIFO, zero propagation) then the jitter element.
+    # ------------------------------------------------------------------
+    campus_tx = ((sizes_arr * 8) / cfg.campus_lan_rate_bps).tolist()
+    campus_departs = _fifo_departs(emit_times, campus_tx)
+
+    # Jitter draws replicate JitterElement.receive against the same
+    # named stream the engine would hand out for this seed.
+    key = zlib.crc32(b"jitter") & 0x7FFFFFFF
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=spec.seed, spawn_key=(key,))
+    )
+    base = 0.0005  # the QBone testbed's campus base delay
+    mean_jitter = cfg.jitter_mean_s
+    max_jitter = cfg.jitter_max_s
+    burst_p = 0.004
+    burst_lo, burst_hi = (0.001, 0.004)
+    releases: list[float] = []
+    last_release = 0.0
+    for a in campus_departs:
+        jitter = 0.0
+        if mean_jitter > 0:
+            jitter = min(float(rng.exponential(mean_jitter)), max_jitter)
+        if burst_p > 0 and rng.random() < burst_p:
+            jitter += float(rng.uniform(burst_lo, burst_hi))
+        release = a + base + jitter
+        if release < last_release:
+            release = last_release
+        last_release = release
+        releases.append(release)
+
+    # ------------------------------------------------------------------
+    # Border policer: one-pass token-bucket scan at the release times.
+    # ------------------------------------------------------------------
+    action = cfg.policer_action
+    stats = PolicerStats()
+    depth = float(cfg.bucket_depth_bytes)
+    rate_bytes = cfg.token_rate_bps / 8.0
+    tokens = depth
+    last_update = 0.0
+    surviving: list[int] = []
+    is_ef: list[bool] = []
+    for idx in range(n_packets):
+        now = releases[idx]
+        size = sizes[idx]
+        elapsed = now - last_update
+        if elapsed > 0:
+            tokens = min(depth, tokens + elapsed * rate_bytes)
+            last_update = now
+        if tokens >= size:
+            tokens -= size
+            stats.conformant_packets += 1
+            stats.conformant_bytes += size
+            surviving.append(idx)
+            is_ef.append(True)
+        elif action is PolicerAction.DROP:
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
+            stats.dropped_frame_ids.add(fids[idx])
+        else:  # REMARK_BE: forwarded at best-effort priority
+            stats.remarked_packets += 1
+            surviving.append(idx)
+            is_ef.append(False)
+
+    # ------------------------------------------------------------------
+    # Abilene backbone: three identical hops, strict priority, 8 ms
+    # propagation each. With a pure-EF flow (drop action) the priority
+    # queue degenerates to FIFO and the cheap recurrence applies.
+    # ------------------------------------------------------------------
+    hop_prop = cfg.backbone_hop_delay_s
+    hop_rate = cfg.backbone_rate_bps
+    arr = [releases[k] for k in surviving]
+    hop_sizes = [sizes[k] for k in surviving]
+    hop_tx = ((np.array(hop_sizes, dtype=np.int64) * 8) / hop_rate).tolist()
+    hop_ids = list(surviving)
+    mixed = (not all(is_ef)) and any(is_ef)
+    hop_ef = list(is_ef)
+    for _hop in range(cfg.backbone_hops):
+        if mixed:
+            departs, order = _priority_link(arr, hop_tx, hop_ef)
+            arr = [departs[k] + hop_prop for k in order]
+            hop_ids = [hop_ids[k] for k in order]
+            hop_tx = [hop_tx[k] for k in order]
+            hop_ef = [hop_ef[k] for k in order]
+        else:
+            departs = _fifo_departs(arr, hop_tx)
+            arr = [d + hop_prop for d in departs]
+
+    # ------------------------------------------------------------------
+    # Client side: tap arrays and playout-buffer bookkeeping.
+    # ------------------------------------------------------------------
+    recv_ids = np.asarray(hop_ids, dtype=np.int64)
+    recv_times = np.asarray(arr, dtype=np.float64)
+
+    n_frames = encoded.n_frames
+    received_bytes = np.zeros(n_frames, dtype=np.int64)
+    completion = np.full(n_frames, np.nan)
+    first_arrival: Optional[float] = None
+    if hop_ids:
+        first_arrival = arr[0]
+        d_fid = fids_arr[recv_ids]
+        d_pay = lens_arr[recv_ids]
+        d_time = recv_times
+        received_bytes = np.bincount(
+            d_fid, weights=d_pay, minlength=n_frames
+        ).astype(np.int64)
+        # First crossing of the expected byte count, per frame, in
+        # arrival order: stable-group by frame, running sum within the
+        # group, first index meeting the frame's expected payload.
+        expected = np.array(
+            [f.size_bytes for f in encoded.frames], dtype=np.int64
+        )
+        order = np.argsort(d_fid, kind="stable")
+        fid_s = d_fid[order]
+        pay_s = d_pay[order]
+        t_s = d_time[order]
+        cum = np.cumsum(pay_s)
+        _uniq, starts = np.unique(fid_s, return_index=True)
+        counts = np.diff(np.append(starts, len(fid_s)))
+        group_base = cum[starts] - pay_s[starts]
+        within = cum - np.repeat(group_base, counts)
+        done = within >= expected[fid_s]
+        done_fids = fid_s[done]
+        done_times = t_s[done]
+        crossed, first_idx = np.unique(done_fids, return_index=True)
+        completion[crossed] = done_times[first_idx]
+
+    return FastPathSession(
+        send_times=np.asarray(emit_times, dtype=np.float64),
+        recv_ids=recv_ids,
+        recv_times=recv_times,
+        policer_stats=stats,
+        server_messages=n_packets,
+        server_packets=n_packets,
+        server_bytes=int(np.sum(sizes_arr)) if n_packets else 0,
+        received_packets=len(hop_ids),
+        received_bytes=received_bytes,
+        completion=completion,
+        first_arrival=first_arrival,
+    )

@@ -4,12 +4,17 @@ One stop shop for "give me the Dark clip encoded at 1.5 Mbps and its
 feature streams". Encoding a clip and extracting features are both
 deterministic but not free, so results are cached per process — a
 token-rate sweep re-running sixty experiments only pays the cost once.
+
+The caches are guarded by a lock so concurrent callers (threaded
+harnesses, pool initializers) never encode the same clip twice or
+observe a half-built entry; lookups take the lock only on a miss.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.units import kbps, mbps
 from repro.video.frames import FrameFeatures
@@ -59,6 +64,10 @@ _script_cache: dict[str, SceneScript] = {}
 _encode_cache: dict[tuple, EncodedClip] = {}
 _feature_cache: dict[tuple, FrameFeatures] = {}
 
+# Reentrant because the builders nest (clip_features → encode_clip →
+# get_script); double-checked locking keeps warm lookups lock-free.
+_cache_lock = threading.RLock()
+
 
 def get_clip(name: str) -> ClipSpec:
     """Look up a registered clip (raises KeyError for unknown names)."""
@@ -77,9 +86,14 @@ def get_clip(name: str) -> ClipSpec:
 
 def get_script(name: str) -> SceneScript:
     """Scene script for a clip, cached."""
-    if name not in _script_cache:
-        _script_cache[name] = scene_script_for(name)
-    return _script_cache[name]
+    script = _script_cache.get(name)
+    if script is None:
+        with _cache_lock:
+            script = _script_cache.get(name)
+            if script is None:
+                script = scene_script_for(name)
+                _script_cache[name] = script
+    return script
 
 
 def encode_clip(
@@ -94,17 +108,21 @@ def encode_clip(
     """
     if codec == "mpeg1":
         rate = rate_bps if rate_bps is not None else mbps(1.7)
-        key = (clip_name, "mpeg1", round(rate))
-        if key not in _encode_cache:
-            _encode_cache[key] = Mpeg1Encoder(rate).encode(get_script(clip_name))
-        return _encode_cache[key]
-    if codec == "wmv":
+        encoder_cls = Mpeg1Encoder
+    elif codec == "wmv":
         rate = rate_bps if rate_bps is not None else WMV_MAX_RATE_BPS
-        key = (clip_name, "wmv", round(rate))
-        if key not in _encode_cache:
-            _encode_cache[key] = WmvEncoder(rate).encode(get_script(clip_name))
-        return _encode_cache[key]
-    raise ValueError(f"unknown codec {codec!r}; use 'mpeg1' or 'wmv'")
+        encoder_cls = WmvEncoder
+    else:
+        raise ValueError(f"unknown codec {codec!r}; use 'mpeg1' or 'wmv'")
+    key = (clip_name, codec, round(rate))
+    encoded = _encode_cache.get(key)
+    if encoded is None:
+        with _cache_lock:
+            encoded = _encode_cache.get(key)
+            if encoded is None:
+                encoded = encoder_cls(rate).encode(get_script(clip_name))
+                _encode_cache[key] = encoded
+    return encoded
 
 
 def clip_features(
@@ -121,20 +139,48 @@ def clip_features(
     """
     if codec is None:
         key = (clip_name, None, None)
-        if key not in _feature_cache:
-            _feature_cache[key] = FrameFeatures.extract(get_script(clip_name))
-        return _feature_cache[key]
+        features = _feature_cache.get(key)
+        if features is None:
+            with _cache_lock:
+                features = _feature_cache.get(key)
+                if features is None:
+                    features = FrameFeatures.extract(get_script(clip_name))
+                    _feature_cache[key] = features
+        return features
     encoded = encode_clip(clip_name, codec, rate_bps)
     key = (clip_name, codec, round(encoded.target_rate_bps))
-    if key not in _feature_cache:
-        _feature_cache[key] = FrameFeatures.extract(
-            get_script(clip_name), degradation=encoded.quantizer_track()
-        )
-    return _feature_cache[key]
+    features = _feature_cache.get(key)
+    if features is None:
+        with _cache_lock:
+            features = _feature_cache.get(key)
+            if features is None:
+                features = FrameFeatures.extract(
+                    get_script(clip_name),
+                    degradation=encoded.quantizer_track(),
+                )
+                _feature_cache[key] = features
+    return features
+
+
+def warm_clip_caches(entries: Iterable[tuple]) -> None:
+    """Pre-populate the caches for ``(clip, codec, rate_bps)`` triples.
+
+    A triple with ``codec=None`` warms the pristine reference features;
+    otherwise both the encoding and its degraded feature streams are
+    built. Intended for process-pool initializers, so every worker pays
+    the encode cost once up front instead of per experiment; concurrent
+    calls are safe.
+    """
+    for clip_name, codec, rate_bps in entries:
+        if codec is None:
+            clip_features(clip_name)
+        else:
+            clip_features(clip_name, codec, rate_bps)
 
 
 def clear_caches() -> None:
     """Drop all cached scripts/encodings/features (mostly for tests)."""
-    _script_cache.clear()
-    _encode_cache.clear()
-    _feature_cache.clear()
+    with _cache_lock:
+        _script_cache.clear()
+        _encode_cache.clear()
+        _feature_cache.clear()

@@ -293,12 +293,26 @@ class FrameFeatures:
             i, j = j, i
         if i == j:
             return 0.0
+        # Pure function of the (i, j) pair and immutable feature arrays;
+        # memoized because the VQM tool re-queries the same transitions
+        # for every display sequence of the same clip.
+        cache = self.__dict__.get("_ti_cache")
+        if cache is None:
+            cache = {}
+            self.__dict__["_ti_cache"] = cache
+        key = (i, j)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         bound = float(np.sqrt(self.y_std[i] ** 2 + self.y_std[j] ** 2))
         if self.scene_ids[i] != self.scene_ids[j]:
-            return bound
-        steps = self.ti[i + 1 : j + 1]
-        composed = float(np.sum(np.abs(steps.astype(np.float64))))
-        return min(composed, bound)
+            value = bound
+        else:
+            steps = self.ti[i + 1 : j + 1]
+            composed = float(np.sum(np.abs(steps.astype(np.float64))))
+            value = min(composed, bound)
+        cache[key] = value
+        return value
 
     @classmethod
     def composite(

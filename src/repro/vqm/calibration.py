@@ -43,10 +43,21 @@ def _safe_corr(a: np.ndarray, b: np.ndarray) -> float:
     if len(a) < 2 or len(a) != len(b):
         return 0.0
     a = a.astype(np.float64)
-    b = b.astype(np.float64)
     da = a - a.mean()
+    return _corr_against(da, (da * da).sum(), b)
+
+
+def _corr_against(da: np.ndarray, da_sq_sum: float, b: np.ndarray) -> float:
+    """Correlation of ``b`` against a pre-demeaned reference window.
+
+    The alignment search correlates one fixed reference window against
+    ~200 shifted received windows; the reference-side moments are loop
+    invariants. Hoisting them performs the identical IEEE-754
+    operations (once instead of per lag), so scores are unchanged.
+    """
+    b = b.astype(np.float64)
     db = b - b.mean()
-    denom = np.sqrt((da * da).sum() * (db * db).sum())
+    denom = np.sqrt(da_sq_sum * (db * db).sum())
     if denom < 1e-12:
         return 0.0
     return float((da * db).sum() / denom)
@@ -80,6 +91,18 @@ def calibrate_segment(
     ref_win_profile = ref_profile[nominal_start : nominal_start + length]
     ref_win_ti = ref_ti[nominal_start : nominal_start + length]
     n_rcv = len(rcv_profile)
+    win = len(ref_win_profile)
+
+    # Reference-side correlation moments are identical for every lag;
+    # compute them once (see _corr_against).
+    degenerate = win < 2
+    if not degenerate:
+        a_profile = ref_win_profile.astype(np.float64)
+        da_profile = a_profile - a_profile.mean()
+        sq_profile = (da_profile * da_profile).sum()
+        a_ti = ref_win_ti.astype(np.float64)
+        da_ti = a_ti - a_ti.mean()
+        sq_ti = (da_ti * da_ti).sum()
 
     best_lag = 0
     best_score = -np.inf
@@ -88,11 +111,17 @@ def calibrate_segment(
         start = nominal_start + lag
         if start < 0:
             continue
-        end = start + len(ref_win_profile)
+        end = start + win
         if end > n_rcv:
             break
-        c_profile = _safe_corr(ref_win_profile, rcv_profile[start:end])
-        c_ti = _safe_corr(ref_win_ti, rcv_ti[start:end])
+        if degenerate:
+            c_profile = 0.0
+            c_ti = 0.0
+        else:
+            c_profile = _corr_against(
+                da_profile, sq_profile, rcv_profile[start:end]
+            )
+            c_ti = _corr_against(da_ti, sq_ti, rcv_ti[start:end])
         combined = 0.75 * c_profile + 0.25 * c_ti
         if combined > best_score:
             best_score = combined

@@ -264,3 +264,21 @@ class TestClipsCommand:
         assert "lost" in out
         assert "dark" in out
         assert "duration (s)" in out
+
+
+class TestProfileFlag:
+    def test_profile_flag_prints_cprofile_to_stderr(self, capsys):
+        assert main(RUN_ARGS + ["--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "VQM" in captured.out  # normal output intact
+        assert "cumulative" in captured.err
+        assert "function calls" in captured.err
+
+    def test_profile_env_var_equivalent(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert main(RUN_ARGS) == 0
+        assert "cumulative" in capsys.readouterr().err
+
+    def test_sweep_accepts_profile(self, capsys):
+        assert main(sweep_args("--profile")) == 0
+        assert "cumulative" in capsys.readouterr().err

@@ -163,3 +163,58 @@ class TestPacketIds:
     def test_ids_unique_and_increasing(self, engine):
         ids = [engine.next_packet_id() for _ in range(100)]
         assert ids == sorted(set(ids))
+
+
+class TestHeapCompaction:
+    """Cancel-heavy workloads must not grow the heap without bound."""
+
+    def test_cancelled_backlog_is_compacted(self, engine):
+        events = [
+            engine.schedule(10.0 + i * 1e-3, lambda: None) for i in range(5000)
+        ]
+        for event in events[:4900]:
+            event.cancel()
+        # Compaction keeps the heap within 2x the live population once
+        # it exceeds the minimum size worth rebuilding.
+        assert engine.pending_events == 100
+        assert len(engine._heap) <= max(
+            Engine.COMPACT_MIN_HEAP, 2 * engine.pending_events
+        )
+
+    def test_small_heaps_are_left_alone(self, engine):
+        events = [engine.schedule(1.0 + i, lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        # Below COMPACT_MIN_HEAP the dead entries just ride along.
+        assert len(engine._heap) == 10
+        assert engine.pending_events == 1
+
+    def test_order_survives_compaction(self, engine):
+        fired = []
+        keep = []
+        for i in range(1000):
+            event = engine.schedule(
+                1.0 + i * 1e-3, lambda n=i: fired.append(n)
+            )
+            if i % 10 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        engine.run()
+        assert fired == keep
+
+    def test_cancel_during_run_compacts_safely(self, engine):
+        fired = []
+        events = []
+
+        def cancel_most():
+            for event in events[:900]:
+                event.cancel()
+
+        engine.schedule(0.5, cancel_most)
+        for i in range(1000):
+            events.append(
+                engine.schedule(1.0 + i * 1e-3, lambda n=i: fired.append(n))
+            )
+        engine.run()
+        assert fired == list(range(900, 1000))
