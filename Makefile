@@ -7,12 +7,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 TIMEOUT ?= 300
 TIMEOUT_OPTS = --timeout=$(TIMEOUT)
 
-.PHONY: check check-fast test test-fast test-recovery compile bench bench-figures
+.PHONY: check check-fast test test-fast test-recovery test-detect lint compile bench bench-figures
 
-check: test test-recovery compile
+check: lint test test-recovery compile
 
 # Fast loop: skip the slow-marked full-figure/table benchmarks.
-check-fast: test-fast compile
+check-fast: lint test-fast compile
 
 test:
 	$(PYTHON) -m pytest -x -q $(TIMEOUT_OPTS)
@@ -23,6 +23,22 @@ test-fast:
 # The error-control suite by itself (ARQ/FEC/feedback/chaos-feedback).
 test-recovery:
 	$(PYTHON) -m pytest -x -q -m recovery $(TIMEOUT_OPTS)
+
+# Closed-loop policing-detection validation by itself (also part of
+# the plain tier-1 run; the marker exists for a targeted loop).
+test-detect:
+	$(PYTHON) -m pytest -x -q -m detect $(TIMEOUT_OPTS)
+
+# Prefer a real linter when one is installed; fall back to the
+# dependency-free AST checker (configured in [tool.repro.lint]).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks tools; \
+	elif $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
+		$(PYTHON) -m pyflakes src tests benchmarks tools; \
+	else \
+		$(PYTHON) tools/lint.py; \
+	fi
 
 compile:
 	$(PYTHON) -m compileall -q src

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
-
 from repro.core.analysis import find_quality_cutoff, nonlinearity_index
 from repro.core.experiment import ExperimentSpec
 from repro.core.report import render_sweep, render_table

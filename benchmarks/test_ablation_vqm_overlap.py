@@ -7,9 +7,6 @@ alignment uncertainty) reduced, showing calibration failures appear
 when the search range cannot cover playback shifts.
 """
 
-import numpy as np
-
-from repro.client.renderer import RendererEmulation
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.report import render_table
 from repro.units import mbps

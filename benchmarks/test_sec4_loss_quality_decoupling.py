@@ -10,8 +10,6 @@ similar loss, different quality, and the quality/loss relation is far
 from proportional across the sweep.
 """
 
-import numpy as np
-
 from figure_common import qbone_figure_sweep
 from repro.core.analysis import nonlinearity_index
 from repro.core.experiment import ExperimentSpec, run_experiment

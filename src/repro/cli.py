@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands mirror the library's main entry points::
+Five subcommands mirror the library's main entry points::
 
     python -m repro run   --clip lost --encoding 1.7 --rate 1.9 --depth 3000
     python -m repro sweep --clip lost --encoding 1.7 \
@@ -8,11 +8,19 @@ Three subcommands mirror the library's main entry points::
         [--jobs 4] [--cache] [--cache-dir DIR] [--csv out.csv] \
         [--max-retries 2] [--spec-timeout 600] [--journal FILE] [--resume]
     python -m repro clips
+    python -m repro detect    --clip test-300 --rate 1.5 --depth 3000
+    python -m repro recommend --clip lost --depths 3000,4500 \
+        [--target-score 0.05 | --target-loss F] [--jobs 4] [--cache]
 
 ``run`` prints the headline measurements (and a MOS verdict) for one
 experiment; ``sweep`` prints a paper-style figure (optionally writing
 the raw CSV); ``clips`` lists the registered clips and their encoding
-statistics. Sweeps execute through the runner layer: ``--jobs N``
+statistics; ``detect`` runs one trace-enabled experiment, infers the
+policing token bucket from the trace alone (:mod:`repro.detect`), and
+scores the inference against the configured ground truth;
+``recommend`` searches for the minimal token rate per bucket depth
+meeting a quality target and classifies each minimum on the paper's
+average-rate↔maximum-rate axis. Sweeps execute through the runner layer: ``--jobs N``
 spreads the batch over worker processes, and ``--cache`` keys each
 point's result by its spec fingerprint in an on-disk store so a
 repeated sweep performs no simulations (a hit/miss/time-saved line is
@@ -198,6 +206,146 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_detect(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.detect import detect_policing
+
+    spec = dataclasses.replace(
+        _spec_from_args(args, args.rate, args.depth),
+        policer_action=args.policer_action,
+        capture_trace=True,
+    )
+    result = run_experiment(spec)
+    payload = result.extras.get("flow_trace")
+    if payload is None:
+        raise ValueError(
+            f"testbed {spec.testbed!r} produced no flow trace to analyze"
+        )
+    verdict = detect_policing(payload, min_events=args.min_events)
+    truth = {
+        "token_rate_bps": spec.token_rate_bps,
+        "bucket_depth_bytes": spec.bucket_depth_bytes,
+        "policer_action": spec.policer_action,
+        "packet_drop_fraction": result.packet_drop_fraction,
+    }
+    errors = None
+    if verdict.estimate is not None:
+        estimate = verdict.estimate
+        errors = {
+            "rate_relative_error": (
+                abs(estimate.rate_bps - spec.token_rate_bps)
+                / spec.token_rate_bps
+            ),
+            "depth_error_bytes": abs(
+                estimate.depth_bytes - spec.bucket_depth_bytes
+            ),
+        }
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "verdict": verdict.to_dict(),
+                    "ground_truth": truth,
+                    "errors": errors,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"clip={spec.clip} truth: r={to_mbps(spec.token_rate_bps):.3f} Mbps "
+        f"b={spec.bucket_depth_bytes:.0f} B action={spec.policer_action}"
+    )
+    print(
+        f"verdict: {verdict.code} (policed={verdict.policed}"
+        + (f", action={verdict.action}" if verdict.action else "")
+        + f"); {verdict.n_lost} lost, {verdict.n_remarked} remarked "
+        f"of {verdict.n_packets} packets"
+    )
+    if verdict.estimate is not None:
+        estimate = verdict.estimate
+        ci_lo, ci_hi = estimate.rate_ci_bps
+        print(
+            f"estimate: r̂={to_mbps(estimate.rate_bps):.4f} Mbps "
+            f"[{to_mbps(ci_lo):.4f}, {to_mbps(ci_hi):.4f}] "
+            f"({100 * errors['rate_relative_error']:.3f}% off), "
+            f"b̂={estimate.depth_bytes:.0f} B "
+            f"[{estimate.depth_ci_bytes[0]:.0f}, {estimate.depth_ci_bytes[1]:.0f}] "
+            f"({errors['depth_error_bytes']:.0f} B off)"
+        )
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    import json
+
+    from repro.detect import recommend_provisioning
+
+    if args.jobs < 1:
+        raise ValueError(f"--jobs must be at least 1 (got {args.jobs})")
+    depths = [float(d) for d in args.depths.split(",")]
+    base = _spec_from_args(args, args.rate_max, depths[0])
+    use_cache = (
+        args.cache if args.cache is not None else args.cache_dir is not None
+    )
+    store = None
+    if use_cache:
+        store = ResultStore(args.cache_dir or default_cache_dir())
+    runner = make_runner(jobs=args.jobs, store=store)
+    table = recommend_provisioning(
+        base,
+        depths=depths,
+        runner=runner,
+        target_quality_score=args.target_score,
+        target_lost_frames=args.target_loss,
+        rate_min_bps=mbps(args.rate_min),
+        rate_max_bps=mbps(args.rate_max),
+        precision_bps=args.precision * 1e3,
+    )
+    if args.json:
+        print(json.dumps(table.to_dict(), indent=2))
+        return 0
+    target = table.target
+    print(
+        f"clip={table.clip} target: {target['metric']} <= {target['bound']} "
+        f"(encoding avg {to_mbps(table.avg_rate_bps):.3f} / "
+        f"max {to_mbps(table.max_rate_bps):.3f} Mbps)"
+    )
+    rows = [
+        (
+            f"{row.bucket_depth_bytes:.0f}",
+            (
+                f"{to_mbps(row.min_token_rate_bps):.3f}"
+                if row.min_token_rate_bps is not None
+                else "> rate-max"
+            ),
+            row.classification,
+            f"{row.probes}",
+        )
+        for row in table.rows
+    ]
+    print(
+        render_table(
+            ["depth (B)", "min rate (Mbps)", "classification", "probes"], rows
+        )
+    )
+    findings = table.findings()
+    if "paper_finding_reproduced" in findings:
+        print(
+            "paper finding (4500 B ~ average rate, 3000 B ~ maximum rate): "
+            + (
+                "reproduced"
+                if findings["paper_finding_reproduced"]
+                else "NOT reproduced"
+            )
+        )
+    if store is not None:
+        print(f"cache [{store.cache_dir}]: {runner.stats.describe()}")
+    return 0
+
+
 def _cmd_clips(_args) -> int:
     rows = []
     for name, clip in CLIPS.items():
@@ -287,6 +435,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     clips_parser = commands.add_parser("clips", help="list registered clips")
     clips_parser.set_defaults(func=_cmd_clips)
+
+    detect_parser = commands.add_parser(
+        "detect", help="infer the policing token bucket from a flow trace"
+    )
+    _add_spec_arguments(detect_parser)
+    detect_parser.add_argument(
+        "--rate", type=float, required=True, help="true token rate (Mbps)"
+    )
+    detect_parser.add_argument(
+        "--depth", type=float, default=3000.0, help="true bucket depth (bytes)"
+    )
+    detect_parser.add_argument(
+        "--policer-action", dest="policer_action", default="drop",
+        choices=["drop", "remark"],
+        help="treatment of excess traffic in the simulated run",
+    )
+    detect_parser.add_argument(
+        "--min-events", type=int, default=5,
+        help="non-conformant events required before inferring",
+    )
+    detect_parser.add_argument("--json", action="store_true", help="emit JSON")
+    detect_parser.set_defaults(func=_cmd_detect)
+
+    recommend_parser = commands.add_parser(
+        "recommend",
+        help="minimal token rate per bucket depth for a quality target",
+    )
+    _add_spec_arguments(recommend_parser)
+    recommend_parser.add_argument(
+        "--depths", default="3000,4500",
+        help="comma-separated bucket depths to provision (bytes)",
+    )
+    recommend_parser.add_argument(
+        "--target-score", type=float, default=0.05,
+        help="quality-score bound (0 best, 1 worst)",
+    )
+    recommend_parser.add_argument(
+        "--target-loss", type=float, default=None,
+        help="lost-frame-fraction bound (overrides --target-score)",
+    )
+    recommend_parser.add_argument(
+        "--rate-min", type=float, default=1.0,
+        help="search floor for the token rate (Mbps)",
+    )
+    recommend_parser.add_argument(
+        "--rate-max", type=float, default=2.4,
+        help="search ceiling for the token rate (Mbps)",
+    )
+    recommend_parser.add_argument(
+        "--precision", type=float, default=20.0,
+        help="bisection precision (kbps)",
+    )
+    recommend_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for each probe round (1 = in-process)",
+    )
+    recommend_parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="reuse/store probe results in the on-disk cache",
+    )
+    recommend_parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"cache location (default {default_cache_dir()}; implies --cache)",
+    )
+    recommend_parser.add_argument("--json", action="store_true", help="emit JSON")
+    recommend_parser.set_defaults(func=_cmd_recommend)
     return parser
 
 

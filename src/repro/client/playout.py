@@ -177,11 +177,14 @@ class PlayoutClient:
         self._feedback = callback
         self.engine.schedule(self.loss_report_interval, self._report)
 
-    def note_policer_drop(self, packet: Packet) -> None:
+    def note_policer_drop(self, drop) -> None:
         """Experiment harness hook: a packet of ours died upstream.
 
-        Loss is otherwise invisible to a UDP client until sequence
-        gaps; counting at the drop point keeps the model simple.
+        ``drop`` is a :class:`repro.diffserv.policer.PolicerDrop`
+        record (the client only counts it; the richer fields serve the
+        detection and journal layers). Loss is otherwise invisible to a
+        UDP client until sequence gaps; counting at the drop point
+        keeps the model simple.
         """
         self._interval_lost_packets += 1
         self._interval_expected_packets += 1

@@ -7,8 +7,6 @@ received packets. Unfragmented packets pass straight through.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
 from repro.sim.engine import Engine
 from repro.sim.packet import Packet, PacketSink
 

@@ -65,6 +65,7 @@ class ExperimentSpec:
     feedback_loss: float = 0.0  # loss rate of the client→server path
     feedback_rtt_s: float = 0.02  # round-trip time of that path
     client_buffer_frames: int = 0  # playout buffer cap (0 = unbounded)
+    capture_trace: bool = False  # per-packet detection trace (repro.detect)
     seed: int = 0
 
     def with_token_bucket(
@@ -310,6 +311,12 @@ def _run_engine_experiment(
     # The policer tells the client about drops so the loss-report
     # feedback channel sees them (adaptation experiments).
     testbed.policer.set_drop_listener(client.note_policer_drop)
+    trace_log = None
+    if spec.capture_trace:
+        from repro.sim.tracer import TraceLog
+
+        trace_log = TraceLog()
+        testbed.policer.set_trace_sink(trace_log.append)
 
     server.start(at=0.0)
     engine.run(until=encoded.duration_s + spec.startup_delay_s + RUN_SLACK_S)
@@ -343,6 +350,9 @@ def _run_engine_experiment(
     }
     if recovery is not None:
         extras["recovery"] = recovery.stats.to_dict()
+    if trace_log is not None:
+        trace_log.extend_receiver(testbed.client_tap.records)
+        extras["flow_trace"] = trace_log.to_payload()
     return ExperimentResult(
         spec=spec,
         vqm=vqm,

@@ -49,6 +49,8 @@ def spec_to_dict(spec) -> dict:
         data["feedback_rtt_s"] = spec.feedback_rtt_s
     if spec.client_buffer_frames:
         data["client_buffer_frames"] = spec.client_buffer_frames
+    if spec.capture_trace:
+        data["capture_trace"] = spec.capture_trace
     return data
 
 
@@ -67,6 +69,11 @@ def result_to_dict(result: ExperimentResult) -> dict:
         **(
             {"recovery": result.extras["recovery"]}
             if "recovery" in result.extras
+            else {}
+        ),
+        **(
+            {"flow_trace": result.extras["flow_trace"]}
+            if "flow_trace" in result.extras
             else {}
         ),
         "segments": [

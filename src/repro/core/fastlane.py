@@ -164,6 +164,8 @@ def run_fastpath(
         "client_packets": session.received_packets,
         "network": session.network_summary(),
     }
+    if session.trace_payload is not None:
+        extras["flow_trace"] = session.trace_payload
     return ExperimentResult(
         spec=spec,
         vqm=vqm,

@@ -29,7 +29,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 from repro.core.faults import FailureRecord
 from repro.core.runner import ResultSummary, spec_fingerprint

@@ -51,7 +51,6 @@ from repro.core.faults import (
     PoisonResult,
     RetryPolicy,
     SpecTimeout,
-    WorkerCrash,
     classify_failure,
     deadline,
 )
@@ -63,7 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Bump whenever the shape or meaning of :class:`ResultSummary` (or of
 #: the simulation outputs feeding it) changes. The version salts every
 #: fingerprint, so old on-disk cache entries simply stop matching.
-CACHE_SCHEMA_VERSION = 2  # v2: recovery spec fields + recovery counters
+CACHE_SCHEMA_VERSION = 3  # v3: capture_trace spec field + flow_trace payload
 
 #: One batch slot: a summary on success, a failure record on quarantine.
 BatchOutcome = Union["ResultSummary", FailureRecord]
@@ -124,6 +123,10 @@ class ResultSummary:
     repairs_arrived_late: int = 0
     fec_repaired: int = 0
     feedback_lost: int = 0
+    # Per-packet detection trace; populated only when the spec set
+    # ``capture_trace`` (and omitted from to_dict() when None, so
+    # flags-off payloads are byte-identical to the previous schema).
+    flow_trace: Optional[dict] = None
     elapsed_s: float = field(default=0.0, compare=False)
 
     @classmethod
@@ -153,12 +156,20 @@ class ResultSummary:
             repairs_arrived_late=recovery.get("repairs_arrived_late", 0),
             fec_repaired=recovery.get("fec_repaired", 0),
             feedback_lost=recovery.get("feedback_lost", 0),
+            flow_trace=result.extras.get("flow_trace"),
             elapsed_s=elapsed_s,
         )
 
     def to_dict(self) -> dict:
-        """Plain JSON-able dictionary (the cache file payload)."""
-        return dataclasses.asdict(self)
+        """Plain JSON-able dictionary (the cache file payload).
+
+        ``flow_trace`` appears only when a trace was captured, so
+        trace-off payloads keep the pre-trace shape exactly.
+        """
+        data = dataclasses.asdict(self)
+        if data.get("flow_trace") is None:
+            data.pop("flow_trace", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ResultSummary":

@@ -1,0 +1,55 @@
+"""Policing detection and provisioning (the inverse problem).
+
+Everything else in this repository *applies* a known token bucket and
+measures the damage. This package looks at the problem from the other
+side, the way an operator or an endpoint would: given only what a flow
+can observe about itself — what was sent, what arrived, and with which
+codepoint — decide whether the flow was policed, infer the token
+bucket ``(r, b)`` that did it, and recommend the minimal EF parameters
+that would meet a quality target.
+
+Three entry points:
+
+* :func:`detect_policing` — was this flow policed, and by what bucket?
+  (:class:`DetectionVerdict` wrapping a :class:`TokenBucketEstimate`)
+* :func:`estimate_token_bucket` — the raw ``(r̂, b̂)`` estimator with
+  confidence intervals, for callers that already know the flow was
+  policed.
+* :func:`recommend_provisioning` — search the experiment machinery for
+  the minimal token rate per bucket depth meeting a quality bound
+  (:class:`ProvisioningTable`), reproducing the paper's average-rate
+  vs maximum-rate finding as machine-checkable output.
+
+Traces come from trace-enabled experiments
+(``ExperimentSpec.capture_trace``); see :mod:`repro.sim.tracer` for
+the payload schema and :class:`FlowTrace` for the observer's view of
+it.
+"""
+
+from repro.detect.detector import (
+    DetectionVerdict,
+    detect_policing,
+)
+from repro.detect.estimator import (
+    TokenBucketEstimate,
+    estimate_token_bucket,
+    replay_depth_bounds,
+)
+from repro.detect.recommend import (
+    ProvisioningRow,
+    ProvisioningTable,
+    recommend_provisioning,
+)
+from repro.detect.trace import FlowTrace
+
+__all__ = [
+    "DetectionVerdict",
+    "FlowTrace",
+    "ProvisioningRow",
+    "ProvisioningTable",
+    "TokenBucketEstimate",
+    "detect_policing",
+    "estimate_token_bucket",
+    "recommend_provisioning",
+    "replay_depth_bounds",
+]

@@ -1,0 +1,315 @@
+"""Token-bucket parameter inference from one flow's trace.
+
+Given the send-side record (times, sizes) and the per-packet
+conformance outcome (delivered with the conform DSCP, or not), recover
+the token rate ``r`` and bucket depth ``b`` of the policer that
+produced it. Three stages:
+
+**1. Pooled inter-drop accounting (initial rate).** Between two
+consecutive non-conformant packets at times ``t_i < t_j``, the bucket
+gained ``r·(t_j − t_i)`` tokens and spent ``B`` bytes on the
+conformant packets in between, so ``r·Δt = B + (fill_j − fill_i)``
+where each fill is in ``[0, MTU)`` — the per-pair rate ``B/Δt`` is
+exact to within one MTU per gap. A Δt-weighted median of the pair
+rates gives a first guess that idle gaps cannot poison (a gap long
+enough to refill the bucket to its cap breaks the balance and biases
+``B/Δt`` low); pairs inconsistent with the running estimate by more
+than 1.5 MTU are then excluded and the survivors pooled
+(``ΣB / ΣΔt``), iterated to a fixed point.
+
+**2. Depth-free replay (feasibility + depth bounds).** For a candidate
+rate, replay the arrival sequence tracking the bucket *deficit*
+``U = b − fill``: it decays at ``r`` (floored at zero, the bucket's
+cap) and grows by each conformant packet's size — a recurrence that
+never references ``b``. Each conformant packet then demands
+``b ≥ U + size`` (tokens were available) and each non-conformant one
+demands ``b < U + size`` (they were not), yielding
+``b_lo = max(conformant demands)`` and ``b_hi = min(non-conformant
+demands)``. A candidate rate is *feasible* iff ``b_lo < b_hi``; random
+(non-policer) loss produces contradictory demands and no feasible
+rate, which is exactly how the detector rejects it.
+
+**3. Feasibility-interval refinement.** The feasible rates form an
+interval around the truth — but a heavily-constrained trace (hundreds
+of drops) pins it to within *tens of bits per second*, far narrower
+than any fixed grid. The search therefore zooms: scan a coarse grid
+around the initial estimate, re-center on the best (least-infeasible)
+margin, shrink the window, and repeat until a feasible rate appears;
+then bisect the interval's edges. ``r̂`` is the interval midpoint with
+the interval itself as the confidence band, and ``b̂`` is the midpoint
+of ``(b_lo, b_hi)`` at ``r̂``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import ETHERNET_MTU
+
+#: Cascaded zoom: each level scans ``_ZOOM_POINTS`` rates across the
+#: current window, re-centers on the best (least-infeasible) margin,
+#: and shrinks the half-width to ``_ZOOM_GUARD`` grid spacings — a
+#: ×16 zoom per level with enough overlap that a basin straddling two
+#: grid points is never lost. The first window is ±8% around the
+#: pooled initial estimate; when a cascade bottoms out without finding
+#: a feasible rate the search restarts from the next wider window
+#: (cap-refill-heavy traffic can bias the initial estimate by more
+#: than 8%). Each cascade gives up at a relative half-width of
+#: ``_ZOOM_FLOOR`` (below the float64 resolution of any physical
+#: window).
+_ZOOM_STARTS = (0.08, 0.16, 0.32, 0.64)
+_ZOOM_POINTS = 161
+_ZOOM_GUARD = 5
+_ZOOM_FLOOR = 1e-11
+#: Bisection steps when tightening each feasibility edge.
+_EDGE_STEPS = 25
+#: Inter-drop pairs whose token balance misses by more than this many
+#: MTUs are treated as cap-refill (idle) gaps and excluded.
+_PAIR_SLACK_MTU = 1.5
+
+
+@dataclass(frozen=True)
+class TokenBucketEstimate:
+    """Inferred ``(r̂, b̂)`` with confidence intervals.
+
+    The rate interval is the feasible-rate band of the replay test;
+    the depth interval is ``(b_lo, b_hi)`` at the point estimate.
+    ``margin_bytes`` is the feasibility margin ``b_hi − b_lo`` there —
+    how much room the constraints left (small margins mean the trace
+    pinned the bucket tightly).
+    """
+
+    rate_bps: float
+    rate_ci_bps: tuple
+    depth_bytes: float
+    depth_ci_bytes: tuple
+    margin_bytes: float
+    n_conformant: int
+    n_nonconformant: int
+    pairs_used: int
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able dictionary."""
+        return {
+            "rate_bps": self.rate_bps,
+            "rate_ci_bps": list(self.rate_ci_bps),
+            "depth_bytes": self.depth_bytes,
+            "depth_ci_bytes": list(self.depth_ci_bytes),
+            "margin_bytes": self.margin_bytes,
+            "n_conformant": self.n_conformant,
+            "n_nonconformant": self.n_nonconformant,
+            "pairs_used": self.pairs_used,
+        }
+
+
+def replay_depth_bounds(times, sizes, conform, rate_bytes_per_s: float):
+    """Depth bounds ``(b_lo, b_hi)`` implied by a candidate rate.
+
+    Replays the deficit recurrence described in the module docstring.
+    ``b_hi`` is ``inf`` when every packet conformed (nothing upper-
+    bounds the depth); the candidate is feasible iff ``b_lo < b_hi``.
+    """
+    deficit = 0.0
+    t_prev = 0.0
+    b_lo = 0.0
+    b_hi = math.inf
+    for t, s, ok in zip(times, sizes, conform):
+        dt = t - t_prev
+        if dt > 0.0:
+            deficit -= rate_bytes_per_s * dt
+            if deficit < 0.0:
+                deficit = 0.0
+        t_prev = t
+        demand = deficit + s
+        if ok:
+            if demand > b_lo:
+                b_lo = demand
+            deficit = demand  # the admitted bytes leave the bucket
+        elif demand < b_hi:
+            b_hi = demand
+    return b_lo, b_hi
+
+
+def _interdrop_rate(times, sizes, conform, mtu_bytes: float):
+    """Initial rate (bytes/s) from pooled inter-drop accounting.
+
+    Returns ``(rate, pairs_used)`` or ``(None, 0)`` when fewer than
+    two non-conformant events exist or no usable pair remains.
+    """
+    drop_idx = np.flatnonzero(~conform)
+    if len(drop_idx) < 2:
+        return None, 0
+    admitted = np.where(conform, sizes, 0.0)
+    cum = np.concatenate(([0.0], np.cumsum(admitted)))
+    dts = times[drop_idx[1:]] - times[drop_idx[:-1]]
+    bytes_between = cum[drop_idx[1:]] - cum[drop_idx[:-1]]
+    usable = dts > 0.0
+    dts = dts[usable]
+    bytes_between = bytes_between[usable]
+    if not len(dts):
+        return None, 0
+    pair_rates = bytes_between / dts
+    # Δt-weighted median: long gaps carry more information, but a
+    # single cap-refill gap must not drag the estimate.
+    order = np.argsort(pair_rates)
+    weights = np.cumsum(dts[order])
+    pivot = np.searchsorted(weights, weights[-1] / 2.0)
+    rate = float(pair_rates[order[min(pivot, len(order) - 1)]])
+    pairs_used = len(dts)
+    slack = _PAIR_SLACK_MTU * mtu_bytes
+    for _ in range(3):
+        consistent = np.abs(rate * dts - bytes_between) <= slack
+        if not consistent.any():
+            break
+        pooled = float(bytes_between[consistent].sum() / dts[consistent].sum())
+        pairs_used = int(consistent.sum())
+        if abs(pooled - rate) <= 1e-9 * max(rate, 1.0):
+            rate = pooled
+            break
+        rate = pooled
+    if rate <= 0.0:
+        return None, 0
+    return rate, pairs_used
+
+
+def _grid_depth_bounds(times, sizes, conform, rates):
+    """Vectorized :func:`replay_depth_bounds` over a whole rate grid.
+
+    One pass over the packets updates every candidate rate's deficit
+    in lockstep; element ``k`` of the returned arrays equals the
+    scalar replay at ``rates[k]`` exactly (identical operations).
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    deficit = np.zeros_like(rates)
+    b_lo = np.zeros_like(rates)
+    b_hi = np.full_like(rates, math.inf)
+    t_prev = 0.0
+    for t, s, ok in zip(times, sizes, conform):
+        dt = t - t_prev
+        if dt > 0.0:
+            deficit = np.maximum(0.0, deficit - rates * dt)
+        t_prev = t
+        demand = deficit + s
+        if ok:
+            np.maximum(b_lo, demand, out=b_lo)
+            deficit = demand
+        else:
+            np.minimum(b_hi, demand, out=b_hi)
+    return b_lo, b_hi
+
+
+def _feasible_run(grid, margins):
+    """Indices of the connected feasible run containing the best margin."""
+    feasible = np.flatnonzero(np.asarray(margins) > 0.0)
+    if not len(feasible):
+        return None
+    best = feasible[int(np.argmax([margins[i] for i in feasible]))]
+    lo = hi = int(best)
+    while lo - 1 >= 0 and margins[lo - 1] > 0.0:
+        lo -= 1
+    while hi + 1 < len(grid) and margins[hi + 1] > 0.0:
+        hi += 1
+    return lo, hi
+
+
+def _bisect_edge(times, sizes, conform, r_feasible, r_infeasible):
+    """Tighten one feasibility edge between a good and a bad rate."""
+    for _ in range(_EDGE_STEPS):
+        mid = 0.5 * (r_feasible + r_infeasible)
+        b_lo, b_hi = replay_depth_bounds(times, sizes, conform, mid)
+        if b_lo < b_hi:
+            r_feasible = mid
+        else:
+            r_infeasible = mid
+    return r_feasible
+
+
+def estimate_token_bucket(
+    times,
+    sizes,
+    conform,
+    mtu_bytes: float = float(ETHERNET_MTU),
+):
+    """Infer the policing token bucket behind one conformance record.
+
+    Parameters are parallel send-order arrays: observation times,
+    wire sizes, and the boolean conformance outcome per packet.
+    Returns a :class:`TokenBucketEstimate`, or ``None`` when no token
+    bucket is consistent with the record (too few events, or the
+    non-conformance pattern is infeasible for every candidate rate —
+    e.g. random loss).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    conform = np.asarray(conform, dtype=bool)
+    r0, pairs_used = _interdrop_rate(times, sizes, conform, mtu_bytes)
+    if r0 is None:
+        return None
+
+    t_list = times.tolist()
+    s_list = sizes.tolist()
+    c_list = conform.tolist()
+
+    # Cascaded zoom (see the schedule constants above). A heavily
+    # constrained trace admits a feasible window well under 1 B/s wide
+    # — the funnel toward it is what the re-centering follows.
+    run = None
+    for start in _ZOOM_STARTS:
+        center = r0
+        half = start * r0
+        while half > _ZOOM_FLOOR * center:
+            grid = np.linspace(center - half, center + half, _ZOOM_POINTS)
+            b_los, b_his = _grid_depth_bounds(t_list, s_list, c_list, grid)
+            margins = b_his - b_los
+            run = _feasible_run(grid, margins)
+            if run is not None:
+                break
+            spacing = 2.0 * half / (_ZOOM_POINTS - 1)
+            center = float(grid[int(np.argmax(margins))])
+            half = _ZOOM_GUARD * spacing
+            if center <= 0.0:
+                break
+        if run is not None:
+            break
+    if run is None:
+        return None
+    lo_idx, hi_idx = run
+    spacing = float(grid[1] - grid[0])
+
+    def _bracket_edge(rate_feasible, direction):
+        """Walk outward to an infeasible rate, then bisect the edge."""
+        step = spacing
+        probe = rate_feasible + direction * step
+        for _ in range(60):
+            b_lo, b_hi = replay_depth_bounds(t_list, s_list, c_list, probe)
+            if not (b_lo < b_hi):
+                return _bisect_edge(t_list, s_list, c_list, rate_feasible, probe)
+            rate_feasible = probe
+            step *= 2.0
+            probe = rate_feasible + direction * step
+            if probe <= 0.0:
+                break
+        return rate_feasible
+
+    rate_lo = _bracket_edge(float(grid[lo_idx]), -1.0)
+    rate_hi = _bracket_edge(float(grid[hi_idx]), +1.0)
+
+    rate_hat = 0.5 * (rate_lo + rate_hi)
+    b_lo, b_hi = replay_depth_bounds(t_list, s_list, c_list, rate_hat)
+    if not (b_lo < b_hi):  # pragma: no cover - edges bisected feasible
+        return None
+    depth_hi = b_hi if math.isfinite(b_hi) else b_lo + mtu_bytes
+    n_nonconf = int((~conform).sum())
+    return TokenBucketEstimate(
+        rate_bps=rate_hat * 8.0,
+        rate_ci_bps=(rate_lo * 8.0, rate_hi * 8.0),
+        depth_bytes=0.5 * (b_lo + depth_hi),
+        depth_ci_bytes=(b_lo, depth_hi),
+        margin_bytes=depth_hi - b_lo,
+        n_conformant=int(conform.sum()),
+        n_nonconformant=n_nonconf,
+        pairs_used=pairs_used,
+    )

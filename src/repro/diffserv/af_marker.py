@@ -47,17 +47,30 @@ class AfMarker:
         self.colors_to_dscp = colors_to_dscp or dict(AF1_BY_COLOR)
         self.stats = PolicerStats()
         self._on_drop = None  # parity with Policer wiring
+        self._trace = None
 
     def set_drop_listener(self, listener) -> None:
         """Accept a drop callback for API parity with ``Policer``.
 
         The marker never drops (it only colors), so the listener is
-        simply stored and never fired.
+        simply stored and never fired. When it ever were, it would
+        receive a :class:`~repro.diffserv.policer.PolicerDrop` record,
+        matching the policer's enriched listener contract.
         """
         self._on_drop = listener
 
+    def set_trace_sink(self, sink) -> None:
+        """Accept a per-packet trace tap (parity with ``Policer``).
+
+        Events carry the color verdict (green maps to ``"conform"``,
+        yellow/red to ``"remark"``); the token-state fields stay zero
+        because the three-color meter has no single fill level.
+        """
+        self._trace = sink
+
     def __call__(self, packet: Packet) -> Packet:
         color = self.meter.color(packet.size, self.engine.now)
+        dscp_in = packet.dscp
         packet.dscp = int(self.colors_to_dscp[color])
         packet.annotations["af_color"] = color.name.lower()
         if color is Color.GREEN:
@@ -65,4 +78,19 @@ class AfMarker:
             self.stats.conformant_bytes += packet.size
         else:
             self.stats.remarked_packets += 1
+        if self._trace is not None:
+            from repro.sim.tracer import PacketTraceEvent
+
+            self._trace(
+                PacketTraceEvent(
+                    time=self.engine.now,
+                    point="policer",
+                    packet_id=packet.packet_id,
+                    flow_id=packet.flow_id,
+                    size=packet.size,
+                    frame_id=packet.frame_id,
+                    dscp=dscp_in,
+                    verdict="conform" if color is Color.GREEN else "remark",
+                )
+            )
         return packet

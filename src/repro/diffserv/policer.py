@@ -20,6 +20,7 @@ from repro.diffserv.dscp import DSCP
 from repro.diffserv.token_bucket import TokenBucket
 from repro.sim.engine import Engine
 from repro.sim.packet import Packet
+from repro.sim.tracer import PacketTraceEvent
 
 
 class PolicerAction(enum.Enum):
@@ -28,6 +29,31 @@ class PolicerAction(enum.Enum):
     DROP = "drop"
     REMARK_BE = "remark-be"
     DEMOTE = "demote"  # AF-style coloring to a configurable codepoint
+
+
+#: Stable drop-reason taxonomy. These strings appear in drop records,
+#: trace payloads, and journals alike, so the detection subsystem and
+#: the chaos/journal layers classify the same event the same way.
+DROP_REASON_TOKENS = "tokens-exhausted"  # bucket momentarily empty
+DROP_REASON_OVERSIZE = "oversize-packet"  # larger than the bucket depth
+
+
+@dataclass(frozen=True)
+class PolicerDrop:
+    """One non-conformant discard, with the bucket state that caused it.
+
+    Drop listeners receive this record instead of the bare packet so
+    downstream consumers (loss attribution, detection validation,
+    journals) see the full taxonomy: why the packet died, what it was
+    marked, and how short of tokens it was.
+    """
+
+    packet: Packet
+    time: float
+    reason: str  # DROP_REASON_TOKENS | DROP_REASON_OVERSIZE
+    dscp: Optional[int]  # codepoint on arrival, before any restamping
+    token_deficit: float  # tokens the packet was short by (> 0)
+    bucket_fill: float  # tokens available at the drop instant
 
 
 @dataclass
@@ -69,8 +95,9 @@ class Policer:
     demote_dscp:
         Codepoint for :attr:`PolicerAction.DEMOTE`.
     on_drop:
-        Optional callback fired with each dropped packet, used by
-        experiments to attribute frame loss to the policer.
+        Optional callback fired with a :class:`PolicerDrop` record for
+        each dropped packet, used by experiments to attribute frame
+        loss to the policer.
     """
 
     def __init__(
@@ -81,7 +108,7 @@ class Policer:
         action: PolicerAction = PolicerAction.DROP,
         conform_dscp: DSCP = DSCP.EF,
         demote_dscp: DSCP = DSCP.AF12,
-        on_drop: Optional[Callable[[Packet], None]] = None,
+        on_drop: Optional[Callable[[PolicerDrop], None]] = None,
     ):
         self.engine = engine
         self.bucket = TokenBucket(rate_bps, depth_bytes)
@@ -90,9 +117,10 @@ class Policer:
         self.demote_dscp = demote_dscp
         self.stats = PolicerStats()
         self._on_drop = on_drop
+        self._trace: Optional[Callable[[PacketTraceEvent], None]] = None
 
     def set_drop_listener(
-        self, listener: Optional[Callable[[Packet], None]]
+        self, listener: Optional[Callable[[PolicerDrop], None]]
     ) -> None:
         """Install (or clear, with None) the drop callback after the fact.
 
@@ -102,27 +130,92 @@ class Policer:
         """
         self._on_drop = listener
 
+    def set_trace_sink(
+        self, sink: Optional[Callable[[PacketTraceEvent], None]]
+    ) -> None:
+        """Install (or clear) a per-packet trace tap.
+
+        With a sink installed, every packet produces one
+        :class:`~repro.sim.tracer.PacketTraceEvent` at point
+        ``"policer"`` carrying the verdict and the token state at the
+        decision instant. The off path costs nothing extra.
+        """
+        self._trace = sink
+
+    def _drop_reason(self, packet: Packet) -> str:
+        if packet.size > self.bucket.depth_bytes:
+            return DROP_REASON_OVERSIZE
+        return DROP_REASON_TOKENS
+
     def __call__(self, packet: Packet) -> Optional[Packet]:
         """Ingress-stage interface: return the packet or None if dropped."""
         now = self.engine.now
+        dscp_in = packet.dscp
+        # Pre-reading the fill refills the bucket at ``now``; the
+        # subsequent try_consume refill is then a no-op, so the token
+        # arithmetic is bit-identical with tracing on or off.
+        fill = self.bucket.tokens_at(now) if self._trace is not None else None
         if self.bucket.try_consume(packet.size, now):
             self.stats.conformant_packets += 1
             self.stats.conformant_bytes += packet.size
             packet.dscp = int(self.conform_dscp)
+            if self._trace is not None:
+                self._trace(
+                    self._trace_event(packet, now, dscp_in, "conform", fill)
+                )
             return packet
+        if fill is None and (self._on_drop is not None or self._trace is not None):
+            # try_consume already refilled at ``now``; this only reads.
+            fill = self.bucket.tokens_at(now)
         if self.action is PolicerAction.DROP:
             self.stats.dropped_packets += 1
             self.stats.dropped_bytes += packet.size
             if packet.frame_id is not None:
                 self.stats.dropped_frame_ids.add(packet.frame_id)
+            if self._trace is not None:
+                self._trace(
+                    self._trace_event(packet, now, dscp_in, "drop", fill)
+                )
             if self._on_drop is not None:
-                self._on_drop(packet)
+                self._on_drop(
+                    PolicerDrop(
+                        packet=packet,
+                        time=now,
+                        reason=self._drop_reason(packet),
+                        dscp=dscp_in,
+                        token_deficit=packet.size - fill,
+                        bucket_fill=fill,
+                    )
+                )
             return None
         if self.action is PolicerAction.REMARK_BE:
             self.stats.remarked_packets += 1
             packet.dscp = int(DSCP.BE)
-            return packet
-        # PolicerAction.DEMOTE
-        self.stats.remarked_packets += 1
-        packet.dscp = int(self.demote_dscp)
+        else:  # PolicerAction.DEMOTE
+            self.stats.remarked_packets += 1
+            packet.dscp = int(self.demote_dscp)
+        if self._trace is not None:
+            self._trace(self._trace_event(packet, now, dscp_in, "remark", fill))
         return packet
+
+    def _trace_event(
+        self,
+        packet: Packet,
+        now: float,
+        dscp_in: Optional[int],
+        verdict: str,
+        fill: float,
+    ) -> PacketTraceEvent:
+        return PacketTraceEvent(
+            time=now,
+            point="policer",
+            packet_id=packet.packet_id,
+            flow_id=packet.flow_id,
+            size=packet.size,
+            frame_id=packet.frame_id,
+            dscp=dscp_in,
+            verdict=verdict,
+            drop_reason=self._drop_reason(packet) if verdict == "drop" else None,
+            token_deficit=packet.size - fill if verdict != "conform" else 0.0,
+            bucket_fill=fill,
+        )

@@ -8,8 +8,7 @@ sizing, pacing, transport, and adaptation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.sim.engine import Engine
 from repro.sim.packet import Packet, PacketSink

@@ -40,8 +40,19 @@ from typing import Optional
 
 import numpy as np
 
-from repro.diffserv.policer import PolicerAction, PolicerStats
+from repro.diffserv.dscp import DSCP
+from repro.diffserv.policer import (
+    DROP_REASON_OVERSIZE,
+    DROP_REASON_TOKENS,
+    PolicerAction,
+    PolicerStats,
+)
 from repro.server.videocharger import message_schedule
+from repro.sim.tracer import (
+    POLICER_TRACE_COLUMNS,
+    RECEIVER_TRACE_COLUMNS,
+    TRACE_SCHEMA_VERSION,
+)
 from repro.testbeds.qbone import QBoneTestbedConfig
 from repro.units import UDP_IP_HEADER
 from repro.video.mpeg import EncodedClip
@@ -71,6 +82,7 @@ class FastPathSession:
     received_bytes: np.ndarray  # per-frame delivered payload (int64)
     completion: np.ndarray  # per-frame completion time (NaN = never)
     first_arrival: Optional[float]
+    trace_payload: Optional[dict] = None  # detection trace (capture_trace)
 
     def network_summary(self) -> dict:
         """The :func:`~repro.core.netmetrics.summarize_path` dict.
@@ -151,6 +163,21 @@ def _fifo_departs(arrivals: list[float], tx: list[float]) -> list[float]:
         free = (a if a > free else free) + t
         departs.append(free)
     return departs
+
+
+def _trace_row(
+    cols, time, pid, size, fid, dscp, verdict, reason, deficit, fill
+) -> None:
+    """Append one policer-point trace row (column-of-lists form)."""
+    cols["time"].append(time)
+    cols["packet_id"].append(pid)
+    cols["size"].append(size)
+    cols["frame_id"].append(fid)
+    cols["dscp"].append(dscp)
+    cols["verdict"].append(verdict)
+    cols["drop_reason"].append(reason)
+    cols["token_deficit"].append(deficit)
+    cols["bucket_fill"].append(fill)
 
 
 def _priority_link(
@@ -259,6 +286,10 @@ def simulate_qbone_session(
     last_update = 0.0
     surviving: list[int] = []
     is_ef: list[bool] = []
+    capture = bool(getattr(spec, "capture_trace", False))
+    pol_cols = {column: [] for column in POLICER_TRACE_COLUMNS} if capture else None
+    ef_dscp = int(DSCP.EF)  # QBone premark: every packet arrives EF
+    be_dscp = int(DSCP.BE)
     for idx in range(n_packets):
         now = releases[idx]
         size = sizes[idx]
@@ -266,20 +297,41 @@ def simulate_qbone_session(
         if elapsed > 0:
             tokens = min(depth, tokens + elapsed * rate_bytes)
             last_update = now
+        # Fill at the decision instant, identical to the engine's
+        # pre-consume ``tokens_at(now)`` read.
+        fill = tokens
         if tokens >= size:
             tokens -= size
             stats.conformant_packets += 1
             stats.conformant_bytes += size
             surviving.append(idx)
             is_ef.append(True)
+            if pol_cols is not None:
+                _trace_row(
+                    pol_cols, now, idx, size, fids[idx], ef_dscp,
+                    "conform", None, 0.0, fill,
+                )
         elif action is PolicerAction.DROP:
             stats.dropped_packets += 1
             stats.dropped_bytes += size
             stats.dropped_frame_ids.add(fids[idx])
+            if pol_cols is not None:
+                reason = (
+                    DROP_REASON_OVERSIZE if size > depth else DROP_REASON_TOKENS
+                )
+                _trace_row(
+                    pol_cols, now, idx, size, fids[idx], ef_dscp,
+                    "drop", reason, size - fill, fill,
+                )
         else:  # REMARK_BE: forwarded at best-effort priority
             stats.remarked_packets += 1
             surviving.append(idx)
             is_ef.append(False)
+            if pol_cols is not None:
+                _trace_row(
+                    pol_cols, now, idx, size, fids[idx], ef_dscp,
+                    "remark", None, size - fill, fill,
+                )
 
     # ------------------------------------------------------------------
     # Abilene backbone: three identical hops, strict priority, 8 ms
@@ -344,6 +396,25 @@ def simulate_qbone_session(
         crossed, first_idx = np.unique(done_fids, return_index=True)
         completion[crossed] = done_times[first_idx]
 
+    trace_payload = None
+    if capture:
+        # Receiver point: delivered packets in arrival order, carrying
+        # the restamped codepoint (EF conform / BE remark), exactly as
+        # the engine's client tap records them.
+        ef_by_id = dict(zip(surviving, is_ef))
+        recv_cols = {column: [] for column in RECEIVER_TRACE_COLUMNS}
+        for pid, t in zip(hop_ids, arr):
+            recv_cols["time"].append(t)
+            recv_cols["packet_id"].append(pid)
+            recv_cols["size"].append(sizes[pid])
+            recv_cols["frame_id"].append(fids[pid])
+            recv_cols["dscp"].append(ef_dscp if ef_by_id[pid] else be_dscp)
+        trace_payload = {
+            "version": TRACE_SCHEMA_VERSION,
+            "policer": pol_cols,
+            "receiver": recv_cols,
+        }
+
     return FastPathSession(
         send_times=np.asarray(emit_times, dtype=np.float64),
         recv_ids=recv_ids,
@@ -356,4 +427,5 @@ def simulate_qbone_session(
         received_bytes=received_bytes,
         completion=completion,
         first_arrival=first_arrival,
+        trace_payload=trace_payload,
     )

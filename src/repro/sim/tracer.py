@@ -1,20 +1,46 @@
-"""Measurement taps.
+"""Measurement taps and the detection-trace schema.
 
 A :class:`FlowTracer` is a transparent pass-through sink that records
 (time, packet) observations for one or all flows. Experiments insert
 tracers at the points the paper instrumented: the server output, the
 policer output, and the client input.
+
+:class:`PacketTraceEvent` and :class:`TraceLog` define the *stable*
+per-packet trace record that trace-enabled experiments
+(``ExperimentSpec.capture_trace``) export: one event per packet at the
+policer (verdict plus token state) and at the receiver. The payload
+format (:meth:`TraceLog.to_payload`) is plain dicts of lists so it can
+ride a :class:`~repro.core.runner.ResultSummary` across process, cache,
+and JSON boundaries; :mod:`repro.detect` consumes it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 from repro.sim.engine import Engine
 from repro.sim.packet import Packet, PacketSink
+
+#: Version stamped into every trace payload; bump when the schema
+#: (points or columns) changes shape or meaning.
+TRACE_SCHEMA_VERSION = 1
+
+#: Column order of the per-point arrays in a trace payload.
+POLICER_TRACE_COLUMNS = (
+    "time",
+    "packet_id",
+    "size",
+    "frame_id",
+    "dscp",
+    "verdict",
+    "drop_reason",
+    "token_deficit",
+    "bucket_fill",
+)
+RECEIVER_TRACE_COLUMNS = ("time", "packet_id", "size", "frame_id", "dscp")
 
 
 @dataclass(frozen=True)
@@ -27,6 +53,95 @@ class TraceRecord:
     size: int
     frame_id: Optional[int]
     datagram_id: Optional[int]
+    dscp: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PacketTraceEvent:
+    """One packet observation in the stable detection-trace schema.
+
+    ``point`` names where the observation was made (``"policer"`` or
+    ``"receiver"``). Policer events carry the conformance ``verdict``
+    (``"conform"`` / ``"drop"`` / ``"remark"``), the drop reason
+    taxonomy of :mod:`repro.diffserv.policer`, and the token state at
+    the decision instant; receiver events use the default
+    ``"forward"`` verdict and zeroed token fields. ``dscp`` is the
+    codepoint observed *on arrival* at the point.
+    """
+
+    time: float
+    point: str
+    packet_id: int
+    flow_id: str
+    size: int
+    frame_id: Optional[int]
+    dscp: Optional[int]
+    verdict: str = "forward"
+    drop_reason: Optional[str] = None
+    token_deficit: float = 0.0
+    bucket_fill: float = 0.0
+
+
+class TraceLog:
+    """Collects :class:`PacketTraceEvent` records for one experiment.
+
+    The engine path appends policer events live (via
+    :meth:`repro.diffserv.policer.Policer.set_trace_sink`) and converts
+    the client tap's records afterwards; the fast path builds the same
+    payload directly from its arrays. Both must produce identical
+    payloads for the same spec (the fastpath parity contract).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[PacketTraceEvent] = []
+
+    def append(self, event: PacketTraceEvent) -> None:
+        """Record one event (policer trace-sink interface)."""
+        self.events.append(event)
+
+    def extend_receiver(self, records: Iterable[TraceRecord]) -> None:
+        """Append receiver-point events from a tap's trace records."""
+        for r in records:
+            self.events.append(
+                PacketTraceEvent(
+                    time=r.time,
+                    point="receiver",
+                    packet_id=r.packet_id,
+                    flow_id=r.flow_id,
+                    size=r.size,
+                    frame_id=r.frame_id,
+                    dscp=r.dscp,
+                )
+            )
+
+    def to_payload(self) -> dict:
+        """The stable, JSON-able trace payload (dicts of plain lists)."""
+        policer = {column: [] for column in POLICER_TRACE_COLUMNS}
+        receiver = {column: [] for column in RECEIVER_TRACE_COLUMNS}
+        for e in self.events:
+            if e.point == "policer":
+                policer["time"].append(e.time)
+                policer["packet_id"].append(e.packet_id)
+                policer["size"].append(e.size)
+                policer["frame_id"].append(e.frame_id)
+                policer["dscp"].append(e.dscp)
+                policer["verdict"].append(e.verdict)
+                policer["drop_reason"].append(e.drop_reason)
+                policer["token_deficit"].append(e.token_deficit)
+                policer["bucket_fill"].append(e.bucket_fill)
+            elif e.point == "receiver":
+                receiver["time"].append(e.time)
+                receiver["packet_id"].append(e.packet_id)
+                receiver["size"].append(e.size)
+                receiver["frame_id"].append(e.frame_id)
+                receiver["dscp"].append(e.dscp)
+            else:
+                raise ValueError(f"unknown trace point {e.point!r}")
+        return {
+            "version": TRACE_SCHEMA_VERSION,
+            "policer": policer,
+            "receiver": receiver,
+        }
 
 
 class FlowTracer:
@@ -70,6 +185,7 @@ class FlowTracer:
                     size=packet.size,
                     frame_id=packet.frame_id,
                     datagram_id=packet.datagram_id,
+                    dscp=packet.dscp,
                 )
             )
         if self._sink is not None:

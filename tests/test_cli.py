@@ -257,6 +257,112 @@ class TestSweepFaultTolerance:
         assert "2.200" in captured.out
 
 
+DETECT_ARGS = [
+    "detect",
+    "--clip", "test-300",
+    "--encoding", "1.7",
+    "--rate", "1.5",
+    "--depth", "3000",
+    "--seed", "3",
+]
+
+RECOMMEND_ARGS = [
+    "recommend",
+    "--clip", "test-300",
+    "--encoding", "1.7",
+    "--depths", "3000,4500",
+    "--seed", "3",
+]
+
+
+class TestDetectCommand:
+    def test_policed_run_flagged_with_estimate(self, capsys):
+        assert main(DETECT_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "truth: r=1.500 Mbps b=3000 B" in out
+        assert "verdict: policed" in out
+        assert "estimate:" in out
+
+    def test_json_shape_and_accuracy(self, capsys):
+        assert main(DETECT_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"]["policed"] is True
+        assert payload["verdict"]["action"] == "drop"
+        assert payload["ground_truth"]["token_rate_bps"] == mbps(1.5)
+        assert payload["errors"]["rate_relative_error"] < 0.05
+        assert payload["errors"]["depth_error_bytes"] < 1500.0
+
+    def test_remark_mode(self, capsys):
+        args = DETECT_ARGS + ["--policer-action", "remark", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"]["action"] == "remark"
+        assert payload["verdict"]["n_lost"] == 0
+        assert payload["verdict"]["n_remarked"] > 0
+
+    def test_unpoliced_run_is_clean(self, capsys):
+        args = list(DETECT_ARGS)
+        args[args.index("1.5")] = "5.0"
+        args[args.index("3000")] = "50000"
+        assert main(args + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"]["policed"] is False
+        assert payload["verdict"]["code"] == "no-loss"
+        assert payload["errors"] is None
+
+    def test_unknown_clip_exits_2(self, capsys):
+        args = list(DETECT_ARGS)
+        args[args.index("test-300")] = "no-such-clip"
+        assert main(args) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecommendCommand:
+    def test_table_and_finding_line(self, capsys):
+        assert main(RECOMMEND_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "target: quality_score <= 0.05" in out
+        assert "depth (B)" in out and "classification" in out
+        assert "paper finding" in out
+
+    def test_json_shape(self, capsys):
+        assert main(RECOMMEND_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clip"] == "test-300"
+        assert {row["bucket_depth_bytes"] for row in payload["rows"]} == {
+            3000.0, 4500.0,
+        }
+        assert "paper_finding_reproduced" in payload["findings"]
+        for row in payload["rows"]:
+            assert row["min_token_rate_bps"] is not None
+            assert row["probes"] >= 1
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(RECOMMEND_ARGS + ["--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(RECOMMEND_ARGS + ["--jobs", "2", "--json"]) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        assert serial == pooled
+
+    def test_cache_speeds_second_table(self, tmp_path, capsys):
+        args = RECOMMEND_ARGS + ["--cache-dir", str(tmp_path / "c"), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert len(list((tmp_path / "c").glob("*.json"))) > 0
+
+    def test_bad_jobs_exits_2(self, capsys):
+        assert main(RECOMMEND_ARGS + ["--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_inverted_rate_window_exits_2(self, capsys):
+        args = RECOMMEND_ARGS + ["--rate-min", "3.0", "--rate-max", "2.0"]
+        assert main(args) == 2
+        assert "rate_min" in capsys.readouterr().err
+
+
 class TestClipsCommand:
     def test_lists_registered_clips(self, capsys):
         assert main(["clips"]) == 0

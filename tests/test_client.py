@@ -6,6 +6,7 @@ import pytest
 from repro.client.playout import ClientRecord, FrameRecord, PlayoutClient
 from repro.client.reassembly import DatagramReassembler
 from repro.client.renderer import RendererEmulation
+from repro.diffserv.policer import DROP_REASON_TOKENS, PolicerDrop
 from repro.sim.node import Host
 from repro.sim.packet import Packet
 from repro.units import UDP_IP_HEADER
@@ -169,7 +170,16 @@ class TestPlayoutClient:
             packet_id=0, flow_id="v", size=1500, frame_id=0, created_at=0.0
         )
         client.receive(packet)
-        client.note_policer_drop(packet)
+        client.note_policer_drop(
+            PolicerDrop(
+                packet=packet,
+                time=0.0,
+                reason=DROP_REASON_TOKENS,
+                dscp=None,
+                token_deficit=1500.0,
+                bucket_fill=0.0,
+            )
+        )
         engine.run(until=1.5)
         assert reports and reports[0] == pytest.approx(0.5)
 

@@ -13,7 +13,6 @@ from repro.diffserv.marker import Marker
 from repro.diffserv.scheduler import BE_LEVEL, EF_LEVEL, PriorityScheduler
 from repro.sim.node import Host
 from repro.sim.packet import Packet
-from repro.units import mbps
 
 
 def make_packet(pid=0, flow="video", dscp=None, size=1500):

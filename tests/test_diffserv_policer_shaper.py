@@ -3,7 +3,12 @@
 import pytest
 
 from repro.diffserv.dscp import DSCP
-from repro.diffserv.policer import Policer, PolicerAction
+from repro.diffserv.policer import (
+    DROP_REASON_TOKENS,
+    Policer,
+    PolicerAction,
+    PolicerDrop,
+)
 from repro.diffserv.shaper import Shaper
 from repro.sim.node import Host
 from repro.sim.packet import Packet
@@ -56,6 +61,10 @@ class TestPolicerDrop:
         for _ in range(3):
             policer(make_packet(engine))
         assert len(dropped) == 1
+        record = dropped[0]
+        assert isinstance(record, PolicerDrop)
+        assert record.packet.size == 1500
+        assert record.reason == DROP_REASON_TOKENS
 
     def test_set_drop_listener_after_construction(self, engine):
         dropped = []

@@ -110,6 +110,47 @@ class TestTimeUntilConformant:
         assert bucket.try_consume(1500, wait + 1e-9)
 
 
+class TestEdgeCases:
+    def test_fractional_accrual_survives_long_idle_gaps(self):
+        """Sub-token fractions must accumulate exactly across idle time."""
+        bucket = TokenBucket(mbps(8e-6), 3000, start_full=False)  # 1 B/s
+        # 0.25 tokens per visit; four visits must buy exactly one byte.
+        for step in range(1, 4):
+            assert bucket.tokens_at(step * 0.25) == pytest.approx(
+                step * 0.25
+            )
+            assert not bucket.try_consume(1, step * 0.25)
+        assert bucket.try_consume(1, 1.0)
+        assert bucket.tokens_at(1.0) == pytest.approx(0.0)
+
+    def test_long_idle_gap_then_burst_caps_at_depth(self):
+        """A week of idle buys exactly one bucket, not one week of tokens."""
+        bucket = TokenBucket(mbps(1), 3000)
+        bucket.try_consume(3000, 0.0)
+        week = 7 * 24 * 3600.0
+        assert bucket.tokens_at(week) == 3000
+        results = [bucket.try_consume(1500, week) for _ in range(3)]
+        assert results == [True, True, False]
+
+    def test_depth_below_one_mtu_drops_every_full_packet(self):
+        """b < MTU polices everything regardless of rate or patience."""
+        bucket = TokenBucket(mbps(100), 1499)
+        assert not bucket.try_consume(1500, 0.0)
+        assert not bucket.try_consume(1500, 1e6)  # patience doesn't help
+        assert bucket.time_until_conformant(1500, 1e6) == float("inf")
+        assert bucket.try_consume(1499, 2e6)  # smaller packets still fit
+
+    def test_exact_boundary_size_equals_tokens_conforms(self):
+        """size == available tokens is conformant (>=, not >)."""
+        bucket = TokenBucket(mbps(1), 3000)
+        assert bucket.try_consume(3000, 0.0)
+        assert bucket.tokens_at(0.0) == 0.0
+        # And again at a refilled, non-integer token level.
+        bucket2 = TokenBucket(mbps(8), 3000, start_full=False)  # 1 MB/s
+        assert bucket2.try_consume(1500, 0.0015)
+        assert bucket2.tokens_at(0.0015) == pytest.approx(0.0)
+
+
 class TestForceConsume:
     def test_never_goes_negative(self):
         bucket = TokenBucket(mbps(1), 3000)

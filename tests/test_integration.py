@@ -5,7 +5,6 @@ render → VQM) on medium-size synthetic clips and assert the *shape*
 findings of the paper, not absolute numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.analysis import find_quality_cutoff, nonlinearity_index

@@ -66,6 +66,7 @@ class TestSpecFingerprint:
             feedback_loss=0.1,
             feedback_rtt_s=0.1,
             client_buffer_frames=60,
+            capture_trace=True,
             seed=4,
         )
         spec_fields = {f.name for f in dataclasses.fields(ExperimentSpec)}

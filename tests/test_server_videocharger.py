@@ -8,7 +8,7 @@ from repro.diffserv.dscp import DSCP
 from repro.sim.node import Host
 from repro.sim.tracer import FlowTracer
 from repro.server.videocharger import VideoChargerServer
-from repro.units import UDP_IP_HEADER, mbps
+from repro.units import UDP_IP_HEADER
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.diffserv.dscp import DSCP
 from repro.sim.node import Host
 from repro.sim.packet import Packet
 from repro.sim.tracer import FlowTracer

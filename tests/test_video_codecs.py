@@ -13,7 +13,7 @@ from repro.video.clips import (
     get_clip,
     get_script,
 )
-from repro.video.gop import FrameType, GopStructure
+from repro.video.gop import FrameType
 from repro.video.mpeg import EncodedClip, EncodedFrame, Mpeg1Encoder
 from repro.video.wmv import WmvEncoder
 

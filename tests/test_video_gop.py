@@ -1,6 +1,5 @@
 """Tests for GOP structure and loss propagation."""
 
-import numpy as np
 import pytest
 
 from repro.video.gop import (
