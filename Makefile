@@ -44,8 +44,9 @@ compile:
 	$(PYTHON) -m compileall -q src
 
 # Perf-regression bench: times the event engine against the vectorized
-# fast path on a paper sweep (cache disabled so both sides simulate)
-# and writes BENCH_sweep.json at the repo root.
+# fast path on a paper sweep (cache disabled so both sides simulate,
+# BENCH_sweep.json) and the campaign scheduler / adaptive sampler
+# (points/sec, warm-hit rate, sampling ratio; BENCH_campaign.json).
 bench:
 	REPRO_BENCH_CACHE=0 $(PYTHON) -m pytest -q -s benchmarks/perf $(TIMEOUT_OPTS)
 

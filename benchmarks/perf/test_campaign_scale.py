@@ -1,0 +1,155 @@
+"""Campaign-scale bench: scheduler throughput + adaptive sampling budget.
+
+``make bench`` runs this module and writes ``BENCH_campaign.json`` at
+the repo root:
+
+* scheduler throughput (grid points/second) for a real uniform sweep
+  over the paper's Figure-7 axis, cold store and then warm store (the
+  warm pass measures pure scheduler + store overhead);
+* the warm-hit rate of the second pass (must be 100%: every point is
+  answered from the content-addressed store);
+* the adaptive cliff-seeking sampler's evaluated-vs-full-grid ratio on
+  a dense rate axis, together with a frontier-equality check against
+  the uniform sweep it is meant to replace.
+
+The adaptive ratio assertion is the acceptance criterion from the
+campaign refactor: the sampler must reproduce the provisioning
+frontier with at most half the measurements of the uniform grid.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core.campaign import adaptive_token_rate_sweep
+from repro.core.experiment import ExperimentSpec
+from repro.core.resultstore import ResultStore
+from repro.core.runner import SerialRunner
+from repro.core.sweep import token_rate_sweep
+from repro.units import mbps
+
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+OUT_PATH = REPO_ROOT / "BENCH_campaign.json"
+
+#: Real-simulation axis for the throughput bench (kept small; each
+#: point is a full simulated run on the synthetic clip).
+THROUGHPUT_RATES = tuple(mbps(r) for r in (1.6, 1.8, 2.0, 2.2))
+THROUGHPUT_DEPTHS = (3000.0, 4500.0)
+
+#: Dense axis for the adaptive-budget bench: 33 rates x 2 depths
+#: straddling both per-depth cliffs of the test clip.
+DENSE_N = 33
+DENSE_RATES = tuple(
+    mbps(1.5) + i * (mbps(2.1) - mbps(1.5)) / (DENSE_N - 1)
+    for i in range(DENSE_N)
+)
+
+QUALITY_BOUND = 0.05
+
+
+def _base_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        clip="test-300",
+        codec="mpeg1",
+        encoding_rate_bps=mbps(1.7),
+        token_rate_bps=mbps(2.2),
+        bucket_depth_bytes=4500.0,
+        seed=3,
+    )
+
+
+def _frontier(sweep) -> dict:
+    """Per-depth minimal token rate meeting the quality bound."""
+    out = {}
+    for depth in sweep.depths():
+        rates, _, scores = sweep.series(depth)
+        meeting = [r for r, s in zip(rates, scores) if s <= QUALITY_BOUND]
+        out[depth] = min(meeting) if meeting else None
+    return out
+
+
+def _timed_sweep(store: ResultStore) -> tuple[float, object, SerialRunner]:
+    runner = SerialRunner(store=store)
+    started = time.perf_counter()
+    sweep = token_rate_sweep(
+        _base_spec(), THROUGHPUT_RATES, THROUGHPUT_DEPTHS, runner=runner
+    )
+    return time.perf_counter() - started, sweep, runner
+
+
+def test_campaign_scale(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    n_points = len(THROUGHPUT_RATES) * len(THROUGHPUT_DEPTHS)
+
+    cold_s, cold_sweep, cold_runner = _timed_sweep(store)
+    warm_s, warm_sweep, warm_runner = _timed_sweep(store)
+    assert warm_sweep == cold_sweep  # warm answers are the cold answers
+    warm_hit_rate = warm_runner.stats.cache_hits / n_points
+
+    # Adaptive budget: uniform dense sweep vs the cliff-seeking sampler,
+    # both against fresh stores so every evaluation is a real run.
+    uniform_runner = SerialRunner(store=ResultStore(tmp_path / "uniform"))
+    uniform_started = time.perf_counter()
+    uniform = token_rate_sweep(
+        _base_spec(), DENSE_RATES, THROUGHPUT_DEPTHS, runner=uniform_runner
+    )
+    uniform_s = time.perf_counter() - uniform_started
+
+    adaptive_runner = SerialRunner(store=ResultStore(tmp_path / "adaptive"))
+    adaptive_started = time.perf_counter()
+    adaptive = adaptive_token_rate_sweep(
+        _base_spec(), list(DENSE_RATES), THROUGHPUT_DEPTHS,
+        runner=adaptive_runner,
+    )
+    adaptive_s = time.perf_counter() - adaptive_started
+
+    sampling = adaptive.sampling
+    ratio = sampling["ratio"]
+    frontier_matches = _frontier(adaptive) == _frontier(uniform)
+
+    payload = {
+        "workload": {
+            "clip": "test-300",
+            "encoding_mbps": 1.7,
+            "throughput_rates_mbps": [r / 1e6 for r in THROUGHPUT_RATES],
+            "dense_grid_points": sampling["grid_points"],
+            "depths_bytes": list(THROUGHPUT_DEPTHS),
+        },
+        "scheduler": {
+            "grid_points": n_points,
+            "cold_s": cold_s,
+            "cold_points_per_sec": n_points / cold_s,
+            "warm_s": warm_s,
+            "warm_points_per_sec": n_points / warm_s,
+            "warm_hit_rate": warm_hit_rate,
+            "cold_simulated": cold_runner.stats.simulated,
+        },
+        "adaptive": {
+            "grid_points": sampling["grid_points"],
+            "evaluated": sampling["evaluated"],
+            "ratio": ratio,
+            "rounds": sampling["rounds"],
+            "uniform_s": uniform_s,
+            "adaptive_s": adaptive_s,
+            "frontier_matches_uniform": frontier_matches,
+        },
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nscheduler: cold {n_points / cold_s:.2f} pts/s, "
+        f"warm {n_points / warm_s:.0f} pts/s, "
+        f"warm hit rate {warm_hit_rate:.0%}; "
+        f"adaptive: {sampling['evaluated']}/{sampling['grid_points']} "
+        f"points ({ratio:.0%}) in {sampling['rounds']} rounds, "
+        f"frontier match: {frontier_matches}"
+    )
+
+    assert cold_runner.stats.simulated == n_points
+    assert warm_runner.stats.simulated == 0
+    assert warm_hit_rate == 1.0
+    # Acceptance: the adaptive sampler reproduces the provisioning
+    # frontier with <= 50% of the uniform grid's measurements.
+    assert frontier_matches, "adaptive frontier diverged from uniform sweep"
+    assert ratio <= 0.5, f"adaptive evaluated {ratio:.0%} of the grid"

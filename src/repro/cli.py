@@ -1,16 +1,18 @@
 """Command-line interface.
 
-Five subcommands mirror the library's main entry points::
+Six subcommands mirror the library's main entry points::
 
     python -m repro run   --clip lost --encoding 1.7 --rate 1.9 --depth 3000
     python -m repro sweep --clip lost --encoding 1.7 \
         --rates 1.7,1.8,1.9,2.0 --depths 3000,4500 \
         [--jobs 4] [--cache] [--cache-dir DIR] [--csv out.csv] \
-        [--max-retries 2] [--spec-timeout 600] [--journal FILE] [--resume]
+        [--max-retries 2] [--spec-timeout 600] [--journal FILE] [--resume] \
+        [--adaptive] [--cliff-threshold Q] [--progress] [--shards N]
     python -m repro clips
     python -m repro detect    --clip test-300 --rate 1.5 --depth 3000
     python -m repro recommend --clip lost --depths 3000,4500 \
-        [--target-score 0.05 | --target-loss F] [--jobs 4] [--cache]
+        [--target-score 0.05 | --target-loss F] [--jobs 4] [--cache | --warm]
+    python -m repro serve [--cache-dir DIR] [--jobs 4]
 
 ``run`` prints the headline measurements (and a MOS verdict) for one
 experiment; ``sweep`` prints a paper-style figure (optionally writing
@@ -31,8 +33,21 @@ policy, so a crashing or hanging grid point is retried with backoff
 and, if it never recovers, quarantined while the rest of the sweep
 completes; a sweep with quarantined specs prints a one-line summary to
 stderr and exits 3. ``--journal FILE`` checkpoints every outcome as it
-resolves, and ``--resume`` reloads that journal so an interrupted
-campaign re-simulates nothing it already finished.
+resolves (``--journal-compact N`` folds the log into a checkpoint
+every N outcomes), and ``--resume`` reloads that journal so an
+interrupted campaign re-simulates nothing it already finished.
+
+Campaign features: ``sweep --adaptive`` runs the cliff-seeking sampler
+(coarse grid plus recursive refinement around quality jumps — see
+:mod:`repro.core.campaign.sampler`) instead of the full grid;
+``--cliff-threshold`` sets the quality_score jump that triggers
+refinement. ``--progress`` streams a one-line progress/ETA report to
+stderr, fed by the scheduler's outcome stream. ``--shards`` overrides
+the scheduler's work-stealing shard count. ``recommend --warm`` binds
+the search to the warm result store through a
+:class:`~repro.core.campaign.service.CampaignService`, and ``serve``
+runs that service as a JSON-lines request/response loop on
+stdin/stdout.
 
 Profiling: ``run --profile`` / ``sweep --profile`` (or the
 ``REPRO_PROFILE=1`` environment variable) execute the command under
@@ -153,6 +168,15 @@ def _cmd_sweep(args) -> int:
         raise ValueError(f"--jobs must be at least 1 (got {args.jobs})")
     if args.resume and not args.journal:
         raise ValueError("--resume requires --journal FILE")
+    if args.adaptive and args.journal:
+        raise ValueError(
+            "--adaptive does not support --journal (the evaluated subset "
+            "is data-dependent); use --cache for warm restarts instead"
+        )
+    if args.journal_compact is not None and not args.journal:
+        raise ValueError("--journal-compact requires --journal FILE")
+    if args.shards is not None and args.shards < 1:
+        raise ValueError(f"--shards must be at least 1 (got {args.shards})")
     # Validate the whole grid up front: a typo'd rate or duplicated
     # depth should die here, not an hour into the campaign.
     rates = [mbps(float(r)) for r in args.rates.split(",")]
@@ -171,16 +195,45 @@ def _cmd_sweep(args) -> int:
             max_retries=args.max_retries if args.max_retries is not None else 2,
             spec_timeout_s=args.spec_timeout,
         )
-    runner = make_runner(jobs=args.jobs, store=store, retry=retry)
-    sweep = token_rate_sweep(
-        base,
-        rates,
-        depths,
-        runner=runner,
-        journal_path=args.journal,
-        resume=args.resume,
+    runner = make_runner(
+        jobs=args.jobs, store=store, retry=retry, shards=args.shards
     )
+    progress = None
+    if args.progress:
+        from repro.core.campaign import CampaignProgress
+
+        total = None if args.adaptive else len(rates) * len(depths)
+        progress = CampaignProgress(total=total, label="sweep")
+    if args.adaptive:
+        from repro.core.campaign import adaptive_token_rate_sweep
+
+        sweep = adaptive_token_rate_sweep(
+            base,
+            rates,
+            depths,
+            runner=runner,
+            cliff_quality_jump=args.cliff_threshold,
+            progress=progress,
+        )
+    else:
+        sweep = token_rate_sweep(
+            base,
+            rates,
+            depths,
+            runner=runner,
+            journal_path=args.journal,
+            resume=args.resume,
+            progress=progress,
+            journal_compact_every=args.journal_compact,
+        )
     print(render_sweep(sweep, title=f"sweep: {args.clip} ({args.codec})"))
+    if sweep.sampling is not None:
+        sampling = sweep.sampling
+        print(
+            f"\nadaptive: evaluated {sampling['evaluated']} of "
+            f"{sampling['grid_points']} grid points "
+            f"({100 * sampling['ratio']:.0f}%) in {sampling['rounds']} rounds"
+        )
     if store is not None:
         print(f"\ncache [{store.cache_dir}]: {runner.stats.describe()}")
     if args.journal:
@@ -287,13 +340,20 @@ def _cmd_recommend(args) -> int:
         raise ValueError(f"--jobs must be at least 1 (got {args.jobs})")
     depths = [float(d) for d in args.depths.split(",")]
     base = _spec_from_args(args, args.rate_max, depths[0])
-    use_cache = (
+    use_cache = args.warm or (
         args.cache if args.cache is not None else args.cache_dir is not None
     )
     store = None
     if use_cache:
         store = ResultStore(args.cache_dir or default_cache_dir())
-    runner = make_runner(jobs=args.jobs, store=store)
+    if args.warm:
+        # Service-style path: the search is bound to the warm store and
+        # only cache misses are scheduled (repro serve shares this).
+        from repro.core.campaign import CampaignService
+
+        runner = CampaignService(store, jobs=args.jobs).runner
+    else:
+        runner = make_runner(jobs=args.jobs, store=store)
     table = recommend_provisioning(
         base,
         depths=depths,
@@ -343,6 +403,29 @@ def _cmd_recommend(args) -> int:
         )
     if store is not None:
         print(f"cache [{store.cache_dir}]: {runner.stats.describe()}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.campaign import CampaignService
+
+    if args.jobs < 1:
+        raise ValueError(f"--jobs must be at least 1 (got {args.jobs})")
+    retry = None
+    if args.max_retries is not None or args.spec_timeout is not None:
+        retry = RetryPolicy(
+            max_retries=args.max_retries if args.max_retries is not None else 2,
+            spec_timeout_s=args.spec_timeout,
+        )
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    service = CampaignService(store, jobs=args.jobs, retry=retry)
+    print(
+        f"serving provisioning queries from {store.cache_dir} "
+        f"({len(store)} warm entries); one JSON request per line",
+        file=sys.stderr,
+    )
+    handled = service.serve_forever()
+    print(f"served {handled} requests", file=sys.stderr)
     return 0
 
 
@@ -427,6 +510,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="reload the journal and skip already-completed specs",
     )
     sweep_parser.add_argument(
+        "--journal-compact", type=int, default=None, metavar="N",
+        help="compact the journal into a checkpoint every N outcomes",
+    )
+    sweep_parser.add_argument(
+        "--adaptive", action="store_true",
+        help="cliff-seeking sampler: coarse grid + refinement around "
+        "quality jumps instead of the full grid",
+    )
+    sweep_parser.add_argument(
+        "--cliff-threshold", type=float, default=0.2,
+        help="quality_score jump across a bracket that triggers "
+        "adaptive refinement (only with --adaptive)",
+    )
+    sweep_parser.add_argument(
+        "--progress", action="store_true",
+        help="stream a one-line progress/ETA report to stderr",
+    )
+    sweep_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="work-stealing shard count (default: one per worker)",
+    )
+    sweep_parser.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile; top-20 cumulative functions to stderr",
@@ -499,8 +604,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help=f"cache location (default {default_cache_dir()}; implies --cache)",
     )
+    recommend_parser.add_argument(
+        "--warm", action="store_true",
+        help="answer from the warm result store through the campaign "
+        "service; only cache misses are simulated",
+    )
     recommend_parser.add_argument("--json", action="store_true", help="emit JSON")
     recommend_parser.set_defaults(func=_cmd_recommend)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="long-running provisioning query service (JSON lines on stdin)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"warm store location (default {default_cache_dir()})",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for scheduled cache misses",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retries per failing spec before quarantine",
+    )
+    serve_parser.add_argument(
+        "--spec-timeout", type=float, default=None,
+        help="per-attempt wall-clock budget in seconds",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -7,7 +7,10 @@ token-bucket parameters (`sweep`) — serially or through a process
 pool, against an on-disk result cache (`runner`, `resultstore`), with
 bounded retries, per-spec timeouts, quarantine, and checkpoint/resume
 (`faults`, `journal`, `chaos`) — and analyze/print the results
-(`analysis`, `report`).
+(`analysis`, `report`). Execution is orchestrated by the `campaign`
+package: an async sharded scheduler with work-stealing, streaming
+aggregation, cross-process single-flight, adaptive cliff-seeking
+sampling, and a warm-store query service.
 """
 
 from repro.core.experiment import ExperimentSpec, ExperimentResult, run_experiment
@@ -31,6 +34,13 @@ from repro.core.sweep import (
     token_rate_sweep,
     validate_grid,
 )
+from repro.core.campaign import (
+    CampaignProgress,
+    CampaignScheduler,
+    CampaignService,
+    SweepAggregator,
+    adaptive_token_rate_sweep,
+)
 from repro.core.analysis import (
     find_quality_cutoff,
     nonlinearity_index,
@@ -53,6 +63,11 @@ __all__ = [
     "token_rate_sweep",
     "validate_grid",
     "CACHE_SCHEMA_VERSION",
+    "CampaignProgress",
+    "CampaignScheduler",
+    "CampaignService",
+    "SweepAggregator",
+    "adaptive_token_rate_sweep",
     "Runner",
     "SerialRunner",
     "ProcessPoolRunner",

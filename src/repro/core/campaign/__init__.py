@@ -1,0 +1,69 @@
+"""Campaign layer: async sharded execution for million-point grids.
+
+The paper's provisioning curves are step functions: almost every point
+of a dense (rate × depth) grid lands on a flat plateau, and the few
+that matter sit in a narrow token-rate cliff. This package turns the
+batch-oriented runner stack into a campaign scheduler built for that
+shape:
+
+* :mod:`~repro.core.campaign.scheduler` — an asyncio scheduler that
+  shards arbitrary spec streams into work units, serves them to a
+  pluggable worker backend with work-stealing between shards and a
+  bounded in-flight window, and deduplicates concurrent campaigns
+  through the result store's cross-process single-flight leases;
+* :mod:`~repro.core.campaign.backends` — the worker backend API
+  (in-process serial and process-pool today; the surface is
+  deliberately small enough that a multi-host backend only needs
+  ``slots`` + ``execute``);
+* :mod:`~repro.core.campaign.aggregate` — streaming aggregation:
+  a :class:`~repro.core.sweep.SweepResult` grown incrementally from
+  the outcome stream (never from a materialized grid) plus the
+  one-line progress/ETA reporter;
+* :mod:`~repro.core.campaign.sampler` — the adaptive cliff-seeking
+  sampler: coarse grid first, recursive refinement only where quality
+  or frame loss jumps across a cliff threshold;
+* :mod:`~repro.core.campaign.service` — ``CampaignService``, the
+  long-running query API that answers provisioning questions from the
+  warm store and schedules only cache misses (``repro serve``).
+
+The legacy entry points (:meth:`repro.core.runner.Runner.run_batch`,
+:func:`repro.core.sweep.token_rate_sweep`, ``recommend``) are rewired
+through the scheduler, preserving the serial==parallel bit-identical
+guarantee: every outcome is a pure function of its spec, so neither
+sharding, stealing, nor backend choice can perturb a result.
+"""
+
+from repro.core.campaign.aggregate import CampaignProgress, SweepAggregator
+from repro.core.campaign.backends import (
+    LegacyRunnerBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkerBackend,
+    backend_for_runner,
+)
+from repro.core.campaign.sampler import (
+    AdaptiveSampleReport,
+    adaptive_token_rate_sweep,
+)
+from repro.core.campaign.scheduler import (
+    CampaignScheduler,
+    WorkUnit,
+    run_stream_through_scheduler,
+)
+from repro.core.campaign.service import CampaignService
+
+__all__ = [
+    "AdaptiveSampleReport",
+    "CampaignProgress",
+    "CampaignScheduler",
+    "CampaignService",
+    "LegacyRunnerBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepAggregator",
+    "WorkUnit",
+    "WorkerBackend",
+    "adaptive_token_rate_sweep",
+    "backend_for_runner",
+    "run_stream_through_scheduler",
+]

@@ -1,0 +1,325 @@
+"""Worker backends: where one work unit actually executes.
+
+A backend answers exactly one question for the scheduler: "run this
+spec, give me its outcome". Everything else — sharding, stealing,
+retries, quarantine, caching, single-flight — lives in the scheduler,
+so a backend stays small enough that adding a new execution substrate
+(a remote-host pool, a container fleet) means implementing ``slots``
+and ``execute`` and nothing more.
+
+Three backends ship today:
+
+* :class:`SerialBackend` — in-process, one unit at a time, the only
+  backend that can retain full-detail results;
+* :class:`ProcessPoolBackend` — worker processes; a persistent
+  ``ProcessPoolExecutor`` on the plain path, one supervised process
+  per attempt when a retry policy needs hang/crash containment;
+* :class:`LegacyRunnerBackend` — adapter for custom
+  :class:`~repro.core.runner.Runner` subclasses (stub runners in
+  tests, downstream extensions) that only implement ``_execute``.
+
+Every backend preserves the bit-identical guarantee: workers build
+their own engine and VQM tool per spec, so an outcome is a pure
+function of the spec, independent of which backend (or how many
+slots) produced it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.experiment import ExperimentSpec, ExperimentResult
+from repro.core.faults import SpecTimeout, WorkerCrash, deadline
+from repro.vqm.tool import VqmTool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runner import BatchOutcome, Runner, RunnerStats
+
+
+class RemoteWorkerError(Exception):
+    """An exception a supervised worker reported over its pipe.
+
+    The original type cannot be re-raised faithfully across the
+    process boundary, so the message carries ``Type: text`` and
+    failure classification folds this into ``exception``.
+    """
+
+
+class WorkerBackend:
+    """Minimal execution substrate the scheduler drives.
+
+    ``slots`` is the number of units the backend can usefully run at
+    once (the scheduler spawns that many worker coroutines).
+    ``execute`` runs one spec and either returns its outcome or raises
+    — retries, classification, and quarantine are the scheduler's job.
+    """
+
+    slots: int = 1
+
+    def prepare(self, plan_specs: Optional[Sequence[ExperimentSpec]]) -> None:
+        """One-time setup before the first unit (warm plans, pools)."""
+
+    async def execute(
+        self, spec: ExperimentSpec, timeout_s: Optional[float] = None
+    ) -> "BatchOutcome":
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools/processes; called once per campaign, always."""
+
+
+class SerialBackend(WorkerBackend):
+    """In-process execution, one unit at a time.
+
+    Timeouts are enforced with ``SIGALRM`` (the execution happens
+    synchronously on the event-loop thread, which is the main thread,
+    so the deadline context works exactly as in the pre-async runner).
+    With ``keep_details`` the full :class:`ExperimentResult` of every
+    simulated unit is appended to ``details`` in execution order.
+    """
+
+    slots = 1
+
+    def __init__(
+        self,
+        vqm_tool: Optional[VqmTool] = None,
+        keep_details: bool = False,
+        details: Optional[list] = None,
+    ):
+        self.vqm_tool = vqm_tool or VqmTool()
+        self.keep_details = keep_details
+        self.details: list[ExperimentResult] = details if details is not None else []
+        self._details_reset = False
+
+    async def execute(
+        self, spec: ExperimentSpec, timeout_s: Optional[float] = None
+    ) -> "BatchOutcome":
+        from repro.core.runner import _summarize_run
+
+        if self.keep_details and not self._details_reset:
+            # Reset on first execution, not construction: a batch that
+            # is answered entirely from cache keeps the previous
+            # batch's details, exactly like the pre-scheduler runner.
+            self.details.clear()
+            self._details_reset = True
+        with deadline(timeout_s):
+            summary, result = _summarize_run(spec, vqm_tool=self.vqm_tool)
+        if self.keep_details and result is not None:
+            self.details.append(result)
+        return summary
+
+
+class ProcessPoolBackend(WorkerBackend):
+    """Worker-process execution with two containment modes.
+
+    Plain mode (no retry policy): a persistent ``ProcessPoolExecutor``
+    warmed with the batch's clip encodes. A pool broken by a dying
+    worker degrades the rest of the campaign to in-process execution
+    (counted once in ``stats.fallbacks``) instead of aborting.
+
+    Supervised mode (retry policy attached): each attempt runs in its
+    own supervised process so a hung worker can be terminated at the
+    deadline and a dead one detected by exit code. Failures surface as
+    exceptions (:class:`SpecTimeout`, :class:`WorkerCrash`,
+    :class:`RemoteWorkerError`) for the scheduler's attempt loop to
+    classify.
+
+    Single-spec batches and ``jobs=1`` run in-process, which keeps
+    them usable in environments without working multiprocessing.
+    """
+
+    #: Seconds between supervision polls of a worker's pipe/liveness.
+    POLL_S = 0.02
+
+    def __init__(
+        self,
+        jobs: int,
+        supervised: bool = False,
+        stats: Optional["RunnerStats"] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"need at least one worker (jobs={jobs})")
+        self.jobs = jobs
+        self.slots = jobs
+        self.supervised = supervised
+        self.stats = stats
+        self._pool = None
+        self._broken = False
+        self._plan_specs: Optional[Sequence[ExperimentSpec]] = None
+        self._total_hint: Optional[int] = None
+
+    def prepare(self, plan_specs: Optional[Sequence[ExperimentSpec]]) -> None:
+        self._plan_specs = plan_specs
+        self._total_hint = len(plan_specs) if plan_specs is not None else None
+
+    def _note_fallback(self) -> None:
+        if not self._broken:
+            self._broken = True
+            if self.stats is not None:
+                self.stats.fallbacks += 1
+
+    def _in_process_mode(self) -> bool:
+        return (
+            self.jobs == 1
+            or self._broken
+            or (self._total_hint is not None and self._total_hint <= 1)
+        )
+
+    async def execute(
+        self, spec: ExperimentSpec, timeout_s: Optional[float] = None
+    ) -> "BatchOutcome":
+        from repro.core.runner import _pool_worker
+
+        if self.supervised and not self._in_process_mode():
+            return await asyncio.to_thread(self._run_supervised, spec, timeout_s)
+        if self._in_process_mode():
+            return await asyncio.to_thread(_pool_worker, spec)
+        from concurrent.futures.process import BrokenProcessPool
+
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._ensure_pool(), _pool_worker, spec)
+        except BrokenProcessPool:
+            # A worker segfaulted or was OOM-killed. Outcomes are pure
+            # functions of their specs, so finish in-process — slower,
+            # but the campaign completes.
+            self._note_fallback()
+            return await asyncio.to_thread(_pool_worker, spec)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.core.runner import _warm_plan, _warm_worker_caches
+
+            workers = self.jobs
+            if self._total_hint is not None:
+                workers = min(workers, max(self._total_hint, 1))
+            plan = _warm_plan(self._plan_specs) if self._plan_specs else []
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_warm_worker_caches,
+                initargs=(plan,),
+            )
+        return self._pool
+
+    def _run_supervised(
+        self, spec: ExperimentSpec, timeout_s: Optional[float]
+    ) -> "BatchOutcome":
+        """One supervised attempt: spawn, watch, reap.
+
+        Runs on a worker thread, so supervision never blocks the event
+        loop; up to ``jobs`` of these are in flight at once.
+        """
+        from repro.core.runner import _summarize_run, _supervised_worker
+
+        ctx = multiprocessing.get_context()
+        try:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_supervised_worker, args=(child_conn, spec), daemon=True
+            )
+            process.start()
+        except OSError:
+            # Cannot spawn processes at all (fd/PID exhaustion,
+            # restricted sandbox): degrade to in-process execution.
+            self._note_fallback()
+            summary, _ = _summarize_run(spec)
+            return summary
+        child_conn.close()
+        deadline_at = (
+            time.monotonic() + timeout_s if timeout_s else None
+        )
+        try:
+            while True:
+                if parent_conn.poll(self.POLL_S):
+                    try:
+                        message = parent_conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    if message is None:
+                        raise WorkerCrash("worker pipe closed mid-send")
+                    if message[0] == "ok":
+                        return message[1]
+                    _, exc_type, text = message
+                    if exc_type == "SpecTimeout":
+                        raise SpecTimeout(text)
+                    raise RemoteWorkerError(f"{exc_type}: {text}")
+                if not process.is_alive():
+                    raise WorkerCrash(
+                        f"worker died with exit code {process.exitcode}"
+                    )
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    process.terminate()
+                    process.join(timeout=1.0)
+                    if process.is_alive():  # pragma: no cover - stubborn
+                        process.kill()
+                        process.join(timeout=1.0)
+                    raise SpecTimeout(
+                        f"exceeded {timeout_s:.3g} s wall-clock budget "
+                        f"(worker terminated)"
+                    )
+        finally:
+            parent_conn.close()
+            process.join(timeout=5.0)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+class LegacyRunnerBackend(WorkerBackend):
+    """Adapter for Runner subclasses that predate the backend API.
+
+    Drives the subclass's ``_execute`` one spec at a time (its
+    historical unit of work), so stub runners and downstream
+    extensions keep working unmodified through the scheduler.
+    """
+
+    slots = 1
+
+    def __init__(self, runner: "Runner"):
+        self.runner = runner
+
+    async def execute(
+        self, spec: ExperimentSpec, timeout_s: Optional[float] = None
+    ) -> "BatchOutcome":
+        with deadline(timeout_s):
+            [outcome] = self.runner._execute([spec])
+        return outcome
+
+
+def backend_for_runner(
+    runner: "Runner", plan_specs: Optional[Sequence[ExperimentSpec]] = None
+) -> WorkerBackend:
+    """The natural backend for a legacy runner object.
+
+    ``plan_specs`` (the batch about to run) lets the pool backend size
+    itself and pre-warm worker clip caches exactly as the historical
+    ``ProcessPoolRunner`` did.
+    """
+    from repro.core.runner import ProcessPoolRunner, SerialRunner
+
+    if isinstance(runner, ProcessPoolRunner):
+        backend = ProcessPoolBackend(
+            jobs=runner.jobs,
+            supervised=runner.retry is not None,
+            stats=runner.stats,
+        )
+        backend.prepare(plan_specs)
+        return backend
+    if isinstance(runner, SerialRunner):
+        backend = SerialBackend(
+            vqm_tool=runner.vqm_tool,
+            keep_details=runner.keep_details,
+            details=runner.last_details,
+        )
+        backend.prepare(plan_specs)
+        return backend
+    backend = LegacyRunnerBackend(runner)
+    backend.prepare(plan_specs)
+    return backend

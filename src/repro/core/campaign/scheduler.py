@@ -1,0 +1,333 @@
+"""The asyncio campaign scheduler: shards, stealing, single-flight.
+
+One scheduler run turns a stream of :class:`WorkUnit`\\ s into a
+stream of outcomes:
+
+* units are fed into ``shards`` deques round-robin, at most ``window``
+  of them queued-or-in-flight at any moment, so a million-point grid
+  is pulled through lazily instead of materialized;
+* ``backend.slots`` worker coroutines drain the shards — each takes
+  from the front of its own shard and, when that runs dry, *steals
+  from the back of the richest one*, so an unlucky shard full of slow
+  cliff points cannot strand idle workers;
+* a unit is answered by the result store when possible (a warm hit
+  costs one file read), otherwise executed through the backend under
+  the retry policy's attempt loop;
+* when a store is attached, execution happens under a cross-process
+  single-flight lease: two campaigns (or two shards) that reach the
+  same fingerprint concurrently produce exactly one simulation — the
+  loser waits on the winner's cache publish instead of re-simulating.
+
+Outcomes are emitted through a callback as they resolve, which is
+what the streaming aggregator, journal checkpointing, and progress
+reporting all hang off. Because every outcome is a pure function of
+its spec, emission order is free to vary with scheduling while the
+assembled results stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.faults import FailureRecord, RetryPolicy, classify_failure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.campaign.backends import WorkerBackend
+    from repro.core.resultstore import ResultStore
+    from repro.core.runner import BatchOutcome, Runner, RunnerStats
+
+#: How an outcome was obtained: a result-store read (``cache``), a
+#: wait on another process's single-flight lease (``single-flight``),
+#: or an actual execution (``fresh`` — quarantines included).
+SOURCES = ("cache", "single-flight", "fresh")
+
+#: Streaming callback: ``(unit, outcome, source)`` as each resolves.
+EmitCallback = Callable[["WorkUnit", "BatchOutcome", str], None]
+
+#: Poll interval while waiting on another process's lease.
+LEASE_POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable point: a spec plus its submission position."""
+
+    index: int
+    spec: ExperimentSpec
+    fingerprint: str = ""
+
+
+class CampaignScheduler:
+    """Async sharded executor over a pluggable worker backend.
+
+    ``shards`` defaults to the backend's slot count; ``window`` bounds
+    queued + in-flight units (the streaming knob — small windows keep
+    memory flat on huge grids, large ones keep shards warm for
+    stealing). ``single_flight=False`` disables the cross-process
+    lease path (used by tests and by stores on filesystems without
+    ``O_EXCL`` semantics).
+    """
+
+    def __init__(
+        self,
+        backend: "WorkerBackend",
+        store: Optional["ResultStore"] = None,
+        retry: Optional[RetryPolicy] = None,
+        stats: Optional["RunnerStats"] = None,
+        shards: Optional[int] = None,
+        window: Optional[int] = None,
+        single_flight: bool = True,
+    ):
+        from repro.core.runner import RunnerStats
+
+        self.backend = backend
+        self.store = store
+        self.retry = retry
+        self.stats = stats if stats is not None else RunnerStats()
+        slots = max(1, backend.slots)
+        self.shards = max(1, shards if shards is not None else slots)
+        self.window = max(
+            slots, window if window is not None else max(4 * slots, 8)
+        )
+        self.single_flight = single_flight
+        self._cond: Optional[asyncio.Condition] = None
+        self._queues: list[deque] = []
+        self._exhausted = False
+        self._queued = 0
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+    # The run loop
+
+    async def run(self, units: Iterable[WorkUnit], emit: EmitCallback) -> None:
+        """Drain ``units`` through the backend, emitting each outcome.
+
+        Raises the first execution error when no retry policy is
+        attached (the historical "no policy, no swallowing" contract);
+        with a policy, failures become quarantine records and the run
+        always completes.
+        """
+        self._cond = asyncio.Condition()
+        self._queues = [deque() for _ in range(self.shards)]
+        self._exhausted = False
+        self._queued = 0
+        self._inflight = 0
+        try:
+            async with asyncio.TaskGroup() as group:
+                group.create_task(self._feed(iter(units)))
+                for wid in range(max(1, self.backend.slots)):
+                    group.create_task(self._work(wid, emit))
+        except BaseExceptionGroup as group_exc:
+            # Surface the original failure, not the group wrapper, so
+            # callers keep catching the exception type they always did.
+            raise group_exc.exceptions[0] from None
+        finally:
+            self.backend.close()
+
+    async def _feed(self, units: Iterator[WorkUnit]) -> None:
+        assert self._cond is not None
+        position = 0
+        try:
+            for unit in units:
+                async with self._cond:
+                    while self._queued + self._inflight >= self.window:
+                        await self._cond.wait()
+                    self._queues[position % self.shards].append(unit)
+                    self._queued += 1
+                    position += 1
+                    self._cond.notify_all()
+        finally:
+            async with self._cond:
+                self._exhausted = True
+                self._cond.notify_all()
+
+    def _take(self, wid: int) -> Optional[WorkUnit]:
+        own = self._queues[wid % self.shards]
+        if own:
+            return own.popleft()
+        victim = max(self._queues, key=len)
+        if victim:
+            # Steal from the back: the tail is the work the victim
+            # would reach last, so contention on "next up" is minimal.
+            self.stats.steals += 1
+            return victim.pop()
+        return None
+
+    async def _work(self, wid: int, emit: EmitCallback) -> None:
+        assert self._cond is not None
+        while True:
+            async with self._cond:
+                unit = self._take(wid)
+                while unit is None:
+                    if self._exhausted and self._queued == 0:
+                        return
+                    await self._cond.wait()
+                    unit = self._take(wid)
+                self._queued -= 1
+                self._inflight += 1
+            try:
+                await self._process(unit, emit)
+            finally:
+                async with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Per-unit resolution
+
+    async def _process(self, unit: WorkUnit, emit: EmitCallback) -> None:
+        store = self.store
+        if store is None:
+            outcome = await self._execute(unit)
+            self._count_fresh(outcome)
+            emit(unit, outcome, "fresh")
+            return
+
+        cached = store.get(unit.fingerprint)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self.stats.time_saved_s += cached.elapsed_s
+            emit(unit, cached, "cache")
+            return
+
+        if not self.single_flight:
+            outcome = await self._execute(unit)
+            self._count_fresh(outcome)
+            if not isinstance(outcome, FailureRecord):
+                store.put(unit.fingerprint, unit.spec, outcome)
+            emit(unit, outcome, "fresh")
+            return
+
+        lease = store.acquire_lease(unit.fingerprint)
+        if lease is None:
+            # Someone else is simulating this fingerprint right now.
+            # Wait for their publish instead of duplicating the work;
+            # if their lease vanishes without an entry (they failed or
+            # quarantined), contend for the lease ourselves.
+            self.stats.single_flight_waits += 1
+            while lease is None:
+                await asyncio.sleep(LEASE_POLL_S)
+                cached = store.get(unit.fingerprint)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    self.stats.time_saved_s += cached.elapsed_s
+                    emit(unit, cached, "single-flight")
+                    return
+                lease = store.acquire_lease(unit.fingerprint)
+        try:
+            # Holding the lease: check the store once more (the prior
+            # holder may have published between our miss and our
+            # acquire), then simulate.
+            cached = store.get(unit.fingerprint)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self.stats.time_saved_s += cached.elapsed_s
+                emit(unit, cached, "cache")
+                return
+            outcome = await self._execute(unit)
+            self._count_fresh(outcome)
+            if not isinstance(outcome, FailureRecord):
+                # Publish before releasing so waiters always find the
+                # entry once the lease is gone.
+                store.put(unit.fingerprint, unit.spec, outcome)
+        finally:
+            lease.release()
+        emit(unit, outcome, "fresh")
+
+    def _count_fresh(self, outcome: "BatchOutcome") -> None:
+        if isinstance(outcome, FailureRecord):
+            self.stats.quarantined += 1
+        else:
+            self.stats.simulated += 1
+
+    async def _execute(self, unit: WorkUnit) -> "BatchOutcome":
+        """One unit through the backend, under the retry policy if any."""
+        from repro.core.runner import spec_fingerprint, validate_summary
+
+        policy = self.retry
+        if policy is None:
+            return await self.backend.execute(unit.spec, timeout_s=None)
+
+        started = time.perf_counter()
+        failure_kind = "exception"
+        failure_message = "no attempt ran"
+        for attempt in range(1, policy.attempts + 1):
+            if attempt > 1:
+                self.stats.retries += 1
+                await asyncio.sleep(policy.backoff_s(attempt - 1))
+            try:
+                candidate = await self.backend.execute(
+                    unit.spec, timeout_s=policy.spec_timeout_s
+                )
+                return validate_summary(candidate)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - classified below
+                failure_kind = classify_failure(exc)
+                failure_message = f"{type(exc).__name__}: {exc}"
+        return FailureRecord(
+            fingerprint=unit.fingerprint or spec_fingerprint(unit.spec),
+            kind=failure_kind,
+            message=failure_message,
+            attempts=policy.attempts,
+            elapsed_s=time.perf_counter() - started,
+            spec=dataclasses.asdict(unit.spec),
+        )
+
+
+# ----------------------------------------------------------------------
+# Synchronous drivers used by the legacy entry points
+
+
+def run_stream_through_scheduler(
+    runner: "Runner",
+    specs: Iterable[ExperimentSpec],
+    emit: EmitCallback,
+    plan_specs: Optional[Sequence[ExperimentSpec]] = None,
+    need_fingerprints: bool = True,
+) -> None:
+    """Stream ``specs`` through a scheduler built from a legacy runner.
+
+    The bridge the rewired entry points use: the runner contributes
+    its store, retry policy, stats object, and execution strategy (as
+    a backend); the scheduler contributes sharding, stealing, the
+    bounded window, and single-flight. ``emit`` fires as each outcome
+    resolves; nothing is accumulated here, so callers decide whether
+    to stream (sweeps) or collect (batches).
+
+    ``plan_specs`` optionally names the full batch up front so a pool
+    backend can pre-warm worker caches; when omitted (a lazy spec
+    stream), workers warm lazily instead. ``need_fingerprints=False``
+    skips per-unit hashing for store-less, callback-less batches.
+    """
+    from repro.core.campaign.backends import backend_for_runner
+    from repro.core.runner import spec_fingerprint
+
+    hash_units = need_fingerprints or runner.store is not None
+
+    def unit_stream() -> Iterator[WorkUnit]:
+        for index, spec in enumerate(specs):
+            runner.stats.submitted += 1
+            yield WorkUnit(
+                index=index,
+                spec=spec,
+                fingerprint=spec_fingerprint(spec) if hash_units else "",
+            )
+
+    backend = backend_for_runner(runner, plan_specs=plan_specs)
+    scheduler = CampaignScheduler(
+        backend,
+        store=runner.store,
+        retry=runner.retry,
+        stats=runner.stats,
+        shards=getattr(runner, "shards", None),
+        window=getattr(runner, "window", None),
+        single_flight=getattr(runner, "single_flight", True),
+    )
+    asyncio.run(scheduler.run(unit_stream(), emit))

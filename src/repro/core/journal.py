@@ -12,15 +12,21 @@ from zero. The format:
 * then one line per resolved spec —
   ``{"kind": "done", "fingerprint": ..., "summary": {...}}`` for a
   success, ``{"kind": "failed", "fingerprint": ..., "failure": {...}}``
-  for a quarantine.
+  for a quarantine;
+* optionally ``{"kind": "checkpoint", "done": {...}, "failed": {...}}``
+  — a compaction record that folds everything recorded so far into
+  one line (see :meth:`SweepJournal.compact`). Loading replays records
+  in order, so a checkpoint followed by later per-spec lines resumes
+  exactly like the uncompacted log it replaced.
 
 Every append is flushed and fsynced: a journal line exists on disk
-before the campaign moves on. Loading is torn-write tolerant — a
-truncated or corrupt tail line (the one the crash interrupted) is
-skipped, not fatal. On resume, ``done`` specs are served straight from
-the journal (zero re-simulation, cache or no cache) while ``failed``
-specs run again, since whatever quarantined them may have been
-transient.
+before the campaign moves on. Compaction is atomic (tmp file + fsync +
+``os.replace``), so a crash mid-compact leaves the old log intact.
+Loading is torn-write tolerant — a truncated or corrupt tail line (the
+one the crash interrupted) is skipped, not fatal. On resume, ``done``
+specs are served straight from the journal (zero re-simulation, cache
+or no cache) while ``failed`` specs run again, since whatever
+quarantined them may have been transient.
 """
 
 from __future__ import annotations
@@ -28,13 +34,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.core.faults import FailureRecord
 from repro.core.runner import ResultSummary, spec_fingerprint
 
 #: Bump when the journal line format changes; old files stop resuming.
+#: (The ``checkpoint`` record kind is a backward-compatible addition —
+#: old journals without one load unchanged — so the version stays 1.)
 JOURNAL_SCHEMA_VERSION = 1
 
 
@@ -59,6 +68,10 @@ class SweepJournal:
     hold what the on-disk file already knew at open time, keyed by spec
     fingerprint; a spec's latest line wins, so a ``failed`` spec that
     succeeds on a resumed run is promoted to ``completed``.
+
+    ``compact_every=N`` triggers automatic compaction after every N
+    appended outcome records, bounding the file at roughly one
+    checkpoint plus N lines no matter how long the campaign runs.
     """
 
     def __init__(self, path: Path, sweep_id: str):
@@ -66,6 +79,9 @@ class SweepJournal:
         self.sweep_id = sweep_id
         self.completed: dict[str, ResultSummary] = {}
         self.failed: dict[str, FailureRecord] = {}
+        self.compact_every: Optional[int] = None
+        self.compactions = 0
+        self._since_compact = 0
         self._handle = None
 
     @classmethod
@@ -74,6 +90,7 @@ class SweepJournal:
         path: Union[str, Path],
         sweep_id: str,
         resume: bool = False,
+        compact_every: Optional[int] = None,
     ) -> "SweepJournal":
         """Create a fresh journal, or (``resume=True``) reload one.
 
@@ -83,8 +100,13 @@ class SweepJournal:
         otherwise); a missing file simply starts fresh, so ``--resume``
         is safe on the very first run.
         """
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(
+                f"compact_every must be positive (got {compact_every})"
+            )
         path = Path(path)
         journal = cls(path, sweep_id)
+        journal.compact_every = compact_every
         if resume and path.exists():
             journal._load()
             journal._handle = open(path, "a")
@@ -141,10 +163,33 @@ class SweepJournal:
                     continue
                 self.failed[fingerprint] = failure
                 self.completed.pop(fingerprint, None)
+            elif kind == "checkpoint":
+                self._load_checkpoint(record)
         if not header_seen:
             raise JournalMismatch(
                 f"journal {self.path} has no valid header; delete it to start over"
             )
+
+    def _load_checkpoint(self, record: dict) -> None:
+        """Replay one compaction record (tolerant of bad sub-entries)."""
+        done = record.get("done")
+        failed = record.get("failed")
+        if isinstance(done, dict):
+            for fingerprint, summary_dict in done.items():
+                try:
+                    summary = ResultSummary.from_dict(summary_dict)
+                except (TypeError, AttributeError):
+                    continue
+                self.completed[fingerprint] = summary
+                self.failed.pop(fingerprint, None)
+        if isinstance(failed, dict):
+            for fingerprint, failure_dict in failed.items():
+                try:
+                    failure = FailureRecord.from_dict(failure_dict)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self.failed[fingerprint] = failure
+                self.completed.pop(fingerprint, None)
 
     def _append(self, record: dict) -> None:
         if self._handle is None:
@@ -152,6 +197,69 @@ class SweepJournal:
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+
+    def compact(self) -> None:
+        """Fold the log into header + one checkpoint record, atomically.
+
+        Everything the journal currently knows (``completed`` and
+        ``failed``, latest-line-wins already applied) becomes a single
+        ``checkpoint`` line. The replacement file is fully written and
+        fsynced before ``os.replace`` publishes it, so a crash at any
+        point leaves either the old log or the new one — never a
+        truncated hybrid. Resume behaviour is unchanged by compaction:
+        the checkpoint replays to the exact same ``completed`` /
+        ``failed`` maps the per-spec lines produced.
+        """
+        if self._handle is None:
+            raise RuntimeError("journal is closed")
+        self._handle.flush()
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=".journal-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for record in (
+                    {
+                        "kind": "header",
+                        "schema": JOURNAL_SCHEMA_VERSION,
+                        "sweep_id": self.sweep_id,
+                    },
+                    {
+                        "kind": "checkpoint",
+                        "done": {
+                            fp: summary.to_dict()
+                            for fp, summary in self.completed.items()
+                        },
+                        "failed": {
+                            fp: failure.to_dict()
+                            for fp, failure in self.failed.items()
+                        },
+                    },
+                ):
+                    handle.write(
+                        json.dumps(record, separators=(",", ":")) + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._handle.close()
+        self._handle = open(self.path, "a")
+        self._since_compact = 0
+        self.compactions += 1
+
+    def _after_record(self) -> None:
+        self._since_compact += 1
+        if (
+            self.compact_every is not None
+            and self._since_compact >= self.compact_every
+        ):
+            self.compact()
 
     def record_success(self, fingerprint: str, summary: ResultSummary) -> None:
         """Checkpoint one completed spec (durable before returning)."""
@@ -164,6 +272,7 @@ class SweepJournal:
         )
         self.completed[fingerprint] = summary
         self.failed.pop(fingerprint, None)
+        self._after_record()
 
     def record_failure(self, fingerprint: str, failure: FailureRecord) -> None:
         """Checkpoint one quarantined spec."""
@@ -176,6 +285,7 @@ class SweepJournal:
         )
         self.failed[fingerprint] = failure
         self.completed.pop(fingerprint, None)
+        self._after_record()
 
     def record(self, fingerprint: str, outcome) -> None:
         """Dispatch on outcome type (summary vs failure record)."""

@@ -18,6 +18,16 @@ the batch the unit of work:
   VQM tool, so a spec's result is a pure function of the spec and the
   two runners produce bitwise-identical summaries.
 
+Since the campaign refactor, a runner no longer executes its batch
+directly: :meth:`Runner.run_batch` and :meth:`Runner.run_stream` feed
+the :class:`~repro.core.campaign.scheduler.CampaignScheduler`, which
+shards the work, steals between shards, bounds the in-flight window,
+and (with a store attached) deduplicates concurrent campaigns through
+cross-process single-flight leases. The runner object remains the
+user-facing handle: it owns the execution strategy (which the
+scheduler consumes as a worker backend), the result store, the retry
+policy, and the stats.
+
 Fault tolerance (see :mod:`repro.core.faults`): attach a
 :class:`~repro.core.faults.RetryPolicy` and a batch survives its own
 specs. Each failing spec is retried with exponential backoff — every
@@ -50,9 +60,6 @@ from repro.core.faults import (
     FailureRecord,
     PoisonResult,
     RetryPolicy,
-    SpecTimeout,
-    classify_failure,
-    deadline,
 )
 from repro.vqm.tool import VqmTool
 
@@ -203,7 +210,7 @@ def validate_summary(candidate) -> ResultSummary:
 
 @dataclass
 class RunnerStats:
-    """What one runner did across its batches."""
+    """What one runner (one scheduler, one service) did so far."""
 
     submitted: int = 0
     simulated: int = 0
@@ -212,6 +219,10 @@ class RunnerStats:
     retries: int = 0
     quarantined: int = 0
     fallbacks: int = 0
+    # Campaign-scheduler counters: cross-shard steals and waits spent
+    # on another process's single-flight lease.
+    steals: int = 0
+    single_flight_waits: int = 0
 
     def describe(self) -> str:
         """One-line cache/throughput report."""
@@ -226,6 +237,8 @@ class RunnerStats:
             line += f", {self.quarantined} quarantined"
         if self.fallbacks:
             line += f", {self.fallbacks} pool fallbacks"
+        if self.single_flight_waits:
+            line += f", {self.single_flight_waits} single-flight waits"
         return line
 
 
@@ -305,24 +318,36 @@ def _supervised_worker(conn, spec: ExperimentSpec) -> None:
 
 
 class Runner:
-    """Base class: cache bookkeeping around a batch execution strategy.
+    """Base class: the user-facing handle on campaign execution.
 
-    Subclasses implement :meth:`_execute` for the specs the cache could
-    not answer, and may override :meth:`_execute_tolerant` with a
-    strategy-native fault path. When a :class:`ResultStore` is
-    attached, hits skip the simulation entirely and fresh results are
-    written back, so a repeated batch costs only file reads. When a
-    :class:`RetryPolicy` is attached, per-spec failures become
-    :class:`FailureRecord` slots instead of batch-aborting exceptions.
+    A runner bundles an execution strategy with the result store, the
+    retry policy, and a stats object; :meth:`run_batch` and
+    :meth:`run_stream` hand all of it to the campaign scheduler, which
+    owns sharding, work-stealing, the bounded in-flight window, cache
+    lookups, single-flight leases, retries, and quarantine.
+
+    ``shards`` overrides the scheduler's shard count (default: one per
+    backend slot); ``window`` bounds queued+in-flight units;
+    ``single_flight=False`` disables the cross-process lease path.
+    Subclasses either map to a dedicated worker backend (see
+    :func:`repro.core.campaign.backends.backend_for_runner`) or
+    implement :meth:`_execute` for one-spec-at-a-time legacy
+    execution.
     """
 
     def __init__(
         self,
         store: Optional["ResultStore"] = None,
         retry: Optional[RetryPolicy] = None,
+        shards: Optional[int] = None,
+        window: Optional[int] = None,
+        single_flight: bool = True,
     ):
         self.store = store
         self.retry = retry
+        self.shards = shards
+        self.window = window
+        self.single_flight = single_flight
         self.stats = RunnerStats()
 
     def run_batch(
@@ -330,116 +355,57 @@ class Runner:
         specs: Sequence[ExperimentSpec],
         on_outcome: Optional[OutcomeCallback] = None,
     ) -> list[BatchOutcome]:
-        """Run every spec, in order; cached points never re-simulate.
+        """Run every spec; returns outcomes in submission order.
 
-        Without a retry policy any spec failure propagates (the
-        historical behaviour). With one, each slot resolves to either a
-        summary or a :class:`FailureRecord` and the batch always
-        returns. ``on_outcome`` fires once per slot as it resolves —
-        cache hits immediately, fresh results/quarantines as execution
-        finishes — which is what lets a sweep journal checkpoint
-        incrementally.
+        Cached points never re-simulate. Without a retry policy any
+        spec failure propagates (the historical behaviour). With one,
+        each slot resolves to either a summary or a
+        :class:`FailureRecord` and the batch always returns.
+        ``on_outcome`` fires once per slot as it resolves — which is
+        what lets a sweep journal checkpoint incrementally.
         """
+        from repro.core.campaign.scheduler import run_stream_through_scheduler
+
         specs = list(specs)
-        self.stats.submitted += len(specs)
-        need_fingerprint = self.store is not None or on_outcome is not None
         outcomes: list[Optional[BatchOutcome]] = [None] * len(specs)
-        pending: list[tuple[int, ExperimentSpec, str]] = []
-        # NB: "is not None", not truthiness — ResultStore defines
-        # __len__, so an empty store is falsy.
-        for i, spec in enumerate(specs):
-            fingerprint = spec_fingerprint(spec) if need_fingerprint else ""
-            cached = (
-                self.store.get(fingerprint)
-                if self.store is not None
-                else None
-            )
-            if cached is not None:
-                outcomes[i] = cached
-                self.stats.cache_hits += 1
-                self.stats.time_saved_s += cached.elapsed_s
-                if on_outcome is not None:
-                    on_outcome(spec, fingerprint, cached)
-            else:
-                pending.append((i, spec, fingerprint))
 
-        def finish(slot: tuple[int, ExperimentSpec, str], outcome: BatchOutcome):
-            i, spec, fingerprint = slot
-            outcomes[i] = outcome
-            if isinstance(outcome, FailureRecord):
-                self.stats.quarantined += 1
-            else:
-                self.stats.simulated += 1
-                if self.store is not None:
-                    self.store.put(fingerprint, spec, outcome)
+        def emit(unit, outcome, source) -> None:
+            outcomes[unit.index] = outcome
             if on_outcome is not None:
-                on_outcome(spec, fingerprint, outcome)
+                on_outcome(unit.spec, unit.fingerprint, outcome)
 
-        if pending:
-            if self.retry is None:
-                fresh = self._execute([spec for _, spec, _ in pending])
-                for slot, summary in zip(pending, fresh):
-                    finish(slot, summary)
-            else:
-                self._execute_tolerant(pending, finish)
+        run_stream_through_scheduler(
+            self,
+            specs,
+            emit,
+            plan_specs=specs,
+            need_fingerprints=on_outcome is not None,
+        )
         return outcomes  # type: ignore[return-value]
+
+    def run_stream(
+        self,
+        specs,
+        emit,
+        plan_specs: Optional[Sequence[ExperimentSpec]] = None,
+    ) -> None:
+        """Stream a (possibly lazy) spec iterable; emit each outcome.
+
+        Unlike :meth:`run_batch` nothing is accumulated: ``emit(unit,
+        outcome, source)`` is the only place results surface, so a
+        million-point grid flows through a bounded window instead of
+        materializing. ``source`` is one of
+        :data:`repro.core.campaign.scheduler.SOURCES`.
+        """
+        from repro.core.campaign.scheduler import run_stream_through_scheduler
+
+        run_stream_through_scheduler(self, specs, emit, plan_specs=plan_specs)
 
     def _execute(
         self, specs: Sequence[ExperimentSpec]
     ) -> list[ResultSummary]:
+        """Legacy extension hook: execute specs, one call per unit."""
         raise NotImplementedError
-
-    def _execute_tolerant(
-        self,
-        slots: Sequence[tuple[int, ExperimentSpec, str]],
-        finish: Callable[[tuple[int, ExperimentSpec, str], BatchOutcome], None],
-    ) -> None:
-        """Fault-tolerant fallback: serial attempt loops with SIGALRM."""
-        tool = VqmTool()
-
-        def run_once(spec: ExperimentSpec) -> BatchOutcome:
-            with deadline(self.retry.spec_timeout_s):
-                candidate, _ = _summarize_run(spec, vqm_tool=tool)
-            return candidate
-
-        for slot in slots:
-            finish(slot, self._attempt_loop(slot[1], slot[2], run_once))
-
-    def _attempt_loop(
-        self,
-        spec: ExperimentSpec,
-        fingerprint: str,
-        run_once: Callable[[ExperimentSpec], BatchOutcome],
-    ) -> BatchOutcome:
-        """Retry ``run_once`` under the policy; quarantine on exhaustion.
-
-        Every attempt is hermetic — the engine is rebuilt from
-        ``spec.seed`` inside ``run_once`` — so a retry replays the
-        identical simulation instead of perturbing RNG state.
-        ``KeyboardInterrupt``/``SystemExit`` pass through untouched:
-        the operator's abort must never be "retried".
-        """
-        policy = self.retry
-        started = time.perf_counter()
-        failure_kind = "exception"
-        failure_message = "no attempt ran"
-        for attempt in range(1, policy.attempts + 1):
-            if attempt > 1:
-                self.stats.retries += 1
-                time.sleep(policy.backoff_s(attempt - 1))
-            try:
-                return validate_summary(run_once(spec))
-            except Exception as exc:  # noqa: BLE001 - classified below
-                failure_kind = classify_failure(exc)
-                failure_message = f"{type(exc).__name__}: {exc}"
-        return FailureRecord(
-            fingerprint=fingerprint or spec_fingerprint(spec),
-            kind=failure_kind,
-            message=failure_message,
-            attempts=policy.attempts,
-            elapsed_s=time.perf_counter() - started,
-            spec=dataclasses.asdict(spec),
-        )
 
 
 class SerialRunner(Runner):
@@ -449,7 +415,7 @@ class SerialRunner(Runner):
     ``keep_details=True``, :attr:`last_details` holds the
     :class:`ExperimentResult` of every point the most recent batch
     actually simulated (cache hits have no detail to keep), in
-    submission order. Spec timeouts are enforced with ``SIGALRM``
+    execution order. Spec timeouts are enforced with ``SIGALRM``
     (main thread, Unix); elsewhere timeout enforcement degrades to
     none and the other retry machinery still applies.
     """
@@ -460,52 +426,20 @@ class SerialRunner(Runner):
         vqm_tool: Optional[VqmTool] = None,
         keep_details: bool = False,
         retry: Optional[RetryPolicy] = None,
+        shards: Optional[int] = None,
+        window: Optional[int] = None,
+        single_flight: bool = True,
     ):
-        super().__init__(store=store, retry=retry)
+        super().__init__(
+            store=store,
+            retry=retry,
+            shards=shards,
+            window=window,
+            single_flight=single_flight,
+        )
         self.vqm_tool = vqm_tool
         self.keep_details = keep_details
         self.last_details: list[ExperimentResult] = []
-
-    def _execute(
-        self, specs: Sequence[ExperimentSpec]
-    ) -> list[ResultSummary]:
-        tool = self.vqm_tool or VqmTool()
-        summaries = []
-        if self.keep_details:
-            self.last_details = []
-        for spec in specs:
-            summary, result = _summarize_run(spec, vqm_tool=tool)
-            if self.keep_details and result is not None:
-                self.last_details.append(result)
-            summaries.append(summary)
-        return summaries
-
-    def _execute_tolerant(self, slots, finish) -> None:
-        tool = self.vqm_tool or VqmTool()
-        if self.keep_details:
-            self.last_details = []
-
-        def run_once(spec: ExperimentSpec) -> BatchOutcome:
-            with deadline(self.retry.spec_timeout_s):
-                candidate, result = _summarize_run(spec, vqm_tool=tool)
-            if self.keep_details and result is not None:
-                self.last_details.append(result)
-            return candidate
-
-        for slot in slots:
-            finish(slot, self._attempt_loop(slot[1], slot[2], run_once))
-
-
-@dataclass
-class _Flight:
-    """One supervised in-flight attempt."""
-
-    slot: tuple[int, ExperimentSpec, str]
-    attempt: int
-    process: object
-    conn: object
-    deadline_at: Optional[float]
-    first_started: float
 
 
 class ProcessPoolRunner(Runner):
@@ -517,14 +451,14 @@ class ProcessPoolRunner(Runner):
 
     Two degradation paths keep a campaign alive when workers die:
 
-    * without a retry policy, a batch that trips ``BrokenProcessPool``
-      (a worker segfaulted or was OOM-killed mid-``map``) is re-run
-      in-process instead of aborting;
-    * with a retry policy, each spec runs in its own supervised
+    * without a retry policy, a batch whose pool breaks (a worker
+      segfaulted or was OOM-killed) finishes in-process instead of
+      aborting;
+    * with a retry policy, each attempt runs in its own supervised
       process — a hung worker is terminated at the deadline, a dead
       one is detected by its exit code, and both are retried/
       quarantined per the policy. If processes cannot be spawned at
-      all, execution degrades to the serial fault path.
+      all, execution degrades to in-process attempts.
     """
 
     def __init__(
@@ -532,162 +466,20 @@ class ProcessPoolRunner(Runner):
         jobs: int,
         store: Optional["ResultStore"] = None,
         retry: Optional[RetryPolicy] = None,
+        shards: Optional[int] = None,
+        window: Optional[int] = None,
+        single_flight: bool = True,
     ):
-        super().__init__(store=store, retry=retry)
+        super().__init__(
+            store=store,
+            retry=retry,
+            shards=shards,
+            window=window,
+            single_flight=single_flight,
+        )
         if jobs < 1:
             raise ValueError(f"need at least one worker (jobs={jobs})")
         self.jobs = jobs
-
-    def _execute(
-        self, specs: Sequence[ExperimentSpec]
-    ) -> list[ResultSummary]:
-        if len(specs) == 1 or self.jobs == 1:
-            # Not worth forking for; also keeps single-point batches
-            # usable in environments without working multiprocessing.
-            return [_pool_worker(spec) for spec in specs]
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
-        workers = min(self.jobs, len(specs))
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_warm_worker_caches,
-                initargs=(_warm_plan(specs),),
-            ) as pool:
-                return list(pool.map(_pool_worker, specs))
-        except BrokenProcessPool:
-            # A worker died mid-batch. Results are pure functions of
-            # their specs, so redo the whole batch in-process — slower,
-            # but the campaign completes.
-            self.stats.fallbacks += 1
-            return [_pool_worker(spec) for spec in specs]
-
-    def _execute_tolerant(self, slots, finish) -> None:
-        import multiprocessing as mp
-
-        try:
-            ctx = mp.get_context()
-            self._supervise(ctx, list(slots), finish)
-        except OSError:
-            # Cannot spawn processes at all (fd/PID exhaustion,
-            # restricted sandbox): degrade to the serial fault path.
-            self.stats.fallbacks += 1
-            super()._execute_tolerant(slots, finish)
-
-    def _supervise(self, ctx, slots, finish) -> None:
-        """Per-spec supervised processes with retry scheduling.
-
-        The loop keeps at most ``jobs`` flights airborne. A flight
-        resolves by message (ok/error), by death (exit code, no
-        message), or by deadline (terminated). Failures re-enter the
-        queue with backoff until the policy is exhausted.
-        """
-        policy = self.retry
-        # (slot, attempt, not_before, first_started, last_kind, last_message)
-        queue: list[tuple] = [
-            (slot, 1, 0.0, time.perf_counter(), None, None) for slot in slots
-        ]
-        flights: list[_Flight] = []
-        first_started: dict[int, float] = {}
-
-        def launch(entry) -> None:
-            slot, attempt, _, started, _, _ = entry
-            first_started.setdefault(slot[0], started)
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_supervised_worker,
-                args=(child_conn, slot[1]),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            deadline_at = (
-                time.monotonic() + policy.spec_timeout_s
-                if policy.spec_timeout_s
-                else None
-            )
-            flights.append(
-                _Flight(slot, attempt, process, parent_conn, deadline_at, started)
-            )
-
-        def fail(flight: _Flight, kind: str, message: str) -> None:
-            slot, attempt = flight.slot, flight.attempt
-            if attempt < policy.attempts:
-                self.stats.retries += 1
-                not_before = time.monotonic() + policy.backoff_s(attempt)
-                queue.append(
-                    (slot, attempt + 1, not_before, flight.first_started, kind, message)
-                )
-            else:
-                finish(
-                    slot,
-                    FailureRecord(
-                        fingerprint=slot[2] or spec_fingerprint(slot[1]),
-                        kind=kind,
-                        message=message,
-                        attempts=policy.attempts,
-                        elapsed_s=time.perf_counter() - flight.first_started,
-                        spec=dataclasses.asdict(slot[1]),
-                    ),
-                )
-
-        def reap(flight: _Flight) -> None:
-            flight.conn.close()
-            flight.process.join(timeout=5.0)
-
-        while queue or flights:
-            now = time.monotonic()
-            ready = [e for e in queue if e[2] <= now]
-            for entry in ready:
-                if len(flights) >= self.jobs:
-                    break
-                queue.remove(entry)
-                launch(entry)
-            progressed = False
-            for flight in list(flights):
-                if flight.conn.poll(0):
-                    try:
-                        message = flight.conn.recv()
-                    except (EOFError, OSError):
-                        message = None
-                    flights.remove(flight)
-                    reap(flight)
-                    progressed = True
-                    if message is None:
-                        fail(flight, "crash", "worker pipe closed mid-send")
-                    elif message[0] == "ok":
-                        try:
-                            finish(flight.slot, validate_summary(message[1]))
-                        except PoisonResult as exc:
-                            fail(flight, "poison", f"PoisonResult: {exc}")
-                    else:
-                        _, exc_type, text = message
-                        kind = "timeout" if exc_type == "SpecTimeout" else "exception"
-                        fail(flight, kind, f"{exc_type}: {text}")
-                elif not flight.process.is_alive():
-                    flights.remove(flight)
-                    reap(flight)
-                    progressed = True
-                    code = flight.process.exitcode
-                    fail(flight, "crash", f"worker died with exit code {code}")
-                elif flight.deadline_at is not None and now >= flight.deadline_at:
-                    flight.process.terminate()
-                    flight.process.join(timeout=1.0)
-                    if flight.process.is_alive():  # pragma: no cover - stubborn
-                        flight.process.kill()
-                        flight.process.join(timeout=1.0)
-                    flights.remove(flight)
-                    flight.conn.close()
-                    progressed = True
-                    fail(
-                        flight,
-                        "timeout",
-                        f"SpecTimeout: exceeded {policy.spec_timeout_s:.3g} s "
-                        f"wall-clock budget (worker terminated)",
-                    )
-            if not progressed:
-                time.sleep(0.02)
 
 
 def make_runner(
@@ -695,8 +487,25 @@ def make_runner(
     store: Optional["ResultStore"] = None,
     vqm_tool: Optional[VqmTool] = None,
     retry: Optional[RetryPolicy] = None,
+    shards: Optional[int] = None,
+    window: Optional[int] = None,
+    single_flight: bool = True,
 ) -> Runner:
     """The natural runner for a job count: serial for 1, pooled above."""
     if jobs <= 1:
-        return SerialRunner(store=store, vqm_tool=vqm_tool, retry=retry)
-    return ProcessPoolRunner(jobs, store=store, retry=retry)
+        return SerialRunner(
+            store=store,
+            vqm_tool=vqm_tool,
+            retry=retry,
+            shards=shards,
+            window=window,
+            single_flight=single_flight,
+        )
+    return ProcessPoolRunner(
+        jobs,
+        store=store,
+        retry=retry,
+        shards=shards,
+        window=window,
+        single_flight=single_flight,
+    )

@@ -2,12 +2,16 @@
 
 The paper's figures plot video quality and frame loss against the
 token rate, one curve pair per bucket depth. :func:`token_rate_sweep`
-builds the full (rate × depth) cross product, submits it as one batch
-through a :class:`~repro.core.runner.Runner`, and returns a
-:class:`SweepResult` exposing the series in figure-ready form. Pass a
-:class:`~repro.core.runner.ProcessPoolRunner` to spread the batch over
+builds the full (rate × depth) cross product, streams it through a
+:class:`~repro.core.runner.Runner` (and thus through the campaign
+scheduler), and returns a :class:`SweepResult` exposing the series in
+figure-ready form. Pass a
+:class:`~repro.core.runner.ProcessPoolRunner` to spread the grid over
 worker processes, or a cache-backed runner to make repeated sweeps
-nearly free.
+nearly free. The result is assembled incrementally from the outcome
+stream by a :class:`~repro.core.campaign.aggregate.SweepAggregator`,
+ordered by submission index — so serial, pooled, and sharded runs of
+the same grid produce bit-identical results.
 
 Fault tolerance: with a retry-policy-equipped runner, specs that fail
 all retries arrive as :class:`SweepFailure` entries in
@@ -24,7 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,6 +36,9 @@ from repro.core.experiment import ExperimentSpec
 from repro.core.faults import FailureRecord
 from repro.core.runner import ResultSummary, Runner, SerialRunner, spec_fingerprint
 from repro.vqm.tool import VqmTool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.campaign.aggregate import CampaignProgress
 
 
 @dataclass(frozen=True)
@@ -69,12 +76,16 @@ class SweepResult:
     ``points`` holds the healthy samples; ``failures`` the grid points
     a fault-tolerant runner quarantined. Series helpers draw from
     ``points`` only, so a partially-degraded sweep still renders — the
-    missing samples are simply absent from their curve.
+    missing samples are simply absent from their curve. ``sampling``
+    is None for uniform sweeps; the adaptive sampler fills it with its
+    coverage report (see
+    :func:`repro.core.campaign.sampler.adaptive_token_rate_sweep`).
     """
 
     base_spec: ExperimentSpec
     points: list[SweepPoint] = field(default_factory=list)
     failures: list[SweepFailure] = field(default_factory=list)
+    sampling: Optional[dict] = None
 
     @property
     def complete(self) -> bool:
@@ -160,22 +171,31 @@ def token_rate_sweep(
     runner: Optional[Runner] = None,
     journal_path: Union[str, Path, None] = None,
     resume: bool = False,
+    progress: Optional["CampaignProgress"] = None,
+    journal_compact_every: Optional[int] = None,
 ) -> SweepResult:
     """Run ``base_spec`` at every (rate, depth) combination.
 
-    The whole cross product goes through ``runner`` (a fresh
-    :class:`SerialRunner` by default) as a single batch, so parallel
-    runners see all the work at once and cache-backed runners answer
-    repeated points without simulating. ``vqm_tool`` is only consulted
-    when the default serial runner is built; explicit runners own
-    their tooling.
+    The whole cross product streams through ``runner`` (a fresh
+    :class:`SerialRunner` by default) and the campaign scheduler, so
+    parallel runners see all the work at once and cache-backed runners
+    answer repeated points without simulating. ``vqm_tool`` is only
+    consulted when the default serial runner is built; explicit runners
+    own their tooling.
 
     ``journal_path`` enables incremental checkpointing (see
     :mod:`repro.core.journal`): every outcome is durably appended as it
-    resolves. ``resume=True`` additionally pre-loads completed specs
-    from the journal and submits only the remainder to the runner —
-    zero re-simulation of finished work, with or without a result
-    cache.
+    resolves, and ``journal_compact_every`` folds the log into a
+    checkpoint record every N outcomes so long campaigns don't grow it
+    without bound. ``resume=True`` additionally pre-loads completed
+    specs from the journal and submits only the remainder to the
+    runner — zero re-simulation of finished work, with or without a
+    result cache.
+
+    ``progress`` (a
+    :class:`~repro.core.campaign.aggregate.CampaignProgress`) taps the
+    outcome stream for a live one-line report; it is finished here
+    regardless of how the sweep exits.
     """
     token_rates_bps, bucket_depths_bytes = validate_grid(
         token_rates_bps, bucket_depths_bytes, forbid_duplicates=False
@@ -183,53 +203,46 @@ def token_rate_sweep(
     specs = sweep_specs(base_spec, token_rates_bps, bucket_depths_bytes)
     active = runner or SerialRunner(vqm_tool=vqm_tool)
 
-    outcomes: list = [None] * len(specs)
+    from repro.core.campaign.aggregate import SweepAggregator
+
+    aggregator = SweepAggregator(base_spec)
     to_run = list(range(len(specs)))
     journal = None
     if journal_path is not None:
         from repro.core.journal import SweepJournal, sweep_fingerprint
 
         journal = SweepJournal.open(
-            journal_path, sweep_id=sweep_fingerprint(specs), resume=resume
+            journal_path,
+            sweep_id=sweep_fingerprint(specs),
+            resume=resume,
+            compact_every=journal_compact_every,
         )
         if resume:
             to_run = []
             for i, spec in enumerate(specs):
                 done = journal.completed.get(spec_fingerprint(spec))
                 if done is not None:
-                    outcomes[i] = done
+                    aggregator.add(i, spec, done)
+                    if progress is not None:
+                        progress.update("journal", done)
                 else:
                     to_run.append(i)
     try:
         if to_run:
-            on_outcome = None
-            if journal is not None:
-                on_outcome = lambda spec, fp, outcome: journal.record(fp, outcome)
-            fresh = active.run_batch(
-                [specs[i] for i in to_run], on_outcome=on_outcome
-            )
-            for i, outcome in zip(to_run, fresh):
-                outcomes[i] = outcome
+            pending = [specs[i] for i in to_run]
+
+            def emit(unit, outcome, source) -> None:
+                grid_index = to_run[unit.index]
+                aggregator.add(grid_index, specs[grid_index], outcome)
+                if journal is not None:
+                    journal.record(unit.fingerprint, outcome)
+                if progress is not None:
+                    progress.update(source, outcome)
+
+            active.run_stream(pending, emit, plan_specs=pending)
     finally:
         if journal is not None:
             journal.close()
-
-    sweep = SweepResult(base_spec=base_spec)
-    for spec, outcome in zip(specs, outcomes):
-        if isinstance(outcome, FailureRecord):
-            sweep.failures.append(
-                SweepFailure(
-                    token_rate_bps=spec.token_rate_bps,
-                    bucket_depth_bytes=spec.bucket_depth_bytes,
-                    record=outcome,
-                )
-            )
-        else:
-            sweep.points.append(
-                SweepPoint(
-                    token_rate_bps=spec.token_rate_bps,
-                    bucket_depth_bytes=spec.bucket_depth_bytes,
-                    result=outcome,
-                )
-            )
-    return sweep
+        if progress is not None:
+            progress.finish()
+    return aggregator.finalize()

@@ -388,3 +388,82 @@ class TestProfileFlag:
     def test_sweep_accepts_profile(self, capsys):
         assert main(sweep_args("--profile")) == 0
         assert "cumulative" in capsys.readouterr().err
+
+
+class TestCampaignCliFeatures:
+    def test_adaptive_sweep_reports_sampling_budget(self, capsys):
+        rates = "1.5,1.6,1.7,1.8,1.9,2.0,2.1,2.2,2.3"
+        args = sweep_args("--adaptive")
+        args[args.index("--rates") + 1] = rates
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "adaptive: evaluated" in out
+        assert "grid points" in out
+
+    def test_adaptive_rejects_journal(self, tmp_path, capsys):
+        args = sweep_args("--adaptive", "--journal", str(tmp_path / "j"))
+        assert main(args) == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    def test_journal_compact_requires_journal(self, capsys):
+        assert main(sweep_args("--journal-compact", "2")) == 2
+        assert "--journal-compact" in capsys.readouterr().err
+
+    def test_journal_compact_folds_file(self, tmp_path, capsys):
+        path = tmp_path / "sweep.journal"
+        args = sweep_args("--journal", str(path), "--journal-compact", "1")
+        assert main(args) == 0
+        kinds = [
+            json.loads(line)["kind"]
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert kinds == ["header", "checkpoint"]
+
+    def test_bad_shards_exits_2(self, capsys):
+        assert main(sweep_args("--shards", "0")) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_progress_streams_to_stderr(self, capsys):
+        assert main(sweep_args("--progress")) == 0
+        captured = capsys.readouterr()
+        assert "sweep:" in captured.err
+        assert "pts/s" in captured.err
+
+    def test_recommend_warm_second_run_is_all_cache(self, tmp_path, capsys):
+        args = RECOMMEND_ARGS + ["--warm", "--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "paper finding" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated" in second
+        assert "paper finding" in second
+
+    def test_serve_round_trip(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        request = json.dumps(
+            {
+                "kind": "point",
+                "spec": {
+                    "clip": "test-300",
+                    "encoding_rate_bps": 1.7e6,
+                    "token_rate_bps": 2.2e6,
+                    "bucket_depth_bytes": 4500.0,
+                    "seed": 3,
+                },
+            }
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        args = ["serve", "--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        response = json.loads(captured.out.splitlines()[0])
+        assert response["kind"] == "point"
+        assert response["source"] == "fresh"
+        assert "served 1 requests" in captured.err
+
+    def test_serve_bad_jobs_exits_2(self, capsys):
+        assert main(["serve", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
