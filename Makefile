@@ -7,9 +7,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 TIMEOUT ?= 300
 TIMEOUT_OPTS = --timeout=$(TIMEOUT)
 
-.PHONY: check check-fast test test-fast test-recovery test-detect lint compile bench bench-figures
+.PHONY: check check-fast test test-fast test-recovery test-detect test-remote lint compile bench bench-figures
 
-check: lint test test-recovery compile
+check: lint test test-recovery test-remote compile
 
 # Fast loop: skip the slow-marked full-figure/table benchmarks.
 check-fast: lint test-fast compile
@@ -28,6 +28,11 @@ test-recovery:
 # the plain tier-1 run; the marker exists for a targeted loop).
 test-detect:
 	$(PYTHON) -m pytest -x -q -m detect $(TIMEOUT_OPTS)
+
+# Multi-host worker backend by itself: wire protocol, heartbeats,
+# chaos-killed fleets (also part of the plain tier-1 run).
+test-remote:
+	$(PYTHON) -m pytest -x -q -m remote $(TIMEOUT_OPTS)
 
 # Prefer a real linter when one is installed; fall back to the
 # dependency-free AST checker (configured in [tool.repro.lint]).

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirror the library's main entry points::
+Seven subcommands mirror the library's main entry points::
 
     python -m repro run   --clip lost --encoding 1.7 --rate 1.9 --depth 3000
     python -m repro sweep --clip lost --encoding 1.7 \
@@ -13,6 +13,7 @@ Six subcommands mirror the library's main entry points::
     python -m repro recommend --clip lost --depths 3000,4500 \
         [--target-score 0.05 | --target-loss F] [--jobs 4] [--cache | --warm]
     python -m repro serve [--cache-dir DIR] [--jobs 4]
+    python -m repro worker [--host 127.0.0.1] [--port 0] [--slots 1]
 
 ``run`` prints the headline measurements (and a MOS verdict) for one
 experiment; ``sweep`` prints a paper-style figure (optionally writing
@@ -48,6 +49,14 @@ the search to the warm result store through a
 :class:`~repro.core.campaign.service.CampaignService`, and ``serve``
 runs that service as a JSON-lines request/response loop on
 stdin/stdout.
+
+Multi-host execution: ``worker`` hosts one remote campaign worker (a
+TCP JSON-lines server announcing its bound address on stdout), and
+``sweep --workers HOST:PORT,...`` dispatches the sweep to such a
+fleet — with heartbeat liveness, automatic reassignment of units from
+dead or partitioned workers, per-host circuit breakers, and graceful
+degradation to local execution when every worker is lost (see
+:mod:`repro.core.campaign.remote`).
 
 Profiling: ``run --profile`` / ``sweep --profile`` (or the
 ``REPRO_PROFILE=1`` environment variable) execute the command under
@@ -195,9 +204,24 @@ def _cmd_sweep(args) -> int:
             max_retries=args.max_retries if args.max_retries is not None else 2,
             spec_timeout_s=args.spec_timeout,
         )
-    runner = make_runner(
-        jobs=args.jobs, store=store, retry=retry, shards=args.shards
-    )
+    if args.workers:
+        # Multi-host execution: dispatch units to a fleet of
+        # `repro worker` processes; worker loss is survived via
+        # reassignment and, at worst, local serial fallback.
+        from repro.core.campaign import RemoteRunner, parse_worker_addresses
+
+        runner = RemoteRunner(
+            parse_worker_addresses(args.workers),
+            store=store,
+            retry=retry,
+            heartbeat_s=args.heartbeat,
+            liveness_timeout_s=args.heartbeat_timeout,
+            shards=args.shards,
+        )
+    else:
+        runner = make_runner(
+            jobs=args.jobs, store=store, retry=retry, shards=args.shards
+        )
     progress = None
     if args.progress:
         from repro.core.campaign import CampaignProgress
@@ -227,6 +251,14 @@ def _cmd_sweep(args) -> int:
             journal_compact_every=args.journal_compact,
         )
     print(render_sweep(sweep, title=f"sweep: {args.clip} ({args.codec})"))
+    if args.workers:
+        stats = runner.stats
+        print(
+            f"\nworkers [{args.workers}]: "
+            f"{stats.reassignments} reassignments, "
+            f"{stats.worker_losses} lost, "
+            f"{stats.degraded_units} degraded to local"
+        )
     if sweep.sampling is not None:
         sampling = sweep.sampling
         print(
@@ -429,6 +461,14 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.core.campaign.worker import run_worker
+
+    if args.slots < 1:
+        raise ValueError(f"--slots must be at least 1 (got {args.slots})")
+    return run_worker(host=args.host, port=args.port, slots=args.slots)
+
+
 def _cmd_clips(_args) -> int:
     rows = []
     for name, clip in CLIPS.items():
@@ -532,6 +572,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="work-stealing shard count (default: one per worker)",
     )
     sweep_parser.add_argument(
+        "--workers", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="dispatch the sweep to remote `repro worker` processes "
+        "instead of local jobs (fault-tolerant: dead workers are "
+        "reassigned, a lost fleet degrades to local execution)",
+    )
+    sweep_parser.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="S",
+        help="remote worker heartbeat interval in seconds (with --workers)",
+    )
+    sweep_parser.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="S",
+        help="declare a remote worker dead after this long without a "
+        "heartbeat (default: 4x the heartbeat interval)",
+    )
+    sweep_parser.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile; top-20 cumulative functions to stderr",
@@ -633,6 +688,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-attempt wall-clock budget in seconds",
     )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    worker_parser = commands.add_parser(
+        "worker",
+        help="host one remote campaign worker (the `sweep --workers` fleet)",
+    )
+    worker_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to listen on (default 127.0.0.1)",
+    )
+    worker_parser.add_argument(
+        "--port", type=int, default=0,
+        help="port to listen on (0 = ephemeral; the bound address is "
+        "announced as a JSON line on stdout)",
+    )
+    worker_parser.add_argument(
+        "--slots", type=int, default=1,
+        help="concurrent units this worker accepts (default 1)",
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
     return parser
 
 

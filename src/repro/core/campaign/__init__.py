@@ -24,7 +24,15 @@ shape:
   or frame loss jumps across a cliff threshold;
 * :mod:`~repro.core.campaign.service` — ``CampaignService``, the
   long-running query API that answers provisioning questions from the
-  warm store and schedules only cache misses (``repro serve``).
+  warm store and schedules only cache misses (``repro serve``);
+* :mod:`~repro.core.campaign.remote` /
+  :mod:`~repro.core.campaign.worker` — the multi-host tier: a
+  socket-backed :class:`RemoteBackend` dispatching units to ``repro
+  worker`` fleet processes over a JSON-lines wire protocol, with
+  heartbeat liveness, automatic reassignment of in-flight units when
+  a worker dies or partitions, per-host circuit breakers, and
+  graceful degradation to local execution when the whole fleet is
+  lost.
 
 The legacy entry points (:meth:`repro.core.runner.Runner.run_batch`,
 :func:`repro.core.sweep.token_rate_sweep`, ``recommend``) are rewired
@@ -41,6 +49,12 @@ from repro.core.campaign.backends import (
     WorkerBackend,
     backend_for_runner,
 )
+from repro.core.campaign.remote import (
+    RemoteBackend,
+    RemoteRunner,
+    parse_worker_addresses,
+    shutdown_fleet,
+)
 from repro.core.campaign.sampler import (
     AdaptiveSampleReport,
     adaptive_token_rate_sweep,
@@ -51,6 +65,7 @@ from repro.core.campaign.scheduler import (
     run_stream_through_scheduler,
 )
 from repro.core.campaign.service import CampaignService
+from repro.core.campaign.worker import WorkerHost
 
 __all__ = [
     "AdaptiveSampleReport",
@@ -59,11 +74,16 @@ __all__ = [
     "CampaignService",
     "LegacyRunnerBackend",
     "ProcessPoolBackend",
+    "RemoteBackend",
+    "RemoteRunner",
     "SerialBackend",
     "SweepAggregator",
     "WorkUnit",
     "WorkerBackend",
+    "WorkerHost",
     "adaptive_token_rate_sweep",
     "backend_for_runner",
+    "parse_worker_addresses",
     "run_stream_through_scheduler",
+    "shutdown_fleet",
 ]

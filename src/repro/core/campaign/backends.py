@@ -304,6 +304,9 @@ def backend_for_runner(
     """
     from repro.core.runner import ProcessPoolRunner, SerialRunner
 
+    dedicated = runner.make_backend(plan_specs)
+    if dedicated is not None:
+        return dedicated
     if isinstance(runner, ProcessPoolRunner):
         backend = ProcessPoolBackend(
             jobs=runner.jobs,

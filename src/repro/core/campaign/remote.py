@@ -1,0 +1,741 @@
+"""Remote worker backend: dispatch work units over sockets, survive loss.
+
+The multi-host half of the campaign scheduler. A fleet of ``repro
+worker`` processes (:mod:`repro.core.campaign.worker`) listens on TCP
+sockets; :class:`RemoteBackend` connects to each, speaks a JSON-lines
+wire protocol (one frame per line, the ``repro serve`` format extended
+with a handshake and liveness traffic), and routes every ``execute``
+the scheduler issues to a free remote slot.
+
+Wire protocol (version :data:`PROTOCOL_VERSION`):
+
+* ``hello``     (worker → scheduler, on connect): protocol version,
+  ``CACHE_SCHEMA_VERSION``, hostname, pid, slot count. A worker whose
+  protocol or schema disagrees is rejected — a stale binary silently
+  producing differently-shaped results is the one corruption no retry
+  can fix;
+* ``welcome``   (scheduler → worker): accepts the worker and sets the
+  heartbeat interval;
+* ``execute``   (scheduler → worker): unit id, spec fields, timeout;
+* ``outcome``   (worker → scheduler): unit id plus either the summary
+  payload or a classified error;
+* ``heartbeat`` (worker → scheduler, periodic): liveness beacon, sent
+  busy or idle, so a partitioned host is detected even mid-unit;
+* ``shutdown``  (scheduler → worker): drain and exit. Sent by explicit
+  fleet teardown (:func:`shutdown_fleet`), *not* by the per-campaign
+  backend close — workers outlive campaigns, so a recommend query's
+  dozens of batches reuse one fleet.
+
+Failure model — worker loss is a normal event, not an error:
+
+* every connection carries a last-seen clock fed by heartbeats; a
+  worker silent past the liveness timeout is declared dead
+  (:class:`~repro.core.faults.HeartbeatTimeout`) and its connection
+  closed;
+* a closed/garbled connection fails the units in flight on it with
+  :class:`~repro.core.faults.WorkerDisconnect`; the backend
+  transparently *reassigns* each such unit to another live worker
+  (``stats.reassignments``). At-most-once accounting holds because the
+  scheduler emits exactly one outcome per unit and — when a store is
+  attached — executes under its single-flight lease, so a dead
+  worker's half-finished duplicate can never double-count;
+* each address has a circuit breaker: consecutive failures open it
+  with exponential backoff, and the address is only re-dialed once the
+  backoff expires, so a flapping host cannot absorb the campaign's
+  time in reconnect storms;
+* when no remote slot exists at all (every worker lost, every breaker
+  open), the backend degrades gracefully: units drain through local
+  in-process execution (``stats.degraded_units``) and the sweep still
+  completes. ``local_fallback=False`` turns that ladder rung off, in
+  which case transport failures surface to the scheduler's retry
+  policy and quarantine as ``disconnect`` / ``heartbeat-timeout``
+  failure records.
+
+Results stay bit-identical to a serial run throughout: an outcome is a
+pure function of its spec, and summaries cross the wire through the
+same JSON encoding the result store already round-trips.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.campaign.backends import RemoteWorkerError, WorkerBackend
+from repro.core.experiment import ExperimentSpec
+from repro.core.faults import (
+    HeartbeatTimeout,
+    RetryPolicy,
+    SpecTimeout,
+    TransportFailure,
+    WorkerCrash,
+    WorkerDisconnect,
+)
+from repro.core.runner import ResultSummary, Runner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runner import BatchOutcome, RunnerStats
+
+#: Version of the frame vocabulary; a worker speaking another version
+#: is rejected at the handshake.
+PROTOCOL_VERSION = 1
+
+#: Per-line size budget on both ends of the wire. Summaries with
+#: captured flow traces run to megabytes; anything beyond this is a
+#: protocol violation, not a frame.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Default seconds between worker heartbeats (the welcome frame makes
+#: this the fleet-wide setting; workers obey the scheduler's value).
+HEARTBEAT_S = 1.0
+
+#: A worker silent for this many heartbeat intervals is dead.
+LIVENESS_INTERVALS = 4.0
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One wire frame: compact JSON, newline-terminated."""
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Inverse of :func:`encode_frame`; raises ValueError on garbage."""
+    frame = json.loads(line.decode("utf-8"))
+    if not isinstance(frame, dict) or "frame" not in frame:
+        raise ValueError("wire frame is not a JSON object with a 'frame' key")
+    return frame
+
+
+def spec_to_wire(spec: ExperimentSpec) -> dict:
+    """Spec fields as a plain JSON-able dict (all fields are scalars)."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_wire(data: dict) -> ExperimentSpec:
+    """Rebuild a spec from its wire dict, ignoring unknown fields.
+
+    Unknown fields are dropped rather than rejected so a newer
+    scheduler can drive an older worker across a *compatible* schema —
+    the handshake's ``CACHE_SCHEMA_VERSION`` check is what guards
+    actual incompatibility.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"spec payload must be a JSON object, got {type(data).__name__}"
+        )
+    names = {f.name for f in dataclasses.fields(ExperimentSpec)}
+    return ExperimentSpec(**{k: v for k, v in data.items() if k in names})
+
+
+def parse_worker_addresses(text: str) -> list[tuple[str, int]]:
+    """``"host:port,host:port"`` → [(host, port), ...] with validation."""
+    addresses = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, sep, port_text = chunk.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            raise ValueError(
+                f"worker address {chunk!r} is not HOST:PORT"
+            )
+        addresses.append((host, int(port_text)))
+    if not addresses:
+        raise ValueError("no worker addresses given")
+    return addresses
+
+
+class CircuitBreaker:
+    """Exponential-backoff gate in front of one worker address.
+
+    Each failure doubles the hold-off before the address is re-dialed
+    (capped at ``max_s``); a successful handshake resets it. A
+    flapping worker therefore costs one connection attempt per backoff
+    window instead of a reconnect storm.
+    """
+
+    def __init__(self, base_s: float = 0.5, max_s: float = 30.0):
+        self.base_s = base_s
+        self.max_s = max_s
+        self.failures = 0
+        self.open_until = 0.0
+        #: A rejected worker (protocol/schema mismatch) is never
+        #: re-dialed: reconnecting cannot change its binary.
+        self.rejected = False
+
+    def note_failure(self, now: Optional[float] = None) -> None:
+        now = time.monotonic() if now is None else now
+        self.failures += 1
+        delay = min(self.base_s * 2 ** (self.failures - 1), self.max_s)
+        self.open_until = now + delay
+
+    def note_success(self) -> None:
+        self.failures = 0
+        self.open_until = 0.0
+
+    def admits(self, now: Optional[float] = None) -> bool:
+        if self.rejected:
+            return False
+        now = time.monotonic() if now is None else now
+        return now >= self.open_until
+
+
+class RemoteWorker:
+    """One live worker connection and its in-flight bookkeeping."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        slots: int,
+        host: str,
+        pid: int,
+    ):
+        self.address = address
+        self.reader = reader
+        self.writer = writer
+        self.slots = max(1, slots)
+        self.host = host
+        self.pid = pid
+        self.available = self.slots
+        self.last_seen = time.monotonic()
+        self.alive = True
+        self.pending: dict[int, asyncio.Future] = {}
+        self.pump_task: Optional[asyncio.Task] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.address[0]}:{self.address[1]} ({self.host} pid {self.pid})"
+
+
+class RemoteBackend(WorkerBackend):
+    """Socket-backed worker backend over a fleet of ``repro worker``\\ s.
+
+    ``addresses`` is the fleet roster; connections are dialed lazily on
+    the first ``execute`` (the scheduler's event loop must be running).
+    ``slots`` reflects the live fleet and shrinks as workers die, which
+    is what lets the scheduler retire surplus worker coroutines
+    mid-sweep. See the module docstring for the failure model.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        stats: Optional["RunnerStats"] = None,
+        heartbeat_s: float = HEARTBEAT_S,
+        liveness_timeout_s: Optional[float] = None,
+        connect_timeout_s: float = 5.0,
+        local_fallback: bool = True,
+        breaker_base_s: float = 0.5,
+        breaker_max_s: float = 30.0,
+    ):
+        if not addresses:
+            raise ValueError("RemoteBackend needs at least one worker address")
+        self.addresses = [(str(h), int(p)) for h, p in addresses]
+        self.stats = stats
+        self.heartbeat_s = heartbeat_s
+        self.liveness_timeout_s = (
+            liveness_timeout_s
+            if liveness_timeout_s is not None
+            else LIVENESS_INTERVALS * heartbeat_s
+        )
+        self.connect_timeout_s = connect_timeout_s
+        self.local_fallback = local_fallback
+        self.breakers = {
+            addr: CircuitBreaker(breaker_base_s, breaker_max_s)
+            for addr in self.addresses
+        }
+        self._workers: dict[tuple[str, int], RemoteWorker] = {}
+        self._started = False
+        self._start_lock: Optional[asyncio.Lock] = None
+        self._slot_cond: Optional[asyncio.Condition] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._unit_counter = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Capacity
+
+    @property
+    def slots(self) -> int:
+        """Live remote slots (at least 1: the local-fallback lane)."""
+        if not self._started:
+            return max(1, len(self.addresses))
+        live = sum(w.slots for w in self._workers.values() if w.alive)
+        return max(1, live)
+
+    # ------------------------------------------------------------------
+    # Connection management
+
+    async def _ensure_started(self) -> None:
+        if self._start_lock is None:
+            self._start_lock = asyncio.Lock()
+            self._slot_cond = asyncio.Condition()
+        async with self._start_lock:
+            if self._started:
+                return
+            await asyncio.gather(
+                *(self._connect(addr) for addr in self.addresses),
+                return_exceptions=True,
+            )
+            self._monitor_task = asyncio.create_task(self._monitor())
+            self._started = True
+
+    async def _connect(self, address: tuple[str, int]) -> Optional[RemoteWorker]:
+        """Dial one worker and run the handshake; None on any failure."""
+        breaker = self.breakers[address]
+        host, port = address
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES),
+                self.connect_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError):
+            breaker.note_failure()
+            return None
+        try:
+            hello = decode_frame(
+                await asyncio.wait_for(
+                    reader.readline(), self.connect_timeout_s
+                )
+            )
+            if hello.get("frame") != "hello":
+                raise ValueError(f"expected hello, got {hello.get('frame')!r}")
+            problem = self._handshake_problem(hello)
+            if problem is not None:
+                writer.write(encode_frame({"frame": "reject", "error": problem}))
+                await writer.drain()
+                writer.close()
+                breaker.rejected = True
+                return None
+            writer.write(
+                encode_frame(
+                    {
+                        "frame": "welcome",
+                        "protocol": PROTOCOL_VERSION,
+                        "heartbeat_s": self.heartbeat_s,
+                    }
+                )
+            )
+            await writer.drain()
+        except (OSError, ValueError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+            breaker.note_failure()
+            try:
+                writer.close()
+            except Exception:
+                pass
+            return None
+        worker = RemoteWorker(
+            address,
+            reader,
+            writer,
+            slots=int(hello.get("slots", 1)),
+            host=str(hello.get("host", host)),
+            pid=int(hello.get("pid", 0)),
+        )
+        worker.pump_task = asyncio.create_task(self._pump(worker))
+        self._workers[address] = worker
+        breaker.note_success()
+        await self._notify_slots()
+        return worker
+
+    @staticmethod
+    def _handshake_problem(hello: dict) -> Optional[str]:
+        from repro.core.runner import CACHE_SCHEMA_VERSION
+
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            return (
+                f"protocol mismatch: scheduler speaks {PROTOCOL_VERSION}, "
+                f"worker speaks {hello.get('protocol')!r}"
+            )
+        if hello.get("schema") != CACHE_SCHEMA_VERSION:
+            return (
+                f"cache schema mismatch: scheduler at {CACHE_SCHEMA_VERSION}, "
+                f"worker at {hello.get('schema')!r} — results would not be "
+                "comparable or cacheable"
+            )
+        return None
+
+    async def _pump(self, worker: RemoteWorker) -> None:
+        """Per-connection reader: outcomes, heartbeats, and death."""
+        reason: Exception = WorkerDisconnect(
+            f"worker {worker.name} closed its connection"
+        )
+        try:
+            while True:
+                line = await worker.reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except ValueError:
+                    # A garbled or torn frame means the stream framing
+                    # is gone; nothing after it can be trusted.
+                    reason = WorkerDisconnect(
+                        f"worker {worker.name} sent an unreadable frame"
+                    )
+                    break
+                worker.last_seen = time.monotonic()
+                kind = frame.get("frame")
+                if kind == "heartbeat":
+                    continue
+                if kind == "outcome":
+                    future = worker.pending.pop(int(frame.get("unit", -1)), None)
+                    if future is not None and not future.done():
+                        self._resolve_outcome(future, frame)
+                    continue
+                if kind == "bye":
+                    break
+                # Unknown frames are tolerated (forward compatibility).
+        except (OSError, asyncio.LimitOverrunError, ValueError):
+            reason = WorkerDisconnect(
+                f"worker {worker.name} connection failed mid-read"
+            )
+        except asyncio.CancelledError:
+            raise
+        finally:
+            await self._drop_worker(worker, reason)
+
+    @staticmethod
+    def _resolve_outcome(future: asyncio.Future, frame: dict) -> None:
+        if frame.get("status") == "ok":
+            payload = frame.get("summary")
+            if isinstance(payload, dict):
+                future.set_result(ResultSummary.from_dict(payload))
+            else:
+                # Not a summary shape: hand the poison through for
+                # validate_summary to classify, exactly as a local
+                # worker returning garbage would.
+                future.set_result(payload)
+            return
+        kind = frame.get("kind", "exception")
+        message = str(frame.get("message", "remote execution failed"))
+        if kind == "timeout":
+            future.set_exception(SpecTimeout(message))
+        elif kind == "crash":
+            future.set_exception(WorkerCrash(message))
+        else:
+            future.set_exception(RemoteWorkerError(f"{kind}: {message}"))
+
+    async def _drop_worker(self, worker: RemoteWorker, reason: Exception) -> None:
+        """Declare a worker dead: fail its units, close, trip breaker."""
+        if not worker.alive:
+            return
+        worker.alive = False
+        if self.stats is not None and not self._closed:
+            self.stats.worker_losses += 1
+        self.breakers[worker.address].note_failure()
+        self._workers.pop(worker.address, None)
+        for future in list(worker.pending.values()):
+            if not future.done():
+                future.set_exception(reason)
+        worker.pending.clear()
+        try:
+            worker.writer.close()
+        except Exception:
+            pass
+        await self._notify_slots()
+
+    async def _monitor(self) -> None:
+        """Heartbeat watchdog: silence past the timeout is death."""
+        interval = max(self.liveness_timeout_s / 4.0, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for worker in list(self._workers.values()):
+                if worker.alive and now - worker.last_seen > self.liveness_timeout_s:
+                    await self._drop_worker(
+                        worker,
+                        HeartbeatTimeout(
+                            f"worker {worker.name} silent for "
+                            f"{now - worker.last_seen:.1f} s "
+                            f"(timeout {self.liveness_timeout_s:.1f} s)"
+                        ),
+                    )
+
+    async def _notify_slots(self) -> None:
+        assert self._slot_cond is not None
+        async with self._slot_cond:
+            self._slot_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    async def execute(
+        self, spec: ExperimentSpec, timeout_s: Optional[float] = None
+    ) -> "BatchOutcome":
+        await self._ensure_started()
+        lost: Optional[TransportFailure] = None
+        while True:
+            worker = await self._acquire_slot()
+            if worker is None:
+                if self.local_fallback:
+                    if self.stats is not None:
+                        self.stats.degraded_units += 1
+                    return await self._execute_local(spec, timeout_s)
+                # Surface what actually happened to this unit (e.g. a
+                # HeartbeatTimeout) so retry/quarantine records carry
+                # the real transport kind, not a generic disconnect.
+                raise lost or WorkerDisconnect(
+                    "no remote workers available (all lost or backing off)"
+                )
+            try:
+                return await self._dispatch(worker, spec, timeout_s)
+            except TransportFailure as exc:
+                # The worker died or partitioned mid-unit. The unit is
+                # not lost: re-dispatch it to whichever slot frees
+                # next (another worker, a re-admitted one, or the
+                # local fallback lane).
+                lost = exc
+                if self.stats is not None:
+                    self.stats.reassignments += 1
+                continue
+
+    async def _acquire_slot(self) -> Optional[RemoteWorker]:
+        """A free remote slot, or None when the fleet is gone.
+
+        Prefers the least-loaded live worker; when all live workers
+        are saturated, waits for a slot to free or a worker to die;
+        when none are live, re-dials every address whose breaker has
+        expired and gives up (returns None) only if that wins nothing.
+        """
+        assert self._slot_cond is not None
+        while True:
+            live = [w for w in self._workers.values() if w.alive]
+            free = [w for w in live if w.available > 0]
+            if free:
+                worker = max(free, key=lambda w: w.available)
+                worker.available -= 1
+                return worker
+            if not live:
+                candidates = [
+                    addr
+                    for addr, breaker in self.breakers.items()
+                    if addr not in self._workers and breaker.admits()
+                ]
+                if not candidates:
+                    return None
+                results = await asyncio.gather(
+                    *(self._connect(addr) for addr in candidates)
+                )
+                if not any(results):
+                    return None
+                continue
+            async with self._slot_cond:
+                live_now = [w for w in self._workers.values() if w.alive]
+                if not live_now or any(w.available > 0 for w in live_now):
+                    continue
+                await self._slot_cond.wait()
+
+    async def _dispatch(
+        self,
+        worker: RemoteWorker,
+        spec: ExperimentSpec,
+        timeout_s: Optional[float],
+    ) -> "BatchOutcome":
+        self._unit_counter += 1
+        unit_id = self._unit_counter
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        worker.pending[unit_id] = future
+        frame = {
+            "frame": "execute",
+            "unit": unit_id,
+            "spec": spec_to_wire(spec),
+            "timeout_s": timeout_s,
+        }
+        try:
+            try:
+                worker.writer.write(encode_frame(frame))
+                await worker.writer.drain()
+            except (OSError, RuntimeError) as exc:
+                worker.pending.pop(unit_id, None)
+                future.cancel()
+                await self._drop_worker(
+                    worker,
+                    WorkerDisconnect(
+                        f"worker {worker.name} unreachable on send: {exc}"
+                    ),
+                )
+                raise WorkerDisconnect(
+                    f"worker {worker.name} unreachable on send"
+                ) from None
+            if timeout_s is None:
+                return await future
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(future), timeout_s
+                )
+            except asyncio.TimeoutError:
+                # The worker is still chewing (or wedged). Abandon the
+                # connection: we cannot know which, and a wedged worker
+                # holding a slot starves the fleet. The unit itself
+                # surfaces as a SpecTimeout for the retry policy.
+                worker.pending.pop(unit_id, None)
+                future.cancel()
+                await self._drop_worker(
+                    worker,
+                    WorkerDisconnect(
+                        f"worker {worker.name} abandoned after "
+                        f"{timeout_s:.3g} s unit timeout"
+                    ),
+                )
+                raise SpecTimeout(
+                    f"exceeded {timeout_s:.3g} s wall-clock budget "
+                    f"(remote worker abandoned)"
+                ) from None
+        finally:
+            worker.pending.pop(unit_id, None)
+            if worker.alive:
+                worker.available += 1
+                await self._notify_slots()
+
+    async def _execute_local(
+        self, spec: ExperimentSpec, timeout_s: Optional[float]
+    ) -> "BatchOutcome":
+        """Graceful degradation: run the unit in-process.
+
+        The result is bit-identical to a remote execution (pure
+        function of the spec); only the wall-clock suffers. A timeout
+        here abandons the worker thread, mirroring the abandoned
+        remote connection above.
+        """
+        from repro.core.runner import _pool_worker
+
+        work = asyncio.to_thread(_pool_worker, spec)
+        if timeout_s is None:
+            return await work
+        try:
+            return await asyncio.wait_for(work, timeout_s)
+        except asyncio.TimeoutError:
+            raise SpecTimeout(
+                f"exceeded {timeout_s:.3g} s wall-clock budget "
+                f"(local fallback abandoned)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Shutdown
+
+    async def close(self) -> None:  # type: ignore[override]
+        """Release every connection (the workers keep serving).
+
+        The scheduler closes its backend after every batch; a fleet is
+        a longer-lived thing than a batch, so disconnecting is all that
+        happens here. :func:`shutdown_fleet` is the explicit teardown.
+        """
+        self._closed = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            self._monitor_task = None
+        for worker in list(self._workers.values()):
+            if worker.pump_task is not None:
+                worker.pump_task.cancel()
+            try:
+                worker.writer.close()
+            except Exception:
+                pass
+        self._workers.clear()
+
+    def describe_fleet(self) -> dict:
+        """Operator-facing snapshot (CLI `workers:` line, tests)."""
+        return {
+            "addresses": [f"{h}:{p}" for h, p in self.addresses],
+            "live": [w.name for w in self._workers.values() if w.alive],
+            "slots": self.slots,
+        }
+
+
+async def shutdown_fleet(
+    addresses: Sequence[tuple[str, int]], timeout_s: float = 5.0
+) -> int:
+    """Ask each listed ``repro worker`` process to drain and exit.
+
+    The explicit fleet-teardown counterpart to
+    :meth:`RemoteBackend.close` (which only disconnects). Best-effort:
+    an unreachable worker is skipped. Returns how many acknowledged.
+    """
+
+    async def _one(address: tuple[str, int]) -> bool:
+        host, port = address
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES),
+                timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            await asyncio.wait_for(reader.readline(), timeout_s)  # hello
+            writer.write(encode_frame({"frame": "shutdown"}))
+            await writer.drain()
+            bye = await asyncio.wait_for(reader.readline(), timeout_s)
+            return bool(bye)
+        except (OSError, asyncio.TimeoutError):
+            return False
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    results = await asyncio.gather(*(_one(addr) for addr in addresses))
+    return sum(1 for ok in results if ok)
+
+
+class RemoteRunner(Runner):
+    """User-facing handle on a remote-fleet campaign.
+
+    The drop-in multi-host sibling of
+    :class:`~repro.core.runner.ProcessPoolRunner`: same store / retry /
+    stats plumbing, but execution happens on ``workers`` (a list of
+    ``(host, port)`` addresses running ``repro worker``). All the
+    robustness semantics live in :class:`RemoteBackend`.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[tuple[str, int]],
+        store=None,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_s: float = HEARTBEAT_S,
+        liveness_timeout_s: Optional[float] = None,
+        connect_timeout_s: float = 5.0,
+        local_fallback: bool = True,
+        shards: Optional[int] = None,
+        window: Optional[int] = None,
+        single_flight: bool = True,
+    ):
+        super().__init__(
+            store=store,
+            retry=retry,
+            shards=shards,
+            window=window,
+            single_flight=single_flight,
+        )
+        if not workers:
+            raise ValueError("RemoteRunner needs at least one worker address")
+        self.workers = [(str(h), int(p)) for h, p in workers]
+        self.heartbeat_s = heartbeat_s
+        self.liveness_timeout_s = liveness_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.local_fallback = local_fallback
+        self.last_backend: Optional[RemoteBackend] = None
+
+    def make_backend(
+        self, plan_specs: Optional[Sequence[ExperimentSpec]]
+    ) -> RemoteBackend:
+        backend = RemoteBackend(
+            self.workers,
+            stats=self.stats,
+            heartbeat_s=self.heartbeat_s,
+            liveness_timeout_s=self.liveness_timeout_s,
+            connect_timeout_s=self.connect_timeout_s,
+            local_fallback=self.local_fallback,
+        )
+        backend.prepare(plan_specs)
+        self.last_backend = backend
+        return backend

@@ -101,6 +101,10 @@ class CampaignScheduler:
         self._exhausted = False
         self._queued = 0
         self._inflight = 0
+        #: Worker coroutines that exited because the backend's live
+        #: slot count shrank below their id mid-run (remote workers
+        #: dying); their shards drain through the survivors' stealing.
+        self.retired_workers = 0
 
     # ------------------------------------------------------------------
     # The run loop
@@ -118,6 +122,7 @@ class CampaignScheduler:
         self._exhausted = False
         self._queued = 0
         self._inflight = 0
+        self.retired_workers = 0
         try:
             async with asyncio.TaskGroup() as group:
                 group.create_task(self._feed(iter(units)))
@@ -128,7 +133,11 @@ class CampaignScheduler:
             # callers keep catching the exception type they always did.
             raise group_exc.exceptions[0] from None
         finally:
-            self.backend.close()
+            # A backend with live connections to release (the remote
+            # backend) closes asynchronously; the local ones are sync.
+            closing = self.backend.close()
+            if closing is not None and hasattr(closing, "__await__"):
+                await closing
 
     async def _feed(self, units: Iterator[WorkUnit]) -> None:
         assert self._cond is not None
@@ -159,15 +168,33 @@ class CampaignScheduler:
             return victim.pop()
         return None
 
+    def _retired(self, wid: int) -> bool:
+        """Whether this worker coroutine should retire.
+
+        ``backend.slots`` may shrink mid-run (remote workers dying):
+        coroutines whose id no longer maps to a live slot exit between
+        units, leaving their shards to the survivors' work-stealing.
+        Worker 0 never retires, so the run always drains — even a
+        backend reporting zero live slots still degrades through
+        whatever fallback its ``execute`` provides.
+        """
+        return wid > 0 and wid >= max(1, self.backend.slots)
+
     async def _work(self, wid: int, emit: EmitCallback) -> None:
         assert self._cond is not None
         while True:
             async with self._cond:
+                if self._retired(wid):
+                    self.retired_workers += 1
+                    return
                 unit = self._take(wid)
                 while unit is None:
                     if self._exhausted and self._queued == 0:
                         return
                     await self._cond.wait()
+                    if self._retired(wid):
+                        self.retired_workers += 1
+                        return
                     unit = self._take(wid)
                 self._queued -= 1
                 self._inflight += 1

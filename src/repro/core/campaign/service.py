@@ -40,6 +40,11 @@ from repro.vqm.tool import VqmTool
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.resultstore import ResultStore
 
+#: A request line longer than this is rejected before parsing: a
+#: runaway (or adversarial) client must not balloon the service's
+#: memory through one giant line.
+MAX_REQUEST_BYTES = 1024 * 1024
+
 
 def spec_from_overrides(overrides: Optional[dict]) -> ExperimentSpec:
     """An ExperimentSpec from a dict of field overrides."""
@@ -161,22 +166,50 @@ class CampaignService:
     ) -> int:
         """JSON-lines request/response loop (``repro serve``).
 
-        Reads one request per line until EOF. A malformed or failing
-        request produces an ``{"error": ...}`` response instead of
-        killing the service. Returns the number of requests handled.
+        Reads one request per line until EOF. No input can kill the
+        loop: every malformed or failing request earns a structured
+        ``{"error": ..., "error_kind": ...}`` response and the service
+        reads on. ``error_kind`` distinguishes the failure classes —
+        ``oversized`` (line past :data:`MAX_REQUEST_BYTES`, rejected
+        unparsed), ``bad-json`` (line is not JSON), ``bad-request``
+        (well-formed JSON the query API rejects: wrong shape, unknown
+        kind, unknown spec fields), and ``internal`` (the query itself
+        blew up). Returns the number of requests handled.
         """
         stream_in = stream_in if stream_in is not None else sys.stdin
         stream_out = stream_out if stream_out is not None else sys.stdout
         handled = 0
         for line in stream_in:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                response = self.query(json.loads(line))
-            except Exception as exc:  # noqa: BLE001 - service must survive
-                response = {"error": f"{type(exc).__name__}: {exc}"}
+            if len(line) > MAX_REQUEST_BYTES:
+                response = {
+                    "error": (
+                        f"request line of {len(line)} bytes exceeds the "
+                        f"{MAX_REQUEST_BYTES}-byte limit"
+                    ),
+                    "error_kind": "oversized",
+                }
+            else:
+                line = line.strip()
+                if not line:
+                    continue
+                response = self._respond(line)
             stream_out.write(json.dumps(response) + "\n")
             stream_out.flush()
             handled += 1
         return handled
+
+    def _respond(self, line: str) -> dict:
+        """One request line to one response dict, never an exception."""
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            return {"error": f"bad JSON: {exc}", "error_kind": "bad-json"}
+        try:
+            return self.query(request)
+        except ValueError as exc:
+            return {"error": str(exc), "error_kind": "bad-request"}
+        except Exception as exc:  # noqa: BLE001 - service must survive
+            return {
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": "internal",
+            }

@@ -1,0 +1,344 @@
+"""The ``repro worker`` execution host: one fleet member.
+
+A worker is a TCP server speaking the JSON-lines wire protocol of
+:mod:`repro.core.campaign.remote`. On each scheduler connection it
+introduces itself (``hello`` — protocol version, cache schema,
+hostname, pid, slots), waits to be accepted (``welcome``, which also
+sets the heartbeat interval), then serves ``execute`` frames: rebuild
+the spec, run the simulation in a worker thread, send the ``outcome``
+back. A heartbeat task beacons liveness the whole time — busy or idle
+— so the scheduler can tell "long simulation" from "dead host".
+
+Robustness mirrors ``CampaignService.serve_forever``: a malformed or
+oversized frame earns a structured ``error`` frame, never a crashed
+worker; a scheduler that disconnects mid-unit just orphans the unit's
+thread (its result is discarded — the scheduler has already reassigned
+the unit, and at-most-once accounting lives with the scheduler's
+store leases). A ``shutdown`` frame drains and exits the process.
+
+Chaos hooks: when a chaos plan with ``wire-*`` rules is installed
+(:func:`repro.core.chaos.wire_disruption`), the worker injects the
+transport fault *itself* — exiting abruptly, going silent, or garbling
+its stream — which is how the acceptance suite chaos-kills real worker
+processes mid-flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import sys
+from typing import Optional, TextIO
+
+from repro.core import chaos
+from repro.core.campaign.remote import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    spec_from_wire,
+)
+from repro.core.faults import classify_failure
+from repro.core.runner import ResultSummary
+
+
+class _WireLink:
+    """One connection's serialized write side (frames or raw chaos)."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+
+    async def send(self, frame: dict) -> None:
+        async with self.lock:
+            self.writer.write(encode_frame(frame))
+            await self.writer.drain()
+
+    async def send_raw(self, payload: bytes) -> None:
+        async with self.lock:
+            self.writer.write(payload)
+            await self.writer.drain()
+
+
+class WorkerHost:
+    """One ``repro worker`` process: accept schedulers, execute units.
+
+    ``port=0`` binds an ephemeral port; the chosen address is announced
+    as a one-line JSON object (``{"event": "listening", ...}``) on
+    ``announce`` (stdout for the CLI), which is how test harnesses and
+    fleet launchers discover where the worker landed.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slots: int = 1,
+        announce: Optional[TextIO] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.slots = max(1, slots)
+        self.announce = announce
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+        #: Wire-stall chaos: while set, the heartbeat task goes silent
+        #: (emulating a partition without closing the socket).
+        self._stalled = False
+        self.units_executed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.announce is not None:
+            self.announce.write(
+                json.dumps(
+                    {
+                        "event": "listening",
+                        "host": self.host,
+                        "port": self.port,
+                        "pid": os.getpid(),
+                        "slots": self.slots,
+                    }
+                )
+                + "\n"
+            )
+            self.announce.flush()
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve connections until a ``shutdown`` frame arrives."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # One scheduler connection
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.core.runner import CACHE_SCHEMA_VERSION
+
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._connections.add(conn_task)
+            conn_task.add_done_callback(self._connections.discard)
+        link = _WireLink(writer)
+        heartbeat_task: Optional[asyncio.Task] = None
+        unit_tasks: set[asyncio.Task] = set()
+        try:
+            await link.send(
+                {
+                    "frame": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "host": socket.gethostname(),
+                    "pid": os.getpid(),
+                    "slots": self.slots,
+                }
+            )
+            welcome = decode_frame(await reader.readline())
+            if welcome.get("frame") == "reject":
+                return
+            if welcome.get("frame") == "shutdown":
+                # Fleet teardown connects just to say goodbye; no
+                # welcome handshake needed for that.
+                await link.send({"frame": "bye"})
+                self._shutdown.set()
+                return
+            if welcome.get("frame") != "welcome":
+                await link.send(
+                    {
+                        "frame": "error",
+                        "error": f"expected welcome, got {welcome.get('frame')!r}",
+                    }
+                )
+                return
+            heartbeat_s = float(welcome.get("heartbeat_s", 1.0))
+            heartbeat_task = asyncio.create_task(
+                self._heartbeat(link, heartbeat_s)
+            )
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    frame = decode_frame(line)
+                except ValueError as exc:
+                    await link.send(
+                        {"frame": "error", "error": f"bad frame: {exc}"}
+                    )
+                    continue
+                kind = frame.get("frame")
+                if kind == "shutdown":
+                    await link.send({"frame": "bye"})
+                    self._shutdown.set()
+                    return
+                if kind == "execute":
+                    task = asyncio.create_task(
+                        self._run_unit(frame, link)
+                    )
+                    unit_tasks.add(task)
+                    task.add_done_callback(unit_tasks.discard)
+                    continue
+                await link.send(
+                    {"frame": "error", "error": f"unknown frame {kind!r}"}
+                )
+        except (
+            OSError,
+            ValueError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            # A dead or garbled scheduler connection: drop it and wait
+            # for the next one. In-flight unit threads finish and their
+            # sends fail harmlessly.
+            return
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            for task in unit_tasks:
+                task.cancel()
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _heartbeat(self, link: _WireLink, interval_s: float) -> None:
+        while True:
+            if not self._stalled:
+                try:
+                    await link.send({"frame": "heartbeat", "busy": 0})
+                except (OSError, RuntimeError):
+                    return
+            await asyncio.sleep(interval_s)
+
+    # ------------------------------------------------------------------
+    # Unit execution
+
+    async def _run_unit(self, frame: dict, link: _WireLink) -> None:
+        unit_id = frame.get("unit")
+        try:
+            spec = spec_from_wire(frame.get("spec") or {})
+        except (TypeError, ValueError) as exc:
+            await link.send(
+                {
+                    "frame": "outcome",
+                    "unit": unit_id,
+                    "status": "error",
+                    "kind": "exception",
+                    "message": f"unintelligible spec: {exc}",
+                }
+            )
+            return
+        if chaos.enabled() and await self._inject_wire_fault(spec, link, unit_id):
+            return
+        outcome = await asyncio.to_thread(
+            _execute_unit, spec, frame.get("timeout_s")
+        )
+        self.units_executed += 1
+        try:
+            await link.send({"frame": "outcome", "unit": unit_id, **outcome})
+        except (OSError, RuntimeError):
+            # Scheduler went away mid-unit; it has already reassigned
+            # this unit, so the result is safely redundant.
+            pass
+
+    async def _inject_wire_fault(self, spec, link: _WireLink, unit_id) -> bool:
+        """Apply a matching ``wire-*`` chaos rule; True if it consumed
+        the unit (no outcome will be sent)."""
+        from repro.core.runner import spec_fingerprint
+
+        rule = chaos.wire_disruption(spec_fingerprint(spec))
+        if rule is None:
+            return False
+        if rule.action == "wire-drop":
+            # A chaos kill: the process vanishes mid-unit, socket
+            # closes with no outcome frame.
+            os._exit(chaos.CRASH_EXIT_CODE)
+        if rule.action == "wire-stall":
+            # A partition: stop heartbeating, sit on the unit. The
+            # scheduler's liveness timeout declares us dead.
+            self._stalled = True
+            await asyncio.sleep(rule.hang_s)
+            return True
+        if rule.action == "wire-garble":
+            # Corrupt the stream in place of the outcome frame.
+            await link.send_raw(b"\x00\xffgarble{this is not json\n")
+            return True
+        if rule.action == "wire-partial":
+            # A torn write: half an outcome frame, then gone.
+            partial = encode_frame(
+                {"frame": "outcome", "unit": unit_id, "status": "ok"}
+            )[:20]
+            await link.send_raw(partial.rstrip(b"\n"))
+            os._exit(chaos.CRASH_EXIT_CODE)
+        return False  # pragma: no cover - WIRE_ACTIONS is exhaustive
+
+
+def _execute_unit(spec, timeout_s) -> dict:
+    """Run one spec in a worker thread; classify any failure.
+
+    The wall-clock budget is enforced scheduler-side (``SIGALRM`` is
+    unusable off the main thread), so ``timeout_s`` is advisory here;
+    it still travels so a future worker with per-unit subprocesses can
+    enforce locally.
+    """
+    from repro.core.runner import _pool_worker
+
+    try:
+        outcome = _pool_worker(spec)
+    except BaseException as exc:  # noqa: BLE001 - classified for the wire
+        return {
+            "status": "error",
+            "kind": classify_failure(exc),
+            "message": f"{type(exc).__name__}: {exc}",
+        }
+    if isinstance(outcome, ResultSummary):
+        return {"status": "ok", "summary": outcome.to_dict()}
+    # Chaos garbage (or a future non-summary): ship it raw and let the
+    # scheduler's validate_summary quarantine it as poison.
+    return {"status": "ok", "summary": outcome}
+
+
+def run_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    slots: int = 1,
+    announce: Optional[TextIO] = None,
+) -> int:
+    """Blocking entry point for the ``repro worker`` CLI verb."""
+    worker = WorkerHost(
+        host=host,
+        port=port,
+        slots=slots,
+        announce=announce if announce is not None else sys.stdout,
+    )
+
+    async def main() -> None:
+        await worker.start()
+        await worker.serve_until_shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        return 130
+    return 0

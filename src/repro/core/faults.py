@@ -6,10 +6,12 @@ discard every in-flight result. This module defines the vocabulary the
 runner layer uses to keep going instead:
 
 * the exception types a failed attempt is reported through
-  (:class:`SpecTimeout`, :class:`WorkerCrash`, :class:`PoisonResult`),
+  (:class:`SpecTimeout`, :class:`WorkerCrash`, :class:`PoisonResult`,
+  and the :class:`TransportFailure` family raised by the remote
+  backend),
 * :func:`classify_failure`, which folds any attempt error into one of
-  the four failure kinds (``timeout`` / ``crash`` / ``exception`` /
-  ``poison``),
+  the failure kinds (``timeout`` / ``crash`` / ``exception`` /
+  ``poison`` / ``disconnect`` / ``heartbeat-timeout``),
 * :class:`FailureRecord`, the structured, JSON-able quarantine record
   carried in batch results in place of a summary, and
 * :class:`RetryPolicy`, the bounded retry/backoff/timeout budget one
@@ -29,8 +31,18 @@ import time
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Optional
 
-#: The four failure kinds a :class:`FailureRecord` can carry.
-FAILURE_KINDS = ("timeout", "crash", "exception", "poison")
+#: The failure kinds a :class:`FailureRecord` can carry. The last two
+#: are transport failures: the spec itself is fine, but the remote
+#: worker carrying it vanished (socket closed) or partitioned (stopped
+#: heartbeating), so they are retryable on another host by definition.
+FAILURE_KINDS = (
+    "timeout",
+    "crash",
+    "exception",
+    "poison",
+    "disconnect",
+    "heartbeat-timeout",
+)
 
 
 class SpecTimeout(Exception):
@@ -45,10 +57,27 @@ class PoisonResult(Exception):
     """A worker returned something that is not a valid summary."""
 
 
+class TransportFailure(Exception):
+    """Base of the remote-execution losses: the work unit was fine but
+    the worker carrying it went away before an outcome arrived."""
+
+
+class WorkerDisconnect(TransportFailure):
+    """A remote worker's connection closed (or garbled) mid-unit."""
+
+
+class HeartbeatTimeout(TransportFailure):
+    """A remote worker stopped heartbeating: dead host or partition."""
+
+
 def classify_failure(exc: BaseException) -> str:
     """Fold an attempt's exception into one of :data:`FAILURE_KINDS`."""
     if isinstance(exc, SpecTimeout):
         return "timeout"
+    if isinstance(exc, HeartbeatTimeout):
+        return "heartbeat-timeout"
+    if isinstance(exc, WorkerDisconnect):
+        return "disconnect"
     if isinstance(exc, WorkerCrash):
         return "crash"
     if isinstance(exc, PoisonResult):

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from hashlib import sha256
 from pathlib import Path
@@ -198,9 +199,11 @@ class ResultStore:
 
         Returns a :class:`Lease` on success, None when another live
         process already holds one (the caller should poll :meth:`get`
-        for that process's publish). A stale lease — holder pid dead,
-        or the lock file older than :data:`LEASE_STALE_S` — is broken
-        and re-contended once.
+        for that process's publish). A stale lease — holder pid dead
+        (same-host leases only; the lock file records ``pid hostname``
+        so a fleet sharing the cache dir never misjudges a foreign
+        pid), or the lock file older than :data:`LEASE_STALE_S` — is
+        broken and re-contended once.
         """
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._lease_path(fingerprint)
@@ -223,20 +226,28 @@ class ResultStore:
             # mounts): no lease, caller falls back to executing.
             return None
         with os.fdopen(fd, "w") as handle:
-            handle.write(str(os.getpid()))
+            handle.write(f"{os.getpid()} {socket.gethostname()}")
         return Lease(path)
 
     @staticmethod
     def _lease_stale(path: Path) -> bool:
         try:
             age = time.time() - path.stat().st_mtime
-            pid_text = path.read_text().strip()
+            holder = path.read_text().split()
         except OSError:
             # Vanished between our failed create and now: the holder
             # released. Worth re-contending.
             return True
         if age > LEASE_STALE_S:
             return True
+        pid_text = holder[0] if holder else ""
+        holder_host = holder[1] if len(holder) > 1 else None
+        if holder_host is not None and holder_host != socket.gethostname():
+            # A lease written on another host (shared cache dir across
+            # a worker fleet): its pid namespace is invisible here, and
+            # a recycled local pid would make os.kill lie either way.
+            # Only the age bound can break a foreign lease.
+            return False
         if pid_text.isdigit():
             try:
                 os.kill(int(pid_text), 0)

@@ -223,6 +223,13 @@ class RunnerStats:
     # on another process's single-flight lease.
     steals: int = 0
     single_flight_waits: int = 0
+    # Remote-backend counters: units re-dispatched after their worker
+    # died or partitioned, distinct workers declared lost, and units
+    # drained through the local serial fallback because no remote
+    # worker was available.
+    reassignments: int = 0
+    worker_losses: int = 0
+    degraded_units: int = 0
 
     def describe(self) -> str:
         """One-line cache/throughput report."""
@@ -239,6 +246,12 @@ class RunnerStats:
             line += f", {self.fallbacks} pool fallbacks"
         if self.single_flight_waits:
             line += f", {self.single_flight_waits} single-flight waits"
+        if self.reassignments:
+            line += f", {self.reassignments} reassignments"
+        if self.worker_losses:
+            line += f", {self.worker_losses} workers lost"
+        if self.degraded_units:
+            line += f", {self.degraded_units} degraded to local"
         return line
 
 
@@ -400,6 +413,16 @@ class Runner:
         from repro.core.campaign.scheduler import run_stream_through_scheduler
 
         run_stream_through_scheduler(self, specs, emit, plan_specs=plan_specs)
+
+    def make_backend(self, plan_specs: Optional[Sequence[ExperimentSpec]]):
+        """Extension hook: build this runner's dedicated worker backend.
+
+        Return a prepared :class:`~repro.core.campaign.backends.WorkerBackend`
+        to bypass the built-in serial/pool mapping (the remote runner
+        uses this), or ``None`` to let
+        :func:`~repro.core.campaign.backends.backend_for_runner` pick.
+        """
+        return None
 
     def _execute(
         self, specs: Sequence[ExperimentSpec]
