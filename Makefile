@@ -7,9 +7,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 TIMEOUT ?= 300
 TIMEOUT_OPTS = --timeout=$(TIMEOUT)
 
-.PHONY: check check-fast test test-fast test-recovery test-detect test-remote lint compile bench bench-figures
+.PHONY: check check-fast test test-fast test-recovery test-detect test-remote test-fleet soak lint compile bench bench-figures
 
-check: lint test test-recovery test-remote compile
+check: lint test test-recovery test-remote test-fleet compile
 
 # Fast loop: skip the slow-marked full-figure/table benchmarks.
 check-fast: lint test-fast compile
@@ -33,6 +33,17 @@ test-detect:
 # chaos-killed fleets (also part of the plain tier-1 run).
 test-remote:
 	$(PYTHON) -m pytest -x -q -m remote $(TIMEOUT_OPTS)
+
+# Fleet supervision layer by itself: manifest supervisor, wire auth,
+# renewable leases, graceful drain (also part of the tier-1 run).
+test-fleet:
+	$(PYTHON) -m pytest -x -q -m fleet $(TIMEOUT_OPTS)
+
+# Long chaos soak over a real supervised fleet (kill -9, partitions,
+# rogue workers, concurrent campaigns). Opt-in: not part of check or
+# check-fast; the gate env var keeps it out of plain pytest runs too.
+soak:
+	REPRO_SOAK=1 $(PYTHON) -m pytest -x -q -s -m soak --timeout=900
 
 # Prefer a real linter when one is installed; fall back to the
 # dependency-free AST checker (configured in [tool.repro.lint]).

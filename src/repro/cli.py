@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirror the library's main entry points::
+Eight subcommands mirror the library's main entry points::
 
     python -m repro run   --clip lost --encoding 1.7 --rate 1.9 --depth 3000
     python -m repro sweep --clip lost --encoding 1.7 \
@@ -13,7 +13,9 @@ Seven subcommands mirror the library's main entry points::
     python -m repro recommend --clip lost --depths 3000,4500 \
         [--target-score 0.05 | --target-loss F] [--jobs 4] [--cache | --warm]
     python -m repro serve [--cache-dir DIR] [--jobs 4]
-    python -m repro worker [--host 127.0.0.1] [--port 0] [--slots 1]
+    python -m repro worker [--host 127.0.0.1] [--port 0] [--slots 1] \
+        [--announce-host NAME] [--auth-token TOKEN]
+    python -m repro fleet  MANIFEST [--auth-token TOKEN] [--poll 0.1]
 
 ``run`` prints the headline measurements (and a MOS verdict) for one
 experiment; ``sweep`` prints a paper-style figure (optionally writing
@@ -56,7 +58,17 @@ TCP JSON-lines server announcing its bound address on stdout), and
 fleet — with heartbeat liveness, automatic reassignment of units from
 dead or partitioned workers, per-host circuit breakers, and graceful
 degradation to local execution when every worker is lost (see
-:mod:`repro.core.campaign.remote`).
+:mod:`repro.core.campaign.remote`). ``fleet MANIFEST`` supervises such
+a fleet from a TOML/JSON manifest: it spawns the workers, respawns
+crashed ones with exponential backoff, quarantines crash-loopers, and
+prints the connectable roster to paste into ``sweep --workers`` (see
+:mod:`repro.core.campaign.fleet`). ``--auth-token TOKEN`` (or the
+``REPRO_AUTH_TOKEN`` environment variable) on ``worker``, ``sweep``
+and ``fleet`` enables mutual HMAC authentication on the wire; a peer
+without the shared token is rejected permanently. A worker bound to a
+wildcard interface (``--host 0.0.0.0``) announces a connectable
+hostname instead — override it with ``--announce-host`` when the
+resolved name is not reachable from the scheduler.
 
 Profiling: ``run --profile`` / ``sweep --profile`` (or the
 ``REPRO_PROFILE=1`` environment variable) execute the command under
@@ -217,6 +229,7 @@ def _cmd_sweep(args) -> int:
             heartbeat_s=args.heartbeat,
             liveness_timeout_s=args.heartbeat_timeout,
             shards=args.shards,
+            auth_token=args.auth_token,
         )
     else:
         runner = make_runner(
@@ -259,6 +272,16 @@ def _cmd_sweep(args) -> int:
             f"{stats.worker_losses} lost, "
             f"{stats.degraded_units} degraded to local"
         )
+        speeds = {
+            addr: rate
+            for addr, rate in sorted(stats.worker_speeds.items())
+            if ":" in addr  # per-address EWMA, not per-slot
+        }
+        if speeds:
+            print(
+                "worker speeds (points/s): "
+                + ", ".join(f"{addr} {rate:.2f}" for addr, rate in speeds.items())
+            )
     if sweep.sampling is not None:
         sampling = sweep.sampling
         print(
@@ -466,7 +489,24 @@ def _cmd_worker(args) -> int:
 
     if args.slots < 1:
         raise ValueError(f"--slots must be at least 1 (got {args.slots})")
-    return run_worker(host=args.host, port=args.port, slots=args.slots)
+    return run_worker(
+        host=args.host,
+        port=args.port,
+        slots=args.slots,
+        announce_host=args.announce_host,
+        auth_token=args.auth_token,
+    )
+
+
+def _cmd_fleet(args) -> int:
+    from repro.core.campaign.fleet import run_fleet
+
+    return run_fleet(
+        args.manifest,
+        auth_token=args.auth_token,
+        poll_s=args.poll,
+        duration_s=args.duration,
+    )
 
 
 def _cmd_clips(_args) -> int:
@@ -585,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat-timeout", type=float, default=None, metavar="S",
         help="declare a remote worker dead after this long without a "
         "heartbeat (default: 4x the heartbeat interval)",
+    )
+    sweep_parser.add_argument(
+        "--auth-token", default=None,
+        help="shared fleet secret for mutual wire authentication "
+        "(default: the REPRO_AUTH_TOKEN environment variable)",
     )
     sweep_parser.add_argument(
         "--profile",
@@ -706,7 +751,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--slots", type=int, default=1,
         help="concurrent units this worker accepts (default 1)",
     )
+    worker_parser.add_argument(
+        "--announce-host", default=None,
+        help="hostname to announce instead of the bind address (for "
+        "wildcard binds like --host 0.0.0.0, which default to the "
+        "resolved hostname)",
+    )
+    worker_parser.add_argument(
+        "--auth-token", default=None,
+        help="shared fleet secret for mutual wire authentication "
+        "(default: the REPRO_AUTH_TOKEN environment variable)",
+    )
     worker_parser.set_defaults(func=_cmd_worker)
+
+    fleet_parser = commands.add_parser(
+        "fleet",
+        help="supervise a worker fleet from a TOML/JSON manifest",
+    )
+    fleet_parser.add_argument(
+        "manifest",
+        help="fleet manifest: a [[workers]] array of host/port/slots "
+        "tables, plus an optional [defaults] table",
+    )
+    fleet_parser.add_argument(
+        "--auth-token", default=None,
+        help="shared fleet secret handed to every worker via its "
+        "environment (default: the REPRO_AUTH_TOKEN environment variable)",
+    )
+    fleet_parser.add_argument(
+        "--poll", type=float, default=0.1, metavar="S",
+        help="supervision poll interval in seconds (default 0.1)",
+    )
+    fleet_parser.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="stop the fleet after this many seconds (default: run "
+        "until interrupted)",
+    )
+    fleet_parser.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -32,7 +32,13 @@ shape:
   heartbeat liveness, automatic reassignment of in-flight units when
   a worker dies or partitions, per-host circuit breakers, and
   graceful degradation to local execution when the whole fleet is
-  lost.
+  lost;
+* :mod:`~repro.core.campaign.fleet` — the ``repro fleet`` supervisor:
+  launches the worker fleet from a TOML/JSON manifest, respawns
+  abnormal deaths with exponential backoff, quarantines crash-looping
+  entries, pins ephemeral ports across respawns so a mid-sweep
+  scheduler can re-dial, and hands the shared auth token to workers
+  through their environment.
 
 The legacy entry points (:meth:`repro.core.runner.Runner.run_batch`,
 :func:`repro.core.sweep.token_rate_sweep`, ``recommend``) are rewired
@@ -42,6 +48,12 @@ sharding, stealing, nor backend choice can perturb a result.
 """
 
 from repro.core.campaign.aggregate import CampaignProgress, SweepAggregator
+from repro.core.campaign.fleet import (
+    FleetEntry,
+    FleetSupervisor,
+    load_manifest,
+    run_fleet,
+)
 from repro.core.campaign.backends import (
     LegacyRunnerBackend,
     ProcessPoolBackend,
@@ -72,6 +84,8 @@ __all__ = [
     "CampaignProgress",
     "CampaignScheduler",
     "CampaignService",
+    "FleetEntry",
+    "FleetSupervisor",
     "LegacyRunnerBackend",
     "ProcessPoolBackend",
     "RemoteBackend",
@@ -83,7 +97,9 @@ __all__ = [
     "WorkerHost",
     "adaptive_token_rate_sweep",
     "backend_for_runner",
+    "load_manifest",
     "parse_worker_addresses",
+    "run_fleet",
     "run_stream_through_scheduler",
     "shutdown_fleet",
 ]

@@ -59,6 +59,14 @@ class WorkerBackend:
 
     slots: int = 1
 
+    #: Whether the scheduler may take *renewable* store leases while
+    #: this backend executes. Requires ``execute`` to keep the event
+    #: loop responsive (thread/process/socket execution) so the
+    #: renewal task actually fires; a backend that blocks the loop
+    #: (serial, legacy adapters) must leave this False or its own live
+    #: leases would be declared stale mid-simulation.
+    supports_lease_renewal: bool = False
+
     def prepare(self, plan_specs: Optional[Sequence[ExperimentSpec]]) -> None:
         """One-time setup before the first unit (warm plans, pools)."""
 
@@ -66,6 +74,15 @@ class WorkerBackend:
         self, spec: ExperimentSpec, timeout_s: Optional[float] = None
     ) -> "BatchOutcome":
         raise NotImplementedError
+
+    def worker_speeds(self) -> dict:
+        """Observed points/sec per execution slot, when tracked.
+
+        Keys are backend-specific (the remote backend reports
+        ``host:port``); an empty dict means the backend does not
+        distinguish slot speeds.
+        """
+        return {}
 
     def close(self) -> None:
         """Release pools/processes; called once per campaign, always."""
@@ -133,6 +150,10 @@ class ProcessPoolBackend(WorkerBackend):
 
     #: Seconds between supervision polls of a worker's pipe/liveness.
     POLL_S = 0.02
+
+    # Every execution path hands off to a thread or process, so the
+    # loop stays free to run the scheduler's lease-renewal tasks.
+    supports_lease_renewal = True
 
     def __init__(
         self,

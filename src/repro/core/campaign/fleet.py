@@ -1,0 +1,594 @@
+"""The ``repro fleet`` supervisor: launch, watch, respawn, quarantine.
+
+PR 7's remote backend assumes a fleet of ``repro worker`` processes
+already exists; this module is what makes that fleet *operable*. A
+manifest (TOML or JSON) lists the workers — bind host, port, slot
+count, optionally a custom spawn command — and
+:class:`FleetSupervisor` launches them, reads each one's stdout
+announce line to learn where it actually landed, and then babysits:
+
+* a worker that dies with a **nonzero** exit (crash, ``kill -9``, OOM)
+  is respawned with exponential backoff (``respawn_base_s`` doubling
+  to ``respawn_max_s`` — the same curve as the wire circuit breaker,
+  so the two layers stay in phase);
+* a worker that exits **zero** performed an intentional stop (a
+  ``shutdown`` frame, a SIGTERM drain) and is *not* respawned;
+* a worker that crash-loops — ``quarantine_threshold`` failures inside
+  ``quarantine_window_s`` — is **quarantined**: parked, reported, and
+  only retried after ``quarantine_park_s`` with a cleared failure
+  history. A broken binary or a bad host therefore costs the operator
+  one log line, not an infinite respawn storm;
+* an ephemeral-port worker (``port = 0``) gets its learned port
+  **pinned** on respawn, so a scheduler mid-sweep re-dials the same
+  ``host:port`` and the respawned worker rejoins the campaign
+  (:meth:`RemoteBackend._monitor` re-dials disconnected addresses).
+
+The supervisor is deliberately synchronous and poll-driven (one
+:meth:`FleetSupervisor.poll` call advances every state machine once,
+with an injectable clock), which keeps it trivially testable and free
+of event-loop entanglement with the scheduler it serves.
+
+The fleet's shared secret (``--auth-token`` / ``REPRO_AUTH_TOKEN``) is
+handed to workers through the child environment, never argv — a token
+on a command line is visible to every user on the host via ``ps``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.core.campaign.remote import AUTH_TOKEN_ENV, resolve_auth_token
+
+#: Worker lifecycle states the supervisor tracks.
+STARTING = "starting"      #: spawned, announce line not yet seen
+RUNNING = "running"        #: announced and presumed serving
+BACKOFF = "backing-off"    #: died abnormally; respawn timer pending
+QUARANTINED = "quarantined"  #: crash-looping; parked on the long timer
+STOPPED = "stopped"        #: exited 0 (intentional); never respawned
+
+#: First respawn delay after an abnormal death; doubles per
+#: consecutive failure up to :data:`RESPAWN_MAX_S`.
+RESPAWN_BASE_S = 0.5
+RESPAWN_MAX_S = 30.0
+
+#: ``quarantine_threshold`` abnormal deaths inside
+#: ``quarantine_window_s`` park the entry for ``quarantine_park_s``.
+QUARANTINE_THRESHOLD = 3
+QUARANTINE_WINDOW_S = 60.0
+QUARANTINE_PARK_S = 300.0
+
+
+@dataclass
+class FleetEntry:
+    """One manifest row: where a worker runs and how to spawn it.
+
+    ``port = 0`` binds an ephemeral port (the supervisor pins the
+    learned port on respawn). ``command`` overrides the spawn argv
+    entirely — the custom command must still announce
+    ``{"event": "listening", ...}`` on stdout or the supervisor will
+    treat it as never having come up.
+    """
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    slots: int = 1
+    command: Optional[list[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError(
+                f"fleet entry {self.name!r}: slots must be >= 1 "
+                f"(got {self.slots})"
+            )
+        if not (0 <= int(self.port) <= 65535):
+            raise ValueError(
+                f"fleet entry {self.name!r}: port {self.port} out of range"
+            )
+
+
+def load_manifest(path: Union[str, Path]) -> list[FleetEntry]:
+    """Parse a fleet manifest file into entries.
+
+    Accepts TOML (``.toml``) or JSON. Both formats share one shape: a
+    ``workers`` array of tables/objects with ``host`` / ``port`` /
+    ``slots`` / ``command`` fields, plus an optional ``defaults``
+    table merged under every worker::
+
+        # fleet.toml
+        [defaults]
+        slots = 2
+
+        [[workers]]
+        host = "10.0.0.5"
+        port = 7001
+
+        [[workers]]
+        host = "10.0.0.6"
+        port = 0          # ephemeral; pinned once learned
+        slots = 8
+
+    The JSON spelling is ``{"defaults": {...}, "workers": [{...}]}``.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        data = tomllib.loads(text)
+    else:
+        try:
+            data = json.loads(text)
+        except ValueError:
+            import tomllib
+
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError:
+                raise ValueError(
+                    f"fleet manifest {path} is neither valid JSON nor TOML"
+                ) from None
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"fleet manifest {path} must be an object with a 'workers' list"
+        )
+    rows = data.get("workers")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError(f"fleet manifest {path} names no workers")
+    defaults = data.get("defaults") or {}
+    if not isinstance(defaults, dict):
+        raise ValueError(f"fleet manifest {path}: 'defaults' must be a table")
+    known = {"host", "port", "slots", "command"}
+    entries = []
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise ValueError(
+                f"fleet manifest {path}: worker #{index + 1} is not a table"
+            )
+        merged = {**defaults, **row}
+        unknown = set(merged) - known - {"name"}
+        if unknown:
+            raise ValueError(
+                f"fleet manifest {path}: worker #{index + 1} has unknown "
+                f"field(s) {sorted(unknown)}"
+            )
+        command = merged.get("command")
+        if command is not None and (
+            not isinstance(command, list)
+            or not all(isinstance(part, str) for part in command)
+        ):
+            raise ValueError(
+                f"fleet manifest {path}: worker #{index + 1} 'command' "
+                "must be a list of strings"
+            )
+        entries.append(
+            FleetEntry(
+                name=str(merged.get("name", f"worker-{index + 1}")),
+                host=str(merged.get("host", "127.0.0.1")),
+                port=int(merged.get("port", 0)),
+                slots=int(merged.get("slots", 1)),
+                command=command,
+            )
+        )
+    names = [entry.name for entry in entries]
+    if len(set(names)) != len(names):
+        raise ValueError(f"fleet manifest {path}: duplicate worker names")
+    return entries
+
+
+def default_spawn_command(entry: FleetEntry, port: int) -> list[str]:
+    """The argv used to spawn one worker when the manifest gives none."""
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--host",
+        entry.host,
+        "--port",
+        str(port),
+        "--slots",
+        str(entry.slots),
+    ]
+
+
+@dataclass
+class SupervisedWorker:
+    """Runtime state the supervisor keeps per manifest entry."""
+
+    entry: FleetEntry
+    state: str = STARTING
+    process: Optional[subprocess.Popen] = None
+    #: Connectable address from the announce line (host, port).
+    address: Optional[tuple[str, int]] = None
+    #: Ephemeral port once learned; pinned into every respawn.
+    learned_port: Optional[int] = None
+    #: Monotonic timestamps of recent abnormal deaths (the
+    #: quarantine window).
+    failure_times: deque = field(default_factory=deque)
+    #: Consecutive abnormal deaths since the last healthy announce
+    #: (drives the respawn backoff curve).
+    consecutive_failures: int = 0
+    retry_at: float = 0.0
+    restarts: int = 0
+    _stdout_buffer: bytes = b""
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+
+class FleetSupervisor:
+    """Poll-driven process supervisor over a fleet manifest.
+
+    ``spawn`` and ``clock`` are injectable for tests (the default
+    spawn is :class:`subprocess.Popen` with stdout piped for the
+    announce line; the default clock is ``time.monotonic``).
+    ``on_event`` receives ``(worker_name, event, detail)`` for every
+    state transition — the CLI prints these, tests assert on them.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[FleetEntry],
+        auth_token: Optional[str] = None,
+        respawn_base_s: float = RESPAWN_BASE_S,
+        respawn_max_s: float = RESPAWN_MAX_S,
+        quarantine_threshold: int = QUARANTINE_THRESHOLD,
+        quarantine_window_s: float = QUARANTINE_WINDOW_S,
+        quarantine_park_s: float = QUARANTINE_PARK_S,
+        clock: Callable[[], float] = time.monotonic,
+        spawn: Optional[Callable[..., subprocess.Popen]] = None,
+        on_event: Optional[Callable[[str, str, str], None]] = None,
+    ):
+        if not entries:
+            raise ValueError("a fleet needs at least one manifest entry")
+        self.workers = [SupervisedWorker(entry=e) for e in entries]
+        self.auth_token = resolve_auth_token(auth_token)
+        self.respawn_base_s = respawn_base_s
+        self.respawn_max_s = respawn_max_s
+        self.quarantine_threshold = max(1, quarantine_threshold)
+        self.quarantine_window_s = quarantine_window_s
+        self.quarantine_park_s = quarantine_park_s
+        self.clock = clock
+        self._spawn_impl = spawn if spawn is not None else self._popen
+        self.on_event = on_event
+        self.events: list[tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> None:
+        """Spawn every manifest entry (state ``starting``)."""
+        for worker in self.workers:
+            self._spawn(worker)
+
+    def poll(self) -> None:
+        """Advance every worker's state machine once (non-blocking)."""
+        now = self.clock()
+        for worker in self.workers:
+            if worker.state in (STARTING, RUNNING):
+                self._poll_live(worker, now)
+            elif worker.state in (BACKOFF, QUARANTINED) and now >= worker.retry_at:
+                if worker.state == QUARANTINED:
+                    # A fresh chance: the park served its purpose, so
+                    # the old failure burst no longer counts against
+                    # the next one.
+                    worker.failure_times.clear()
+                    self._event(worker, "quarantine-retry", "park elapsed")
+                worker.restarts += 1
+                self._spawn(worker)
+
+    def run(
+        self,
+        poll_s: float = 0.1,
+        duration_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Blocking supervision loop (the CLI's main loop).
+
+        Returns when ``duration_s`` elapses (None = run until every
+        worker is permanently stopped, i.e. forever for a healthy
+        fleet). KeyboardInterrupt is the operator's stop signal and is
+        handled by the caller.
+        """
+        started = self.clock()
+        while True:
+            self.poll()
+            if duration_s is not None and self.clock() - started >= duration_s:
+                return
+            if all(w.state == STOPPED for w in self.workers):
+                return
+            sleep(poll_s)
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        """Stop the fleet: SIGTERM (graceful drain), then SIGKILL.
+
+        Workers flush in-flight outcomes and exit 0 on SIGTERM (the
+        drain path), so a supervised fleet shut down mid-sweep loses
+        nothing the scheduler had not already reassigned.
+        """
+        live = [
+            w
+            for w in self.workers
+            if w.process is not None and w.process.poll() is None
+        ]
+        for worker in live:
+            try:
+                worker.process.send_signal(signal.SIGTERM)
+            except OSError:
+                pass
+        deadline = time.monotonic() + grace_s
+        for worker in live:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            try:
+                worker.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                try:
+                    worker.process.kill()
+                    worker.process.wait(timeout=grace_s)
+                except (OSError, subprocess.TimeoutExpired):
+                    pass
+        for worker in self.workers:
+            worker.state = STOPPED
+        self._drain_stdout_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def addresses(self) -> list[tuple[str, int]]:
+        """Connectable ``(host, port)`` roster of announced workers.
+
+        Addresses persist across a worker's death — the port is pinned
+        on respawn, so the scheduler's roster stays valid and its
+        monitor re-dials the same address once the worker is back.
+        """
+        return [w.address for w in self.workers if w.address is not None]
+
+    def roster(self) -> str:
+        """The ``HOST:PORT,HOST:PORT`` string ``sweep --workers`` takes."""
+        return ",".join(f"{h}:{p}" for h, p in self.addresses())
+
+    def report(self) -> dict:
+        """Operator-facing snapshot of every worker's state."""
+        return {
+            w.entry.name: {
+                "state": w.state,
+                "address": (
+                    f"{w.address[0]}:{w.address[1]}" if w.address else None
+                ),
+                "pid": w.pid,
+                "restarts": w.restarts,
+                "recent_failures": len(w.failure_times),
+            }
+            for w in self.workers
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _event(self, worker: SupervisedWorker, event: str, detail: str) -> None:
+        record = (worker.entry.name, event, detail)
+        self.events.append(record)
+        if self.on_event is not None:
+            self.on_event(*record)
+
+    def _popen(self, argv: list[str], env: dict) -> subprocess.Popen:
+        return subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+
+    def _spawn(self, worker: SupervisedWorker) -> None:
+        entry = worker.entry
+        port = entry.port
+        if port == 0 and worker.learned_port is not None:
+            # Pin the ephemeral port the first launch landed on, so
+            # the fleet roster survives respawns.
+            port = worker.learned_port
+        argv = (
+            list(entry.command)
+            if entry.command is not None
+            else default_spawn_command(entry, port)
+        )
+        env = dict(os.environ)
+        if self.auth_token:
+            env[AUTH_TOKEN_ENV] = self.auth_token
+        try:
+            worker.process = self._spawn_impl(argv, env)
+        except OSError as exc:
+            worker.process = None
+            self._note_failure(worker, f"spawn failed: {exc}")
+            return
+        worker.state = STARTING
+        worker._stdout_buffer = b""
+        stdout = getattr(worker.process, "stdout", None)
+        if stdout is not None:
+            try:
+                os.set_blocking(stdout.fileno(), False)
+            except (OSError, ValueError):
+                pass
+        self._event(
+            worker, "spawned", f"pid {worker.pid} (attempt {worker.restarts + 1})"
+        )
+
+    def _poll_live(self, worker: SupervisedWorker, now: float) -> None:
+        self._read_announce(worker)
+        process = worker.process
+        code = process.poll() if process is not None else None
+        if process is None:
+            return
+        if code is None:
+            return
+        # One last announce read: the exit may have raced the pipe.
+        self._read_announce(worker)
+        if code == 0:
+            worker.state = STOPPED
+            self._event(worker, "stopped", "exit 0 (intentional; no respawn)")
+            return
+        label = (
+            f"signal {-code}" if code < 0 else f"exit {code}"
+        )
+        self._note_failure(worker, label, now)
+
+    def _note_failure(
+        self,
+        worker: SupervisedWorker,
+        detail: str,
+        now: Optional[float] = None,
+    ) -> None:
+        now = self.clock() if now is None else now
+        worker.consecutive_failures += 1
+        worker.failure_times.append(now)
+        while (
+            worker.failure_times
+            and now - worker.failure_times[0] > self.quarantine_window_s
+        ):
+            worker.failure_times.popleft()
+        if len(worker.failure_times) >= self.quarantine_threshold:
+            worker.state = QUARANTINED
+            worker.retry_at = now + self.quarantine_park_s
+            self._event(
+                worker,
+                "quarantined",
+                f"{len(worker.failure_times)} failures in "
+                f"{self.quarantine_window_s:.0f} s ({detail}); parked "
+                f"{self.quarantine_park_s:.0f} s",
+            )
+            return
+        delay = min(
+            self.respawn_base_s * 2 ** (worker.consecutive_failures - 1),
+            self.respawn_max_s,
+        )
+        worker.state = BACKOFF
+        worker.retry_at = now + delay
+        self._event(
+            worker, "died", f"{detail}; respawn in {delay:.2g} s"
+        )
+
+    def _read_announce(self, worker: SupervisedWorker) -> None:
+        process = worker.process
+        if process is None or process.stdout is None:
+            return
+        try:
+            chunk = process.stdout.read()
+        except (OSError, ValueError):
+            chunk = None
+        if chunk:
+            worker._stdout_buffer += chunk
+        if worker.state != STARTING:
+            return
+        line, sep, rest = worker._stdout_buffer.partition(b"\n")
+        if not sep:
+            return
+        worker._stdout_buffer = rest
+        try:
+            announce = json.loads(line.decode("utf-8", "replace"))
+        except ValueError:
+            return
+        if (
+            not isinstance(announce, dict)
+            or announce.get("event") != "listening"
+        ):
+            return
+        host = str(announce.get("host") or worker.entry.host)
+        try:
+            port = int(announce.get("port"))
+        except (TypeError, ValueError):
+            return
+        worker.address = (host, port)
+        worker.learned_port = port
+        worker.state = RUNNING
+        # A healthy announce resets the backoff curve (but not the
+        # quarantine window: three quick crash-announce-crash cycles
+        # still add up to a crash loop).
+        worker.consecutive_failures = 0
+        self._event(worker, "announced", f"{host}:{port} pid {worker.pid}")
+
+    def _drain_stdout_all(self) -> None:
+        """Close worker pipes after stop so nothing leaks fds."""
+        for worker in self.workers:
+            process = worker.process
+            if process is not None and process.stdout is not None:
+                try:
+                    process.stdout.close()
+                except OSError:
+                    pass
+
+
+def run_fleet(
+    manifest_path: Union[str, Path],
+    auth_token: Optional[str] = None,
+    poll_s: float = 0.1,
+    duration_s: Optional[float] = None,
+    emit=None,
+) -> int:
+    """Blocking entry point for the ``repro fleet`` CLI verb.
+
+    Prints lifecycle events and the connectable roster line (the exact
+    string to paste into ``sweep --workers``). Runs until Ctrl-C (or
+    ``duration_s``), then drains the fleet gracefully. Exits 1 if any
+    entry ended quarantined, else 0.
+    """
+    emit = emit if emit is not None else (
+        lambda text: print(text, file=sys.stderr, flush=True)
+    )
+    entries = load_manifest(manifest_path)
+    announced: set[str] = set()
+
+    # SIGTERM must drain the fleet exactly like Ctrl-C does — the
+    # default handler would kill this supervisor and leak its workers.
+    def _term(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _term)
+
+    def on_event(name: str, event: str, detail: str) -> None:
+        emit(f"fleet: {name}: {event} — {detail}")
+
+    supervisor = FleetSupervisor(
+        entries, auth_token=auth_token, on_event=on_event
+    )
+    supervisor.start()
+    try:
+        started = time.monotonic()
+        while True:
+            supervisor.poll()
+            roster = supervisor.roster()
+            if roster and roster not in announced:
+                announced.add(roster)
+                print(f"workers: {roster}", flush=True)
+            if (
+                duration_s is not None
+                and time.monotonic() - started >= duration_s
+            ):
+                break
+            if all(w.state == STOPPED for w in supervisor.workers):
+                break
+            time.sleep(poll_s)
+    except KeyboardInterrupt:
+        emit("fleet: interrupt — draining workers")
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        supervisor.stop()
+    quarantined = [
+        w.entry.name for w in supervisor.workers if any(
+            event == "quarantined" for _, event, _ in [
+                (n, e, d) for n, e, d in supervisor.events if n == w.entry.name
+            ]
+        )
+    ]
+    for name, state in ((w.entry.name, w.state) for w in supervisor.workers):
+        emit(f"fleet: {name}: final state {state}")
+    return 1 if quarantined else 0

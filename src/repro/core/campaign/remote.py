@@ -10,12 +10,18 @@ the scheduler issues to a free remote slot.
 Wire protocol (version :data:`PROTOCOL_VERSION`):
 
 * ``hello``     (worker → scheduler, on connect): protocol version,
-  ``CACHE_SCHEMA_VERSION``, hostname, pid, slot count. A worker whose
-  protocol or schema disagrees is rejected — a stale binary silently
-  producing differently-shaped results is the one corruption no retry
-  can fix;
+  ``CACHE_SCHEMA_VERSION``, hostname, pid, slot count, whether the
+  worker requires authentication, and a fresh challenge nonce. A
+  worker whose protocol or schema disagrees is rejected — a stale
+  binary silently producing differently-shaped results is the one
+  corruption no retry can fix;
 * ``welcome``   (scheduler → worker): accepts the worker and sets the
-  heartbeat interval;
+  heartbeat interval. When a shared secret is configured it also
+  carries the scheduler's HMAC proof over the worker's nonce plus a
+  counter-challenge;
+* ``auth``      (worker → scheduler): the worker's HMAC proof over
+  the scheduler's counter-challenge, completing mutual
+  authentication;
 * ``execute``   (scheduler → worker): unit id, spec fields, timeout;
 * ``outcome``   (worker → scheduler): unit id plus either the summary
   payload or a classified error;
@@ -24,7 +30,21 @@ Wire protocol (version :data:`PROTOCOL_VERSION`):
 * ``shutdown``  (scheduler → worker): drain and exit. Sent by explicit
   fleet teardown (:func:`shutdown_fleet`), *not* by the per-campaign
   backend close — workers outlive campaigns, so a recommend query's
-  dozens of batches reuse one fleet.
+  dozens of batches reuse one fleet. When the worker holds a token,
+  shutdown must carry a proof over the worker's hello nonce or it is
+  refused — an unauthenticated peer cannot take the fleet down.
+
+Trust model — a shared secret, not a PKI. ``--auth-token`` (or
+``REPRO_AUTH_TOKEN``) names one fleet-wide secret; the handshake is a
+mutual HMAC-SHA256 challenge/response over per-connection nonces with
+role-separated context strings (so a scheduler proof cannot be
+replayed as a worker proof or vice versa), compared in constant time.
+Either side lacking or mismatching the secret is rejected
+*permanently* (the circuit breaker never re-dials — reconnecting
+cannot change the token), and an unauthenticated peer learns nothing
+but the protocol version. The payload itself is not encrypted: the
+token gates membership of a fleet crossing host boundaries, it does
+not hide simulation results from the network path.
 
 Failure model — worker loss is a normal event, not an error:
 
@@ -60,13 +80,17 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hmac
 import json
+import os
+import secrets
 import time
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.campaign.backends import RemoteWorkerError, WorkerBackend
 from repro.core.experiment import ExperimentSpec
 from repro.core.faults import (
+    AuthRejected,
     HeartbeatTimeout,
     RetryPolicy,
     SpecTimeout,
@@ -80,8 +104,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runner import BatchOutcome, RunnerStats
 
 #: Version of the frame vocabulary; a worker speaking another version
-#: is rejected at the handshake.
-PROTOCOL_VERSION = 1
+#: is rejected at the handshake. Version 2 added the authentication
+#: fields (hello ``auth``/``nonce``, welcome ``proof``/``nonce``, the
+#: ``auth`` frame, shutdown ``proof``).
+PROTOCOL_VERSION = 2
 
 #: Per-line size budget on both ends of the wire. Summaries with
 #: captured flow traces run to megabytes; anything beyond this is a
@@ -94,6 +120,50 @@ HEARTBEAT_S = 1.0
 
 #: A worker silent for this many heartbeat intervals is dead.
 LIVENESS_INTERVALS = 4.0
+
+#: Environment variable naming the fleet's shared secret; the
+#: ``--auth-token`` CLI flag overrides it.
+AUTH_TOKEN_ENV = "REPRO_AUTH_TOKEN"
+
+#: EWMA weight for per-worker points/sec samples (dispatch prefers
+#: faster hosts; mirrors the scheduler's shard weighting).
+SPEED_EWMA_ALPHA = 0.3
+
+
+def resolve_auth_token(explicit: Optional[str] = None) -> Optional[str]:
+    """The fleet secret: explicit flag value, else ``$REPRO_AUTH_TOKEN``.
+
+    Empty strings count as "no token", so ``--auth-token ""`` can
+    disable an environment-supplied secret.
+    """
+    if explicit:
+        return explicit
+    return os.environ.get(AUTH_TOKEN_ENV) or None
+
+
+def auth_proof(token: str, role: str, nonce: str) -> str:
+    """HMAC-SHA256 proof of the shared secret over one challenge nonce.
+
+    ``role`` is a context string (``scheduler`` / ``worker`` /
+    ``shutdown``) folded into the MAC input so a proof captured in one
+    direction can never be replayed in another.
+    """
+    message = f"repro-{role}:{nonce}".encode("utf-8")
+    return hmac.new(token.encode("utf-8"), message, "sha256").hexdigest()
+
+
+def proof_valid(
+    token: str, role: str, nonce: str, candidate: object
+) -> bool:
+    """Constant-time check of a peer's proof; False on any shape error."""
+    if not isinstance(candidate, str) or not nonce:
+        return False
+    return hmac.compare_digest(auth_proof(token, role, nonce), candidate)
+
+
+def make_nonce() -> str:
+    """A fresh per-connection challenge (128 bits, hex)."""
+    return secrets.token_hex(16)
 
 
 def encode_frame(frame: dict) -> bytes:
@@ -162,9 +232,16 @@ class CircuitBreaker:
         self.max_s = max_s
         self.failures = 0
         self.open_until = 0.0
-        #: A rejected worker (protocol/schema mismatch) is never
-        #: re-dialed: reconnecting cannot change its binary.
+        #: A rejected worker (protocol/schema/auth mismatch) is never
+        #: re-dialed: reconnecting cannot change its binary or token.
         self.rejected = False
+        #: Why the permanent rejection happened (operator-facing).
+        self.reject_reason: Optional[str] = None
+
+    def reject(self, reason: str) -> None:
+        """Open this breaker permanently (protocol/schema/auth)."""
+        self.rejected = True
+        self.reject_reason = reason
 
     def note_failure(self, now: Optional[float] = None) -> None:
         now = time.monotonic() if now is None else now
@@ -232,11 +309,13 @@ class RemoteBackend(WorkerBackend):
         local_fallback: bool = True,
         breaker_base_s: float = 0.5,
         breaker_max_s: float = 30.0,
+        auth_token: Optional[str] = None,
     ):
         if not addresses:
             raise ValueError("RemoteBackend needs at least one worker address")
         self.addresses = [(str(h), int(p)) for h, p in addresses]
         self.stats = stats
+        self.auth_token = resolve_auth_token(auth_token)
         self.heartbeat_s = heartbeat_s
         self.liveness_timeout_s = (
             liveness_timeout_s
@@ -256,6 +335,16 @@ class RemoteBackend(WorkerBackend):
         self._monitor_task: Optional[asyncio.Task] = None
         self._unit_counter = 0
         self._closed = False
+        #: Addresses with a re-dial in flight (the monitor's rejoin
+        #: path), so concurrent paths never double-connect one host.
+        self._dialing: set[tuple[str, int]] = set()
+        #: Observed points/sec per address (EWMA over successful
+        #: dispatches); survives a worker's death and rejoin.
+        self._speeds: dict[tuple[str, int], float] = {}
+
+    # The remote path and the local-fallback thread both keep the
+    # event loop free, so renewable store leases are safe here.
+    supports_lease_renewal = True
 
     # ------------------------------------------------------------------
     # Capacity
@@ -285,9 +374,48 @@ class RemoteBackend(WorkerBackend):
             self._monitor_task = asyncio.create_task(self._monitor())
             self._started = True
 
+    async def _dial(self, address: tuple[str, int]) -> Optional[RemoteWorker]:
+        """Guarded connect: at most one dial per address at a time.
+
+        The slot-acquisition path and the monitor's rejoin path can
+        both decide to re-dial a respawned worker in the same tick;
+        the guard makes the second a no-op instead of a duplicate
+        connection.
+        """
+        if address in self._dialing:
+            return None
+        self._dialing.add(address)
+        try:
+            return await self._connect(address)
+        finally:
+            self._dialing.discard(address)
+
+    async def _reject_peer(
+        self,
+        writer: asyncio.StreamWriter,
+        breaker: CircuitBreaker,
+        problem: str,
+    ) -> None:
+        """Send a reject frame and open the breaker permanently."""
+        try:
+            writer.write(encode_frame({"frame": "reject", "error": problem}))
+            await writer.drain()
+        except OSError:
+            pass
+        try:
+            writer.close()
+        except Exception:
+            pass
+        breaker.reject(problem)
+
     async def _connect(self, address: tuple[str, int]) -> Optional[RemoteWorker]:
         """Dial one worker and run the handshake; None on any failure."""
         breaker = self.breakers[address]
+        existing = self._workers.get(address)
+        if existing is not None and existing.alive:
+            return existing
+        if self._closed:
+            return None
         host, port = address
         try:
             reader, writer = await asyncio.wait_for(
@@ -307,21 +435,51 @@ class RemoteBackend(WorkerBackend):
                 raise ValueError(f"expected hello, got {hello.get('frame')!r}")
             problem = self._handshake_problem(hello)
             if problem is not None:
-                writer.write(encode_frame({"frame": "reject", "error": problem}))
-                await writer.drain()
-                writer.close()
-                breaker.rejected = True
+                await self._reject_peer(writer, breaker, problem)
                 return None
-            writer.write(
-                encode_frame(
-                    {
-                        "frame": "welcome",
-                        "protocol": PROTOCOL_VERSION,
-                        "heartbeat_s": self.heartbeat_s,
-                    }
+            welcome = {
+                "frame": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "heartbeat_s": self.heartbeat_s,
+            }
+            challenge = None
+            if self.auth_token:
+                # Prove we hold the secret (over the worker's nonce)
+                # and counter-challenge the worker with ours.
+                challenge = make_nonce()
+                welcome["proof"] = auth_proof(
+                    self.auth_token, "scheduler", str(hello.get("nonce", ""))
                 )
-            )
+                welcome["nonce"] = challenge
+            writer.write(encode_frame(welcome))
             await writer.drain()
+            if self.auth_token:
+                reply = decode_frame(
+                    await asyncio.wait_for(
+                        reader.readline(), self.connect_timeout_s
+                    )
+                )
+                if reply.get("frame") == "reject":
+                    # The worker refused *our* proof: it holds a
+                    # different secret. Permanent — reconnecting
+                    # cannot change either token.
+                    await self._reject_peer(
+                        writer,
+                        breaker,
+                        "worker refused scheduler auth proof: "
+                        f"{reply.get('error', 'token mismatch')}",
+                    )
+                    return None
+                if reply.get("frame") != "auth" or not proof_valid(
+                    self.auth_token, "worker", challenge, reply.get("proof")
+                ):
+                    await self._reject_peer(
+                        writer,
+                        breaker,
+                        "auth failed: worker did not prove knowledge of "
+                        "the fleet token",
+                    )
+                    return None
         except (OSError, ValueError, asyncio.TimeoutError, asyncio.IncompleteReadError):
             breaker.note_failure()
             try:
@@ -343,8 +501,7 @@ class RemoteBackend(WorkerBackend):
         await self._notify_slots()
         return worker
 
-    @staticmethod
-    def _handshake_problem(hello: dict) -> Optional[str]:
+    def _handshake_problem(self, hello: dict) -> Optional[str]:
         from repro.core.runner import CACHE_SCHEMA_VERSION
 
         if hello.get("protocol") != PROTOCOL_VERSION:
@@ -357,6 +514,17 @@ class RemoteBackend(WorkerBackend):
                 f"cache schema mismatch: scheduler at {CACHE_SCHEMA_VERSION}, "
                 f"worker at {hello.get('schema')!r} — results would not be "
                 "comparable or cacheable"
+            )
+        worker_auth = bool(hello.get("auth"))
+        if worker_auth and not self.auth_token:
+            return (
+                "worker requires authentication and this scheduler has no "
+                "token (pass --auth-token or set REPRO_AUTH_TOKEN)"
+            )
+        if self.auth_token and not worker_auth:
+            return (
+                "scheduler requires authentication and this worker offers "
+                "none (start it with --auth-token or REPRO_AUTH_TOKEN)"
             )
         return None
 
@@ -441,7 +609,14 @@ class RemoteBackend(WorkerBackend):
         await self._notify_slots()
 
     async def _monitor(self) -> None:
-        """Heartbeat watchdog: silence past the timeout is death."""
+        """Heartbeat watchdog and rejoin loop.
+
+        Silence past the timeout is death; and any roster address with
+        no live connection whose breaker has expired is re-dialed in
+        the background — this is how a supervisor-respawned worker
+        rejoins a sweep already in progress even while other workers
+        are still serving it.
+        """
         interval = max(self.liveness_timeout_s / 4.0, 0.01)
         while True:
             await asyncio.sleep(interval)
@@ -456,6 +631,13 @@ class RemoteBackend(WorkerBackend):
                             f"(timeout {self.liveness_timeout_s:.1f} s)"
                         ),
                     )
+            for address, breaker in self.breakers.items():
+                if (
+                    address not in self._workers
+                    and address not in self._dialing
+                    and breaker.admits()
+                ):
+                    asyncio.create_task(self._dial(address))
 
     async def _notify_slots(self) -> None:
         assert self._slot_cond is not None
@@ -480,7 +662,20 @@ class RemoteBackend(WorkerBackend):
                 # Surface what actually happened to this unit (e.g. a
                 # HeartbeatTimeout) so retry/quarantine records carry
                 # the real transport kind, not a generic disconnect.
-                raise lost or WorkerDisconnect(
+                if lost is not None:
+                    raise lost
+                auth_reasons = [
+                    b.reject_reason
+                    for b in self.breakers.values()
+                    if b.rejected
+                    and b.reject_reason
+                    and "auth" in b.reject_reason
+                ]
+                if auth_reasons and all(
+                    b.rejected for b in self.breakers.values()
+                ):
+                    raise AuthRejected(auth_reasons[0])
+                raise WorkerDisconnect(
                     "no remote workers available (all lost or backing off)"
                 )
             try:
@@ -508,19 +703,30 @@ class RemoteBackend(WorkerBackend):
             live = [w for w in self._workers.values() if w.alive]
             free = [w for w in live if w.available > 0]
             if free:
-                worker = max(free, key=lambda w: w.available)
+                # Prefer the fastest host (observed points/sec EWMA;
+                # unmeasured hosts weigh 1.0 so nothing changes until
+                # real samples arrive), then the least-loaded one.
+                worker = max(
+                    free,
+                    key=lambda w: (
+                        self._speeds.get(w.address, 1.0),
+                        w.available,
+                    ),
+                )
                 worker.available -= 1
                 return worker
             if not live:
                 candidates = [
                     addr
                     for addr, breaker in self.breakers.items()
-                    if addr not in self._workers and breaker.admits()
+                    if addr not in self._workers
+                    and addr not in self._dialing
+                    and breaker.admits()
                 ]
                 if not candidates:
                     return None
                 results = await asyncio.gather(
-                    *(self._connect(addr) for addr in candidates)
+                    *(self._dial(addr) for addr in candidates)
                 )
                 if not any(results):
                     return None
@@ -564,12 +770,21 @@ class RemoteBackend(WorkerBackend):
                 raise WorkerDisconnect(
                     f"worker {worker.name} unreachable on send"
                 ) from None
+            started = time.monotonic()
             if timeout_s is None:
-                return await future
+                outcome = await future
+                self._note_speed(
+                    worker.address, time.monotonic() - started
+                )
+                return outcome
             try:
-                return await asyncio.wait_for(
+                outcome = await asyncio.wait_for(
                     asyncio.shield(future), timeout_s
                 )
+                self._note_speed(
+                    worker.address, time.monotonic() - started
+                )
+                return outcome
             except asyncio.TimeoutError:
                 # The worker is still chewing (or wedged). Abandon the
                 # connection: we cannot know which, and a wedged worker
@@ -593,6 +808,25 @@ class RemoteBackend(WorkerBackend):
             if worker.alive:
                 worker.available += 1
                 await self._notify_slots()
+
+    def _note_speed(self, address: tuple[str, int], elapsed_s: float) -> None:
+        """Fold one successful round-trip into the host's speed EWMA."""
+        if elapsed_s <= 0:
+            return
+        sample = 1.0 / elapsed_s
+        prior = self._speeds.get(address)
+        self._speeds[address] = (
+            sample
+            if prior is None
+            else prior + SPEED_EWMA_ALPHA * (sample - prior)
+        )
+
+    def worker_speeds(self) -> dict:
+        """Observed points/sec per worker address (EWMA)."""
+        return {
+            f"{host}:{port}": round(speed, 4)
+            for (host, port), speed in self._speeds.items()
+        }
 
     async def _execute_local(
         self, spec: ExperimentSpec, timeout_s: Optional[float]
@@ -646,18 +880,30 @@ class RemoteBackend(WorkerBackend):
             "addresses": [f"{h}:{p}" for h, p in self.addresses],
             "live": [w.name for w in self._workers.values() if w.alive],
             "slots": self.slots,
+            "speeds": self.worker_speeds(),
+            "rejected": {
+                f"{h}:{p}": breaker.reject_reason
+                for (h, p), breaker in self.breakers.items()
+                if breaker.rejected
+            },
         }
 
 
 async def shutdown_fleet(
-    addresses: Sequence[tuple[str, int]], timeout_s: float = 5.0
+    addresses: Sequence[tuple[str, int]],
+    timeout_s: float = 5.0,
+    auth_token: Optional[str] = None,
 ) -> int:
     """Ask each listed ``repro worker`` process to drain and exit.
 
     The explicit fleet-teardown counterpart to
     :meth:`RemoteBackend.close` (which only disconnects). Best-effort:
     an unreachable worker is skipped. Returns how many acknowledged.
+    An authenticated worker only honours a shutdown carrying a valid
+    proof over its hello nonce, so an unauthenticated peer cannot take
+    the fleet down.
     """
+    token = resolve_auth_token(auth_token)
 
     async def _one(address: tuple[str, int]) -> bool:
         host, port = address
@@ -669,12 +915,21 @@ async def shutdown_fleet(
         except (OSError, asyncio.TimeoutError):
             return False
         try:
-            await asyncio.wait_for(reader.readline(), timeout_s)  # hello
-            writer.write(encode_frame({"frame": "shutdown"}))
+            hello = decode_frame(
+                await asyncio.wait_for(reader.readline(), timeout_s)
+            )
+            frame = {"frame": "shutdown"}
+            if token:
+                frame["proof"] = auth_proof(
+                    token, "shutdown", str(hello.get("nonce", ""))
+                )
+            writer.write(encode_frame(frame))
             await writer.drain()
-            bye = await asyncio.wait_for(reader.readline(), timeout_s)
-            return bool(bye)
-        except (OSError, asyncio.TimeoutError):
+            bye = decode_frame(
+                await asyncio.wait_for(reader.readline(), timeout_s)
+            )
+            return bye.get("frame") == "bye"
+        except (OSError, ValueError, asyncio.TimeoutError):
             return False
         finally:
             try:
@@ -708,6 +963,7 @@ class RemoteRunner(Runner):
         shards: Optional[int] = None,
         window: Optional[int] = None,
         single_flight: bool = True,
+        auth_token: Optional[str] = None,
     ):
         super().__init__(
             store=store,
@@ -723,6 +979,7 @@ class RemoteRunner(Runner):
         self.liveness_timeout_s = liveness_timeout_s
         self.connect_timeout_s = connect_timeout_s
         self.local_fallback = local_fallback
+        self.auth_token = auth_token
         self.last_backend: Optional[RemoteBackend] = None
 
     def make_backend(
@@ -735,6 +992,7 @@ class RemoteRunner(Runner):
             liveness_timeout_s=self.liveness_timeout_s,
             connect_timeout_s=self.connect_timeout_s,
             local_fallback=self.local_fallback,
+            auth_token=self.auth_token,
         )
         backend.prepare(plan_specs)
         self.last_backend = backend

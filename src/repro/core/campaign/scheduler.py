@@ -53,6 +53,11 @@ EmitCallback = Callable[["WorkUnit", "BatchOutcome", str], None]
 #: Poll interval while waiting on another process's lease.
 LEASE_POLL_S = 0.05
 
+#: EWMA weight for per-worker speed samples (points/sec). High enough
+#: to track a host that warms up or degrades, low enough that one
+#: outlier point does not whipsaw the shard weights.
+SPEED_EWMA_ALPHA = 0.3
+
 
 @dataclass(frozen=True)
 class WorkUnit:
@@ -96,6 +101,16 @@ class CampaignScheduler:
             slots, window if window is not None else max(4 * slots, 8)
         )
         self.single_flight = single_flight
+        #: Renewable leases need the event loop free while units
+        #: execute (the renewal task must actually fire); backends
+        #: that run units synchronously on the loop opt out.
+        self._renewable = bool(
+            getattr(backend, "supports_lease_renewal", False)
+        )
+        #: Observed points/sec per worker coroutine id (EWMA). Seeds
+        #: empty: an unmeasured worker counts as speed 1.0, so shard
+        #: weights only diverge once real samples arrive.
+        self._speeds: dict[int, float] = {}
         self._cond: Optional[asyncio.Condition] = None
         self._queues: list[deque] = []
         self._exhausted = False
@@ -133,6 +148,14 @@ class CampaignScheduler:
             # callers keep catching the exception type they always did.
             raise group_exc.exceptions[0] from None
         finally:
+            # Mirror the backend's own per-host speed observations
+            # (read before close — closing drops the connections).
+            speeds = getattr(self.backend, "worker_speeds", None)
+            if speeds is not None:
+                try:
+                    self.stats.worker_speeds.update(speeds())
+                except Exception:  # noqa: BLE001 - stats, best effort
+                    pass
             # A backend with live connections to release (the remote
             # backend) closes asynchronously; the local ones are sync.
             closing = self.backend.close()
@@ -141,31 +164,89 @@ class CampaignScheduler:
 
     async def _feed(self, units: Iterator[WorkUnit]) -> None:
         assert self._cond is not None
-        position = 0
         try:
             for unit in units:
                 async with self._cond:
                     while self._queued + self._inflight >= self.window:
                         await self._cond.wait()
-                    self._queues[position % self.shards].append(unit)
+                    self._queues[self._pick_shard()].append(unit)
                     self._queued += 1
-                    position += 1
                     self._cond.notify_all()
         finally:
             async with self._cond:
                 self._exhausted = True
                 self._cond.notify_all()
 
+    # ------------------------------------------------------------------
+    # Speed-aware sharding
+
+    def _shard_speed(self, shard: int) -> float:
+        """Aggregate points/sec of the workers owning one shard.
+
+        Workers map to shards by ``wid % shards``; an unmeasured
+        worker contributes 1.0, so with no samples yet every shard
+        weighs the same and feeding degenerates to round-robin. A
+        shard no live worker owns (slots shrank, or shards > slots)
+        also weighs 1.0 — it drains via stealing, exactly as before.
+        """
+        wids = [
+            wid
+            for wid in range(max(1, self.backend.slots))
+            if wid % self.shards == shard
+        ]
+        if not wids:
+            return 1.0
+        return max(sum(self._speeds.get(wid, 1.0) for wid in wids), 1e-9)
+
+    def _pick_shard(self) -> int:
+        """The shard where one more unit finishes soonest.
+
+        Cost of appending to shard *s* is its estimated drain time
+        ``(len + 1) / speed``: a shard owned by a fast host absorbs
+        proportionally more of the stream, so the tail of a sweep is
+        no longer set by the slowest host grinding through an equal
+        share.
+        """
+        best = 0
+        best_cost = None
+        for shard, queue in enumerate(self._queues):
+            cost = (len(queue) + 1) / self._shard_speed(shard)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = shard, cost
+        return best
+
+    def _note_speed(self, wid: int, elapsed_s: float) -> None:
+        """Fold one successful execution time into the worker's EWMA."""
+        if elapsed_s <= 0:
+            return
+        sample = 1.0 / elapsed_s
+        prior = self._speeds.get(wid)
+        speed = (
+            sample
+            if prior is None
+            else prior + SPEED_EWMA_ALPHA * (sample - prior)
+        )
+        self._speeds[wid] = speed
+        self.stats.worker_speeds[f"w{wid}"] = round(speed, 4)
+
     def _take(self, wid: int) -> Optional[WorkUnit]:
         own = self._queues[wid % self.shards]
         if own:
             return own.popleft()
-        victim = max(self._queues, key=len)
-        if victim:
+        # Steal from the shard with the most *time* queued (length
+        # weighted by its owners' speed), not the most units: ten
+        # points behind a slow host are a better theft than twelve
+        # behind a fast one.
+        victim = max(
+            range(len(self._queues)),
+            key=lambda s: len(self._queues[s]) / self._shard_speed(s),
+        )
+        queue = self._queues[victim]
+        if queue:
             # Steal from the back: the tail is the work the victim
             # would reach last, so contention on "next up" is minimal.
             self.stats.steals += 1
-            return victim.pop()
+            return queue.pop()
         return None
 
     def _retired(self, wid: int) -> bool:
@@ -199,7 +280,7 @@ class CampaignScheduler:
                 self._queued -= 1
                 self._inflight += 1
             try:
-                await self._process(unit, emit)
+                await self._process(unit, emit, wid)
             finally:
                 async with self._cond:
                     self._inflight -= 1
@@ -208,10 +289,12 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
     # Per-unit resolution
 
-    async def _process(self, unit: WorkUnit, emit: EmitCallback) -> None:
+    async def _process(
+        self, unit: WorkUnit, emit: EmitCallback, wid: int = 0
+    ) -> None:
         store = self.store
         if store is None:
-            outcome = await self._execute(unit)
+            outcome = await self._execute_timed(unit, wid)
             self._count_fresh(outcome)
             emit(unit, outcome, "fresh")
             return
@@ -224,14 +307,14 @@ class CampaignScheduler:
             return
 
         if not self.single_flight:
-            outcome = await self._execute(unit)
+            outcome = await self._execute_timed(unit, wid)
             self._count_fresh(outcome)
             if not isinstance(outcome, FailureRecord):
                 store.put(unit.fingerprint, unit.spec, outcome)
             emit(unit, outcome, "fresh")
             return
 
-        lease = store.acquire_lease(unit.fingerprint)
+        lease = store.acquire_lease(unit.fingerprint, renewable=self._renewable)
         if lease is None:
             # Someone else is simulating this fingerprint right now.
             # Wait for their publish instead of duplicating the work;
@@ -246,7 +329,14 @@ class CampaignScheduler:
                     self.stats.time_saved_s += cached.elapsed_s
                     emit(unit, cached, "single-flight")
                     return
-                lease = store.acquire_lease(unit.fingerprint)
+                lease = store.acquire_lease(
+                    unit.fingerprint, renewable=self._renewable
+                )
+        renew_task = (
+            asyncio.create_task(self._keep_renewed(lease))
+            if lease.renew_s is not None
+            else None
+        )
         try:
             # Holding the lease: check the store once more (the prior
             # holder may have published between our miss and our
@@ -257,21 +347,59 @@ class CampaignScheduler:
                 self.stats.time_saved_s += cached.elapsed_s
                 emit(unit, cached, "cache")
                 return
-            outcome = await self._execute(unit)
+            outcome = await self._execute_timed(unit, wid)
             self._count_fresh(outcome)
             if not isinstance(outcome, FailureRecord):
                 # Publish before releasing so waiters always find the
-                # entry once the lease is gone.
-                store.put(unit.fingerprint, unit.spec, outcome)
+                # entry once the lease is gone. The publish is fenced:
+                # if our lease was reclaimed mid-simulation (a wedged
+                # renewal), the reclaimer owns the publish and ours is
+                # discarded — byte-identical either way, but counted.
+                if not store.put(
+                    unit.fingerprint, unit.spec, outcome, lease=lease
+                ):
+                    self.stats.fenced_publishes += 1
         finally:
+            if renew_task is not None:
+                renew_task.cancel()
+                try:
+                    await renew_task
+                except asyncio.CancelledError:
+                    pass
             lease.release()
         emit(unit, outcome, "fresh")
+
+    async def _keep_renewed(self, lease) -> None:
+        """Touch the lease's renewal stamp until cancelled or fenced.
+
+        Renews at half the promised period so one late wakeup (a busy
+        loop) never lets the stamp lapse the reclaim grace. Stops on
+        its own once the lease reports stolen — no point touching a
+        lock file that now belongs to someone else.
+        """
+        period = max(float(lease.renew_s) / 2.0, 0.05)
+        while True:
+            await asyncio.sleep(period)
+            if not lease.renew():
+                return
 
     def _count_fresh(self, outcome: "BatchOutcome") -> None:
         if isinstance(outcome, FailureRecord):
             self.stats.quarantined += 1
         else:
             self.stats.simulated += 1
+
+    async def _execute_timed(self, unit: WorkUnit, wid: int) -> "BatchOutcome":
+        """Execute and fold the observed speed into the worker's EWMA.
+
+        Only successful executions are sampled — a quarantine record's
+        elapsed time measures the retry policy, not the host.
+        """
+        started = time.perf_counter()
+        outcome = await self._execute(unit)
+        if not isinstance(outcome, FailureRecord):
+            self._note_speed(wid, time.perf_counter() - started)
+        return outcome
 
     async def _execute(self, unit: WorkUnit) -> "BatchOutcome":
         """One unit through the backend, under the retry policy if any."""
@@ -335,6 +463,19 @@ def run_stream_through_scheduler(
     """
     from repro.core.campaign.backends import backend_for_runner
     from repro.core.runner import spec_fingerprint
+
+    if runner.store is not None:
+        # Campaign-startup hygiene: a previous campaign that crashed
+        # (or a chaos-killed fleet) leaves ``.tmp-*`` publish litter
+        # and orphaned leases; sweep both so this campaign's first
+        # touch of each fingerprint is not taxed one lease-staleness
+        # wait at a time. Live leases are never touched.
+        sweep = getattr(runner.store, "sweep_stale_leases", None)
+        if callable(sweep):
+            runner.stats.stale_leases_reclaimed += sweep()
+        reap = getattr(runner.store, "reap_tmp", None)
+        if callable(reap):
+            reap()
 
     hash_units = need_fingerprints or runner.store is not None
 

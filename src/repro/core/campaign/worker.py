@@ -14,7 +14,19 @@ oversized frame earns a structured ``error`` frame, never a crashed
 worker; a scheduler that disconnects mid-unit just orphans the unit's
 thread (its result is discarded — the scheduler has already reassigned
 the unit, and at-most-once accounting lives with the scheduler's
-store leases). A ``shutdown`` frame drains and exits the process.
+store leases). A ``shutdown`` frame drains and exits the process, and
+``SIGTERM``/``SIGINT`` trigger the same graceful drain: in-flight
+units finish and flush their outcomes, every scheduler gets a ``bye``,
+and the process exits 0 — the fleet supervisor reads a zero exit as an
+intentional stop, not a crash to respawn.
+
+Authentication: with ``--auth-token`` (or ``REPRO_AUTH_TOKEN``) the
+worker's hello advertises ``auth`` and carries a challenge nonce; the
+scheduler must return a valid HMAC proof in its welcome (and the
+worker proves itself back over the scheduler's counter-challenge). A
+scheduler without the secret is refused with a ``reject`` frame, and a
+``shutdown`` without a valid proof is ignored — unauthenticated peers
+can neither submit work nor take the worker down.
 
 Chaos hooks: when a chaos plan with ``wire-*`` rules is installed
 (:func:`repro.core.chaos.wire_disruption`), the worker injects the
@@ -28,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import socket
 import sys
 from typing import Optional, TextIO
@@ -36,8 +49,12 @@ from repro.core import chaos
 from repro.core.campaign.remote import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    auth_proof,
     decode_frame,
     encode_frame,
+    make_nonce,
+    proof_valid,
+    resolve_auth_token,
     spec_from_wire,
 )
 from repro.core.faults import classify_failure
@@ -77,18 +94,43 @@ class WorkerHost:
         port: int = 0,
         slots: int = 1,
         announce: Optional[TextIO] = None,
+        announce_host: Optional[str] = None,
+        auth_token: Optional[str] = None,
     ):
         self.host = host
         self.port = port
         self.slots = max(1, slots)
         self.announce = announce
+        self.announce_host = announce_host
+        self.auth_token = resolve_auth_token(auth_token)
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
+        #: Every live scheduler link (for the drain-time ``bye``) and
+        #: every in-flight unit task across all connections (drain
+        #: waits for these to flush before saying goodbye).
+        self._links: set[_WireLink] = set()
+        self._unit_tasks: set[asyncio.Task] = set()
+        self._draining = False
         #: Wire-stall chaos: while set, the heartbeat task goes silent
         #: (emulating a partition without closing the socket).
         self._stalled = False
         self.units_executed = 0
+
+    def _connectable_host(self) -> str:
+        """The address to announce: something a scheduler can dial.
+
+        Binding to a wildcard (``0.0.0.0`` / ``::``) is how multi-host
+        fleets listen, but announcing the wildcard back is useless —
+        nothing can connect *to* ``0.0.0.0``. Announce the explicit
+        ``--announce-host`` when given, else the resolved hostname for
+        wildcard binds, else the bind address itself.
+        """
+        if self.announce_host:
+            return self.announce_host
+        if self.host in ("0.0.0.0", "::", ""):
+            return socket.gethostname()
+        return self.host
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -101,21 +143,23 @@ class WorkerHost:
             limit=MAX_FRAME_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        announced = self._connectable_host()
         if self.announce is not None:
             self.announce.write(
                 json.dumps(
                     {
                         "event": "listening",
-                        "host": self.host,
+                        "host": announced,
                         "port": self.port,
                         "pid": os.getpid(),
                         "slots": self.slots,
+                        "auth": bool(self.auth_token),
                     }
                 )
                 + "\n"
             )
             self.announce.flush()
-        return self.host, self.port
+        return announced, self.port
 
     async def serve_until_shutdown(self) -> None:
         """Serve connections until a ``shutdown`` frame arrives."""
@@ -128,6 +172,44 @@ class WorkerHost:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def drain(self) -> None:
+        """Graceful exit: finish in-flight units, flush, say ``bye``.
+
+        The SIGTERM/SIGINT path (and the ``wire-drain`` chaos action).
+        New ``execute`` frames arriving mid-drain are deliberately
+        ignored *without* a response: the scheduler reassigns them the
+        moment our connection closes, so answering them here would
+        only race that reassignment. No completed outcome is lost —
+        every unit already executing sends its frame before the drain
+        proceeds.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        pending = [t for t in self._unit_tasks if not t.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for link in list(self._links):
+            try:
+                await link.send({"frame": "bye"})
+            except (OSError, RuntimeError):
+                pass
+        self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to :meth:`drain` (best effort)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(self.drain()),
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Platform without POSIX signals (or a non-main-thread
+                # loop): fall back to default handling.
+                pass
 
     # ------------------------------------------------------------------
     # One scheduler connection
@@ -142,8 +224,10 @@ class WorkerHost:
             self._connections.add(conn_task)
             conn_task.add_done_callback(self._connections.discard)
         link = _WireLink(writer)
+        self._links.add(link)
         heartbeat_task: Optional[asyncio.Task] = None
         unit_tasks: set[asyncio.Task] = set()
+        nonce = make_nonce()
         try:
             await link.send(
                 {
@@ -153,6 +237,8 @@ class WorkerHost:
                     "host": socket.gethostname(),
                     "pid": os.getpid(),
                     "slots": self.slots,
+                    "auth": bool(self.auth_token),
+                    "nonce": nonce,
                 }
             )
             welcome = decode_frame(await reader.readline())
@@ -160,7 +246,17 @@ class WorkerHost:
                 return
             if welcome.get("frame") == "shutdown":
                 # Fleet teardown connects just to say goodbye; no
-                # welcome handshake needed for that.
+                # welcome handshake needed for that — but an
+                # authenticated worker still demands the proof.
+                if not self._shutdown_authorized(welcome, nonce):
+                    await link.send(
+                        {
+                            "frame": "error",
+                            "error": "shutdown refused: missing or invalid "
+                            "auth proof",
+                        }
+                    )
+                    return
                 await link.send({"frame": "bye"})
                 self._shutdown.set()
                 return
@@ -172,6 +268,31 @@ class WorkerHost:
                     }
                 )
                 return
+            if self.auth_token:
+                # Mutual auth: the scheduler must have proven itself
+                # over our nonce; we prove ourselves back over its
+                # counter-challenge.
+                if not proof_valid(
+                    self.auth_token, "scheduler", nonce, welcome.get("proof")
+                ):
+                    await link.send(
+                        {
+                            "frame": "reject",
+                            "error": "scheduler auth proof missing or "
+                            "invalid (token mismatch)",
+                        }
+                    )
+                    return
+                await link.send(
+                    {
+                        "frame": "auth",
+                        "proof": auth_proof(
+                            self.auth_token,
+                            "worker",
+                            str(welcome.get("nonce", "")),
+                        ),
+                    }
+                )
             heartbeat_s = float(welcome.get("heartbeat_s", 1.0))
             heartbeat_task = asyncio.create_task(
                 self._heartbeat(link, heartbeat_s)
@@ -189,15 +310,30 @@ class WorkerHost:
                     continue
                 kind = frame.get("frame")
                 if kind == "shutdown":
+                    if not self._shutdown_authorized(frame, nonce):
+                        await link.send(
+                            {
+                                "frame": "error",
+                                "error": "shutdown refused: missing or "
+                                "invalid auth proof",
+                            }
+                        )
+                        continue
                     await link.send({"frame": "bye"})
                     self._shutdown.set()
                     return
                 if kind == "execute":
+                    if self._draining:
+                        # Mid-drain work is not acknowledged: the
+                        # scheduler reassigns it when we disconnect.
+                        continue
                     task = asyncio.create_task(
                         self._run_unit(frame, link)
                     )
                     unit_tasks.add(task)
+                    self._unit_tasks.add(task)
                     task.add_done_callback(unit_tasks.discard)
+                    task.add_done_callback(self._unit_tasks.discard)
                     continue
                 await link.send(
                     {"frame": "error", "error": f"unknown frame {kind!r}"}
@@ -213,6 +349,7 @@ class WorkerHost:
             # sends fail harmlessly.
             return
         finally:
+            self._links.discard(link)
             if heartbeat_task is not None:
                 heartbeat_task.cancel()
             for task in unit_tasks:
@@ -221,6 +358,14 @@ class WorkerHost:
                 writer.close()
             except Exception:
                 pass
+
+    def _shutdown_authorized(self, frame: dict, nonce: str) -> bool:
+        """Whether a shutdown frame may stop this worker."""
+        if not self.auth_token:
+            return True
+        return proof_valid(
+            self.auth_token, "shutdown", nonce, frame.get("proof")
+        )
 
     async def _heartbeat(self, link: _WireLink, interval_s: float) -> None:
         while True:
@@ -284,6 +429,12 @@ class WorkerHost:
             # Corrupt the stream in place of the outcome frame.
             await link.send_raw(b"\x00\xffgarble{this is not json\n")
             return True
+        if rule.action == "wire-drain":
+            # A graceful departure mid-sweep: this unit still executes
+            # and flushes (drain waits for it), then the worker says
+            # bye and exits 0 — the supervisor must NOT respawn it.
+            asyncio.ensure_future(self.drain())
+            return False
         if rule.action == "wire-partial":
             # A torn write: half an outcome frame, then gone.
             partial = encode_frame(
@@ -324,17 +475,28 @@ def run_worker(
     port: int = 0,
     slots: int = 1,
     announce: Optional[TextIO] = None,
+    announce_host: Optional[str] = None,
+    auth_token: Optional[str] = None,
 ) -> int:
-    """Blocking entry point for the ``repro worker`` CLI verb."""
+    """Blocking entry point for the ``repro worker`` CLI verb.
+
+    Exits 0 after a shutdown frame or a SIGTERM/SIGINT drain (both are
+    intentional stops a fleet supervisor must not respawn); 130 only
+    where POSIX signal handlers are unavailable and Ctrl-C surfaces as
+    ``KeyboardInterrupt``.
+    """
     worker = WorkerHost(
         host=host,
         port=port,
         slots=slots,
         announce=announce if announce is not None else sys.stdout,
+        announce_host=announce_host,
+        auth_token=auth_token,
     )
 
     async def main() -> None:
         await worker.start()
+        worker.install_signal_handlers()
         await worker.serve_until_shutdown()
 
     try:

@@ -48,6 +48,7 @@ ACTIONS = (
     "wire-stall",
     "wire-garble",
     "wire-partial",
+    "wire-drain",
 )
 
 #: Actions consumed by the recovery feedback channel rather than the
@@ -64,8 +65,17 @@ FEEDBACK_ACTIONS = ("feedback-drop", "feedback-garble")
 #: * ``wire-garble``  — the worker emits a non-JSON line in place of
 #:   the outcome frame (corrupted stream);
 #: * ``wire-partial`` — the worker writes half an outcome frame and
-#:   then dies (torn write at the transport level).
-WIRE_ACTIONS = ("wire-drop", "wire-stall", "wire-garble", "wire-partial")
+#:   then dies (torn write at the transport level);
+#: * ``wire-drain``   — the worker starts a graceful drain mid-unit:
+#:   the unit still completes and flushes, then the worker says bye
+#:   and exits 0 (an intentional stop a supervisor must not respawn).
+WIRE_ACTIONS = (
+    "wire-drop",
+    "wire-stall",
+    "wire-garble",
+    "wire-partial",
+    "wire-drain",
+)
 
 #: What a ``garbage`` rule makes the worker return in place of a
 #: summary — anything that is not a ResultSummary works; a string makes

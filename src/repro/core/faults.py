@@ -11,7 +11,7 @@ runner layer uses to keep going instead:
   backend),
 * :func:`classify_failure`, which folds any attempt error into one of
   the failure kinds (``timeout`` / ``crash`` / ``exception`` /
-  ``poison`` / ``disconnect`` / ``heartbeat-timeout``),
+  ``poison`` / ``disconnect`` / ``heartbeat-timeout`` / ``auth``),
 * :class:`FailureRecord`, the structured, JSON-able quarantine record
   carried in batch results in place of a summary, and
 * :class:`RetryPolicy`, the bounded retry/backoff/timeout budget one
@@ -42,6 +42,7 @@ FAILURE_KINDS = (
     "poison",
     "disconnect",
     "heartbeat-timeout",
+    "auth",
 )
 
 
@@ -70,10 +71,18 @@ class HeartbeatTimeout(TransportFailure):
     """A remote worker stopped heartbeating: dead host or partition."""
 
 
+class AuthRejected(TransportFailure):
+    """The wire handshake failed authentication: a peer without the
+    fleet's shared secret (or with the wrong one). Not retryable on
+    the same address — reconnecting cannot change the token."""
+
+
 def classify_failure(exc: BaseException) -> str:
     """Fold an attempt's exception into one of :data:`FAILURE_KINDS`."""
     if isinstance(exc, SpecTimeout):
         return "timeout"
+    if isinstance(exc, AuthRejected):
+        return "auth"
     if isinstance(exc, HeartbeatTimeout):
         return "heartbeat-timeout"
     if isinstance(exc, WorkerDisconnect):

@@ -230,6 +230,13 @@ class RunnerStats:
     reassignments: int = 0
     worker_losses: int = 0
     degraded_units: int = 0
+    # Fleet counters: publishes discarded because the holder's store
+    # lease was fenced off mid-simulation, stale leases reclaimed by
+    # startup hygiene, and the observed points/sec per worker (EWMA;
+    # ``w<id>`` keys for scheduler slots, ``host:port`` for remotes).
+    fenced_publishes: int = 0
+    stale_leases_reclaimed: int = 0
+    worker_speeds: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-line cache/throughput report."""
@@ -252,6 +259,10 @@ class RunnerStats:
             line += f", {self.worker_losses} workers lost"
         if self.degraded_units:
             line += f", {self.degraded_units} degraded to local"
+        if self.fenced_publishes:
+            line += f", {self.fenced_publishes} fenced publishes"
+        if self.stale_leases_reclaimed:
+            line += f", {self.stale_leases_reclaimed} stale leases reclaimed"
         return line
 
 

@@ -1,0 +1,839 @@
+"""Self-healing fleet layer: supervisor, auth wire, leases, drain.
+
+The guarantees under test:
+
+* a fleet manifest launches real workers, a ``kill -9``'d worker is
+  respawned on the *same* address (pinned ephemeral port), an exit-0
+  worker is never respawned, and a crash-looper is quarantined instead
+  of respawn-storming;
+* the wire is mutually authenticated: every token mismatch — missing
+  on either side, or plain wrong — opens the circuit breaker
+  *permanently*, without poisoning a sweep that still has honest
+  workers;
+* renewable store leases are reclaimed seconds after their holder
+  dies, a live holder is never stolen from, and a stale holder's late
+  publish is fenced off;
+* SIGTERM is a graceful drain: in-flight outcomes are flushed, the
+  worker exits 0, and nothing is lost.
+"""
+
+import asyncio
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import chaos
+from repro.core.campaign.fleet import (
+    BACKOFF,
+    QUARANTINED,
+    RUNNING,
+    STARTING,
+    STOPPED,
+    FleetEntry,
+    FleetSupervisor,
+    default_spawn_command,
+    load_manifest,
+)
+from repro.core.campaign.remote import (
+    AUTH_TOKEN_ENV,
+    CircuitBreaker,
+    RemoteBackend,
+    RemoteRunner,
+    auth_proof,
+    proof_valid,
+    shutdown_fleet,
+)
+from repro.core.campaign.worker import WorkerHost
+from repro.core.experiment import ExperimentSpec
+from repro.core.faults import AuthRejected
+from repro.core.resultstore import ResultStore
+from repro.core.runner import (
+    ResultSummary,
+    SerialRunner,
+    spec_fingerprint,
+)
+from repro.core.sweep import token_rate_sweep
+from repro.units import mbps
+
+pytestmark = pytest.mark.fleet
+
+
+def fast_spec(**overrides):
+    base = dict(
+        clip="test-300",
+        codec="mpeg1",
+        encoding_rate_bps=mbps(1.7),
+        token_rate_bps=mbps(2.2),
+        bucket_depth_bytes=4500,
+        seed=3,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def make_summary(**overrides):
+    base = dict(
+        quality_score=0.05,
+        lost_frame_fraction=0.01,
+        packet_drop_fraction=0.002,
+        frozen_fraction=0.01,
+        rebuffer_events=0,
+        total_stall_s=0.0,
+        conformant_packets=1000,
+        dropped_packets=2,
+        remarked_packets=0,
+        dropped_bytes=3000,
+        server_aborted=False,
+        server_packets=1002,
+        client_packets=1000,
+        network={"loss_fraction": 0.002},
+        elapsed_s=1.5,
+    )
+    base.update(overrides)
+    return ResultSummary(**base)
+
+
+RATES = (1.6e6, 1.8e6, 2.0e6)
+DEPTHS = (3000.0, 4500.0)
+
+
+def grid_specs():
+    return [
+        fast_spec().with_token_bucket(r, d) for d in DEPTHS for r in RATES
+    ]
+
+
+# ----------------------------------------------------------------------
+# Manifest parsing
+
+
+class TestManifest:
+    def test_toml_manifest_with_defaults(self, tmp_path):
+        path = tmp_path / "fleet.toml"
+        path.write_text(
+            """
+            [defaults]
+            slots = 2
+
+            [[workers]]
+            host = "10.0.0.5"
+            port = 7001
+
+            [[workers]]
+            name = "big"
+            port = 0
+            slots = 8
+            """
+        )
+        entries = load_manifest(path)
+        assert entries[0] == FleetEntry(
+            name="worker-1", host="10.0.0.5", port=7001, slots=2
+        )
+        assert entries[1] == FleetEntry(
+            name="big", host="127.0.0.1", port=0, slots=8
+        )
+
+    def test_json_manifest(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "workers": [
+                        {"host": "h1", "port": 1},
+                        {"host": "h2", "port": 2, "command": ["./worker"]},
+                    ]
+                }
+            )
+        )
+        entries = load_manifest(path)
+        assert [e.host for e in entries] == ["h1", "h2"]
+        assert entries[1].command == ["./worker"]
+
+    def test_toml_content_in_json_named_file_still_parses(self, tmp_path):
+        # Operators rename files; the loader sniffs the content.
+        path = tmp_path / "fleet.cfg"
+        path.write_text('[[workers]]\nhost = "h"\nport = 9\n')
+        assert load_manifest(path)[0].host == "h"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{}",  # no workers at all
+            '{"workers": []}',
+            '{"workers": [{"host": "h", "bogus_field": 1}]}',
+            '{"workers": [{"command": "not-a-list"}]}',
+            '{"workers": [{"name": "a"}, {"name": "a"}]}',  # duplicate
+            '{"workers": [{"slots": 0}]}',
+            '{"workers": [{"port": 70000}]}',
+            "not json and not toml %%",
+        ],
+    )
+    def test_bad_manifests_rejected(self, tmp_path, payload):
+        path = tmp_path / "fleet.json"
+        path.write_text(payload)
+        with pytest.raises(ValueError):
+            load_manifest(path)
+
+    def test_default_spawn_command_announces_on_stdout(self):
+        entry = FleetEntry(name="w", host="127.0.0.1", port=0, slots=3)
+        argv = default_spawn_command(entry, 7777)
+        assert argv[:3] == [sys.executable, "-m", "repro"]
+        assert "--port" in argv and argv[argv.index("--port") + 1] == "7777"
+        assert argv[argv.index("--slots") + 1] == "3"
+
+
+# ----------------------------------------------------------------------
+# Supervisor state machine (fake processes, manual clock)
+
+
+class FakeStdout:
+    """Non-blocking stdout stand-in: feed() lines, read() drains."""
+
+    def __init__(self):
+        self._pending = b""
+
+    def feed(self, payload: dict) -> None:
+        self._pending += json.dumps(payload).encode() + b"\n"
+
+    def read(self):
+        data, self._pending = self._pending, b""
+        return data or None
+
+    def fileno(self):
+        raise io.UnsupportedOperation("fake pipe")
+
+    def close(self):
+        pass
+
+
+class FakeProcess:
+    _next_pid = 4000
+
+    def __init__(self, argv, env):
+        self.argv = argv
+        self.env = env
+        FakeProcess._next_pid += 1
+        self.pid = FakeProcess._next_pid
+        self.returncode = None
+        self.stdout = FakeStdout()
+        self.signals = []
+
+    def poll(self):
+        return self.returncode
+
+    def send_signal(self, sig):
+        self.signals.append(sig)
+        self.returncode = 0
+
+    def wait(self, timeout=None):
+        return self.returncode
+
+    def kill(self):
+        self.returncode = -9
+
+
+class SupervisorHarness:
+    """FleetSupervisor over fake processes with a hand-cranked clock."""
+
+    def __init__(self, entries=None, **kwargs):
+        self.now = 1000.0
+        self.spawned: list[FakeProcess] = []
+        kwargs.setdefault("clock", lambda: self.now)
+        kwargs.setdefault("spawn", self._spawn)
+        self.supervisor = FleetSupervisor(
+            entries or [FleetEntry(name="w", port=0)], **kwargs
+        )
+
+    def _spawn(self, argv, env):
+        proc = FakeProcess(argv, env)
+        self.spawned.append(proc)
+        return proc
+
+    @property
+    def worker(self):
+        return self.supervisor.workers[0]
+
+    def announce(self, port=7007, host="127.0.0.1"):
+        self.spawned[-1].stdout.feed(
+            {"event": "listening", "host": host, "port": port, "slots": 1}
+        )
+        self.supervisor.poll()
+
+    def die(self, code):
+        self.spawned[-1].returncode = code
+        self.supervisor.poll()
+
+    def advance(self, seconds):
+        self.now += seconds
+        self.supervisor.poll()
+
+
+class TestSupervisorStateMachine:
+    def test_spawn_then_announce_is_running(self):
+        h = SupervisorHarness()
+        h.supervisor.start()
+        assert h.worker.state == STARTING
+        h.announce(port=7007)
+        assert h.worker.state == RUNNING
+        assert h.supervisor.addresses() == [("127.0.0.1", 7007)]
+        assert h.supervisor.roster() == "127.0.0.1:7007"
+        assert ("w", "announced", "127.0.0.1:7007 pid %d" % h.worker.pid) in (
+            h.supervisor.events
+        )
+
+    def test_exit_zero_is_stopped_and_never_respawned(self):
+        h = SupervisorHarness()
+        h.supervisor.start()
+        h.announce()
+        h.die(0)
+        assert h.worker.state == STOPPED
+        h.advance(3600.0)
+        assert len(h.spawned) == 1  # an intentional stop stays stopped
+
+    def test_abnormal_exit_respawns_after_base_backoff(self):
+        h = SupervisorHarness()
+        h.supervisor.start()
+        h.announce()
+        h.die(1)
+        assert h.worker.state == BACKOFF
+        h.advance(0.4)  # inside the 0.5 s base window
+        assert len(h.spawned) == 1
+        h.advance(0.11)
+        assert len(h.spawned) == 2
+        assert h.worker.state == STARTING
+
+    def test_backoff_doubles_per_consecutive_failure_and_caps(self):
+        h = SupervisorHarness(
+            quarantine_threshold=99, respawn_base_s=0.5, respawn_max_s=4.0
+        )
+        h.supervisor.start()
+        delays = []
+        for _ in range(6):
+            h.die(1)
+            delays.append(h.worker.retry_at - h.now)
+            h.advance(delays[-1] + 0.01)
+        assert delays == pytest.approx([0.5, 1.0, 2.0, 4.0, 4.0, 4.0])
+
+    def test_healthy_announce_resets_the_backoff_curve(self):
+        h = SupervisorHarness(quarantine_threshold=99)
+        h.supervisor.start()
+        h.die(1)
+        first = h.worker.retry_at - h.now
+        h.advance(first + 0.01)
+        h.die(1)
+        second = h.worker.retry_at - h.now
+        h.advance(second + 0.01)
+        h.announce()  # healthy again: curve resets...
+        h.die(1)
+        assert h.worker.retry_at - h.now == pytest.approx(first)
+        assert second == pytest.approx(2 * first)
+
+    def test_crash_loop_quarantines_then_retries_with_clean_slate(self):
+        h = SupervisorHarness(
+            quarantine_threshold=3,
+            quarantine_window_s=60.0,
+            quarantine_park_s=300.0,
+            respawn_base_s=0.01,
+        )
+        h.supervisor.start()
+        for _ in range(2):
+            h.die(1)
+            h.advance(1.0)
+        h.die(1)  # third failure inside the window
+        assert h.worker.state == QUARANTINED
+        spawned_before = len(h.spawned)
+        h.advance(299.0)  # parked: nothing happens
+        assert len(h.spawned) == spawned_before
+        h.advance(2.0)  # park elapsed: one fresh chance
+        assert len(h.spawned) == spawned_before + 1
+        assert h.worker.state == STARTING
+        assert not h.worker.failure_times  # history cleared
+        events = [event for _, event, _ in h.supervisor.events]
+        assert "quarantined" in events and "quarantine-retry" in events
+
+    def test_failures_outside_window_do_not_quarantine(self):
+        h = SupervisorHarness(
+            quarantine_threshold=3, quarantine_window_s=10.0,
+            respawn_base_s=0.01, respawn_max_s=0.01,
+        )
+        h.supervisor.start()
+        for _ in range(6):  # slow flapping: one death per 20 s
+            h.die(1)
+            h.advance(20.0)
+        assert h.worker.state != QUARANTINED
+
+    def test_ephemeral_port_is_pinned_across_respawn(self):
+        h = SupervisorHarness()
+        h.supervisor.start()
+        first_argv = h.spawned[0].argv
+        assert first_argv[first_argv.index("--port") + 1] == "0"
+        h.announce(port=43210)
+        h.die(-9)
+        h.advance(1.0)
+        second_argv = h.spawned[1].argv
+        assert second_argv[second_argv.index("--port") + 1] == "43210"
+        # The roster survives the death: same connectable address.
+        assert h.supervisor.addresses() == [("127.0.0.1", 43210)]
+
+    def test_auth_token_travels_via_environment_not_argv(self):
+        h = SupervisorHarness(auth_token="s3cret-fleet-token")
+        h.supervisor.start()
+        proc = h.spawned[0]
+        assert proc.env[AUTH_TOKEN_ENV] == "s3cret-fleet-token"
+        assert "s3cret-fleet-token" not in " ".join(proc.argv)
+
+    def test_custom_command_used_verbatim(self):
+        h = SupervisorHarness(
+            entries=[
+                FleetEntry(
+                    name="w", host="h", port=9, command=["./custom", "--flag"]
+                )
+            ]
+        )
+        h.supervisor.start()
+        assert h.spawned[0].argv == ["./custom", "--flag"]
+
+    def test_spawn_oserror_counts_as_failure(self):
+        calls = []
+
+        def flaky_spawn(argv, env):
+            calls.append(argv)
+            if len(calls) == 1:
+                raise OSError("no such binary")
+            return FakeProcess(argv, env)
+
+        h = SupervisorHarness(spawn=flaky_spawn)
+        h.supervisor.start()
+        assert h.worker.state == BACKOFF
+        h.advance(1.0)
+        assert h.worker.state == STARTING
+        assert len(calls) == 2
+
+    def test_report_snapshot(self):
+        h = SupervisorHarness()
+        h.supervisor.start()
+        h.announce(port=7007)
+        report = h.supervisor.report()
+        assert report["w"]["state"] == RUNNING
+        assert report["w"]["address"] == "127.0.0.1:7007"
+        assert report["w"]["restarts"] == 0
+
+
+# ----------------------------------------------------------------------
+# Circuit-breaker boundaries (the satellite's explicit checklist)
+
+
+class TestCircuitBreakerBoundaries:
+    def test_default_curve_is_half_second_doubling_to_thirty(self):
+        breaker = CircuitBreaker()
+        assert breaker.base_s == 0.5
+        assert breaker.max_s == 30.0
+        breaker.note_failure(now=0.0)
+        assert breaker.open_until == pytest.approx(0.5)
+        breaker.note_failure(now=0.0)
+        assert breaker.open_until == pytest.approx(1.0)
+        for _ in range(20):
+            breaker.note_failure(now=0.0)
+        assert breaker.open_until == pytest.approx(30.0)  # capped
+        assert not breaker.admits(now=29.999)
+        assert breaker.admits(now=30.0)
+
+    def test_success_resets_to_closed(self):
+        breaker = CircuitBreaker()
+        for _ in range(5):
+            breaker.note_failure(now=0.0)
+        breaker.note_success()
+        assert breaker.failures == 0
+        assert breaker.admits(now=0.0)
+        # The curve restarts from the base after a reset.
+        breaker.note_failure(now=100.0)
+        assert breaker.open_until == pytest.approx(100.5)
+
+    def test_reject_is_permanent_and_keeps_its_reason(self):
+        breaker = CircuitBreaker()
+        breaker.reject("protocol mismatch: scheduler speaks 2, worker 1")
+        assert not breaker.admits(now=1e12)
+        assert "protocol mismatch" in breaker.reject_reason
+        breaker.note_success()  # success cannot un-reject
+        assert not breaker.admits(now=1e12)
+
+
+# ----------------------------------------------------------------------
+# Auth: proofs, the four-token matrix, shutdown authorization
+
+
+class TestAuthProofs:
+    def test_proof_binds_token_role_and_nonce(self):
+        proof = auth_proof("tok", "worker", "nonce-1")
+        assert proof_valid("tok", "worker", "nonce-1", proof)
+        assert not proof_valid("tok", "scheduler", "nonce-1", proof)
+        assert not proof_valid("tok", "worker", "nonce-2", proof)
+        assert not proof_valid("other", "worker", "nonce-1", proof)
+
+    def test_empty_nonce_never_validates(self):
+        proof = auth_proof("tok", "worker", "")
+        assert not proof_valid("tok", "worker", "", proof)
+
+    def test_non_string_proof_is_invalid_not_fatal(self):
+        assert not proof_valid("tok", "worker", "n", None)
+        assert not proof_valid("tok", "worker", "n", 12345)
+
+
+async def _handshake_case(scheduler_token, worker_token):
+    """One worker + one backend with the given tokens; returns the
+    execute outcome (or exception) and the worker's breaker."""
+    host = WorkerHost(slots=1, auth_token=worker_token)
+    address = await host.start()
+    serving = asyncio.create_task(host.serve_until_shutdown())
+    backend = RemoteBackend(
+        [address],
+        heartbeat_s=0.05,
+        local_fallback=False,
+        connect_timeout_s=2.0,
+        auth_token=scheduler_token,
+    )
+    try:
+        outcome = await backend.execute(fast_spec(), timeout_s=60.0)
+        error = None
+    except Exception as exc:  # noqa: BLE001 - the verdict under test
+        outcome, error = None, exc
+    breaker = backend.breakers[address]
+    await backend.close()
+    host._shutdown.set()
+    await serving
+    return outcome, error, breaker
+
+
+class TestAuthMatrix:
+    def run_case(self, scheduler_token, worker_token):
+        return asyncio.run(_handshake_case(scheduler_token, worker_token))
+
+    def test_no_auth_anywhere_still_works(self):
+        outcome, error, breaker = self.run_case(None, None)
+        assert error is None and outcome is not None
+        assert not breaker.rejected
+
+    def test_matching_tokens_work(self):
+        outcome, error, breaker = self.run_case("fleet-tok", "fleet-tok")
+        assert error is None and outcome is not None
+        assert not breaker.rejected
+
+    def test_scheduler_token_unauthenticated_worker_rejected(self):
+        outcome, error, breaker = self.run_case("fleet-tok", None)
+        assert outcome is None
+        assert isinstance(error, AuthRejected)
+        assert breaker.rejected
+        assert "auth" in breaker.reject_reason
+
+    def test_worker_token_unauthenticated_scheduler_rejected(self):
+        outcome, error, breaker = self.run_case(None, "fleet-tok")
+        assert outcome is None
+        assert isinstance(error, AuthRejected)
+        assert breaker.rejected
+
+    def test_wrong_token_rejected_permanently(self):
+        outcome, error, breaker = self.run_case("fleet-tok", "other-tok")
+        assert outcome is None
+        assert isinstance(error, AuthRejected)
+        assert breaker.rejected
+        assert breaker.reject_reason  # operator-facing explanation
+
+    def test_shutdown_needs_the_token(self):
+        async def main():
+            host = WorkerHost(slots=1, auth_token="fleet-tok")
+            address = await host.start()
+            serving = asyncio.create_task(host.serve_until_shutdown())
+            # Tokenless shutdown: refused, the worker stays up.
+            refused = await shutdown_fleet([address], timeout_s=2.0)
+            still_up = not host._shutdown.is_set()
+            # Authorized shutdown: acknowledged with a bye.
+            acked = await shutdown_fleet(
+                [address], timeout_s=2.0, auth_token="fleet-tok"
+            )
+            await serving
+            return refused, still_up, acked
+
+        refused, still_up, acked = asyncio.run(main())
+        assert refused == 0
+        assert still_up
+        assert acked == 1
+
+
+# ----------------------------------------------------------------------
+# Announce-host: wildcard binds must announce something connectable
+
+
+class TestAnnounceHost:
+    def start_and_announce(self, **kwargs):
+        async def main():
+            host = WorkerHost(slots=1, **kwargs)
+            announced = await host.start()
+            serving = asyncio.create_task(host.serve_until_shutdown())
+            host._shutdown.set()
+            await serving
+            return announced
+
+        return asyncio.run(main())
+
+    def test_wildcard_bind_announces_resolvable_hostname(self):
+        import socket as socket_module
+
+        announced_host, port = self.start_and_announce(host="0.0.0.0")
+        assert announced_host == socket_module.gethostname()
+        assert announced_host != "0.0.0.0"
+        assert port > 0
+
+    def test_announce_host_override_wins(self):
+        announced_host, _ = self.start_and_announce(
+            host="0.0.0.0", announce_host="worker-3.fleet.example"
+        )
+        assert announced_host == "worker-3.fleet.example"
+
+    def test_specific_bind_announced_unchanged(self):
+        announced_host, _ = self.start_and_announce(host="127.0.0.1")
+        assert announced_host == "127.0.0.1"
+
+
+# ----------------------------------------------------------------------
+# Renewable leases: renewal, fast reclaim, fencing, startup sweep
+
+
+class TestRenewableLeases:
+    def test_renewable_lease_promises_its_period(self, tmp_path):
+        store = ResultStore(tmp_path)
+        lease = store.acquire_lease("fp", renewable=True)
+        fields = lease.path.read_text().split()
+        assert len(fields) == 4
+        assert float(fields[3]) == pytest.approx(store.lease_renew_s)
+        assert lease.renew_s == pytest.approx(store.lease_renew_s)
+        lease.release()
+
+    def test_renew_returns_true_while_held_false_after_reclaim(self, tmp_path):
+        store = ResultStore(tmp_path)
+        lease = store.acquire_lease("fp", renewable=True)
+        assert lease.renew() is True
+        lease.path.unlink()  # someone reclaimed it
+        assert lease.renew() is False
+        assert lease.still_held() is False
+
+    def test_dead_renewable_holder_reclaimed_fast(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.lease_renew_s = 0.2
+        lease = store.acquire_lease("fp", renewable=True)
+        assert store.acquire_lease("fp") is None  # live holder: blocked
+        # The holder "dies": its renewals stop and the mtime ages past
+        # max(renew_s * grace, 1 s) — backdate instead of sleeping.
+        old = time.time() - 5.0
+        os.utime(lease.path, times=(old, old))
+        second = store.acquire_lease("fp")
+        assert second is not None  # reclaimed in seconds, not hours
+        second.release()
+
+    def test_non_renewable_lease_not_reclaimed_by_age_alone(self, tmp_path):
+        # A 3-field lease (live pid, same host, no renewal promise)
+        # must NOT be stolen just because it is a few seconds old.
+        store = ResultStore(tmp_path)
+        lease = store.acquire_lease("fp")  # not renewable
+        old = time.time() - 5.0
+        os.utime(lease.path, times=(old, old))
+        assert store.acquire_lease("fp") is None
+        lease.release()
+
+    def test_stale_holders_late_publish_is_fenced_off(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stale = store.acquire_lease("fp", renewable=True)
+        # The lease is reclaimed behind the stale holder's back.
+        stale.path.unlink()
+        fresh = store.acquire_lease("fp", renewable=True)
+        assert fresh is not None
+        # The stale holder finishes simulating and tries to publish.
+        published = store.put("fp", fast_spec(), make_summary(), lease=stale)
+        assert published is False
+        assert store.get("fp") is None
+        # The legitimate holder's publish goes through.
+        assert store.put("fp", fast_spec(), make_summary(), lease=fresh)
+        fresh.release()
+
+    def test_startup_sweep_clears_stale_renewable_leases(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.lease_renew_s = 0.2
+        dead = store.acquire_lease("dead-fp", renewable=True)
+        live = store.acquire_lease("live-fp", renewable=True)
+        old = time.time() - 5.0
+        os.utime(dead.path, times=(old, old))
+        assert store.sweep_stale_leases() == 1
+        assert not dead.path.exists()
+        assert live.path.exists()
+        live.release()
+
+
+# ----------------------------------------------------------------------
+# Real processes: supervised respawn, graceful drain, honest fleets
+
+
+def wait_until(predicate, timeout=20.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture
+def worker_env():
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_worker(env, *extra_args):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    announce = json.loads(proc.stdout.readline())
+    assert announce["event"] == "listening"
+    return proc, (announce["host"], announce["port"])
+
+
+def reap(procs, timeout=10):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stubborn
+            proc.kill()
+            proc.wait(timeout=timeout)
+
+
+class TestSupervisorLive:
+    def make_supervisor(self, **kwargs):
+        kwargs.setdefault("respawn_base_s", 0.05)
+        return FleetSupervisor([FleetEntry(name="w", port=0)], **kwargs)
+
+    def poll_until(self, supervisor, predicate, timeout=20.0):
+        assert wait_until(
+            lambda: (supervisor.poll(), predicate())[1], timeout=timeout
+        ), f"timed out; report: {supervisor.report()}"
+
+    def test_kill_nine_respawns_on_the_same_address(self, worker_env):
+        supervisor = self.make_supervisor()
+        # The supervisor spawns `python -m repro`; make sure children
+        # resolve the package the same way this test process does.
+        os_environ_backup = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = worker_env["PYTHONPATH"]
+        try:
+            supervisor.start()
+            worker = supervisor.workers[0]
+            self.poll_until(supervisor, lambda: worker.state == RUNNING)
+            address = worker.address
+            first_pid = worker.pid
+            os.kill(first_pid, signal.SIGKILL)
+            self.poll_until(
+                supervisor,
+                lambda: worker.state == RUNNING and worker.pid != first_pid,
+            )
+            # Same connectable address: a mid-sweep scheduler re-dials
+            # the pinned port and the respawned worker rejoins.
+            assert worker.address == address
+            assert worker.restarts == 1
+            supervisor.stop()
+            assert worker.process.returncode == 0  # drained, not killed
+        finally:
+            if os_environ_backup is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = os_environ_backup
+
+    def test_sigterm_drain_exits_zero_and_is_not_respawned(self, worker_env):
+        supervisor = self.make_supervisor()
+        backup = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = worker_env["PYTHONPATH"]
+        try:
+            supervisor.start()
+            worker = supervisor.workers[0]
+            self.poll_until(supervisor, lambda: worker.state == RUNNING)
+            worker.process.send_signal(signal.SIGTERM)
+            self.poll_until(supervisor, lambda: worker.state == STOPPED)
+            assert worker.process.returncode == 0
+            supervisor.poll()
+            assert worker.restarts == 0  # exit 0 is never respawned
+            supervisor.stop()
+        finally:
+            if backup is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = backup
+
+
+class TestDrainLosesNothing:
+    def test_mid_unit_drain_flushes_outcome_and_exits_zero(
+        self, tmp_path, worker_env
+    ):
+        """A worker told to drain mid-unit (the SIGTERM path) still
+        completes and flushes that unit; the sweep loses nothing."""
+        victim = grid_specs()[1]
+        plan = chaos.ChaosPlan(tmp_path / "chaos").add(
+            spec_fingerprint(victim), chaos.ChaosRule("wire-drain", times=1)
+        )
+        serial = token_rate_sweep(fast_spec(), RATES, DEPTHS, runner=SerialRunner())
+        with plan.installed():
+            worker_env[chaos.CHAOS_PLAN_ENV] = os.environ[chaos.CHAOS_PLAN_ENV]
+            procs_addrs = [spawn_worker(worker_env) for _ in range(2)]
+            procs = [p for p, _ in procs_addrs]
+            addresses = [a for _, a in procs_addrs]
+            try:
+                runner = RemoteRunner(addresses, heartbeat_s=0.1)
+                remote = token_rate_sweep(
+                    fast_spec(), RATES, DEPTHS, runner=runner
+                )
+                # The drained worker exits 0 on its own — an
+                # intentional stop, not a casualty.
+                assert wait_until(
+                    lambda: any(p.poll() == 0 for p in procs), timeout=10.0
+                )
+            finally:
+                reap(procs)
+        assert remote == serial
+        assert remote.complete
+        assert len(remote.points) == len(RATES) * len(DEPTHS)
+
+    def test_authed_sweep_survives_rogue_unauthenticated_worker(
+        self, worker_env
+    ):
+        """One honest worker + one tokenless rogue in the roster: the
+        rogue is rejected permanently, the sweep is untouched."""
+        serial = token_rate_sweep(fast_spec(), RATES, DEPTHS, runner=SerialRunner())
+        honest_env = dict(worker_env)
+        honest_env[AUTH_TOKEN_ENV] = "fleet-tok"
+        rogue_env = dict(worker_env)
+        rogue_env.pop(AUTH_TOKEN_ENV, None)
+        honest, honest_addr = spawn_worker(honest_env)
+        rogue, rogue_addr = spawn_worker(rogue_env)
+        try:
+            runner = RemoteRunner(
+                [honest_addr, rogue_addr],
+                heartbeat_s=0.1,
+                auth_token="fleet-tok",
+            )
+            remote = token_rate_sweep(fast_spec(), RATES, DEPTHS, runner=runner)
+        finally:
+            reap([honest, rogue])
+        assert remote == serial
+        assert remote.complete
+        assert runner.stats.degraded_units == 0

@@ -855,14 +855,18 @@ class TestLeaseHostname:
 
         return ResultStore(tmp_path / "cache")
 
-    def test_lease_records_pid_and_hostname(self, tmp_path):
+    def test_lease_records_pid_hostname_and_fence_token(self, tmp_path):
         import socket as socket_module
 
         store = self.store(tmp_path)
         lease = store.acquire_lease("fp")
         assert lease is not None
         content = store._lease_path("fp").read_text().split()
-        assert content == [str(os.getpid()), socket_module.gethostname()]
+        # Format: pid hostname fence-token (a renew_s fourth field is
+        # only written by renewable leases).
+        assert len(content) == 3
+        assert content[:2] == [str(os.getpid()), socket_module.gethostname()]
+        assert content[2] == lease.token
         lease.release()
 
     def test_foreign_host_lease_ignores_local_pid_liveness(self, tmp_path):
