@@ -7,12 +7,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 TIMEOUT ?= 300
 TIMEOUT_OPTS = --timeout=$(TIMEOUT)
 
-.PHONY: check check-fast test test-fast test-recovery test-detect test-remote test-fleet soak lint compile bench bench-figures
+.PHONY: check check-fast test test-fast test-recovery test-detect test-remote test-fleet soak perf-smoke lint compile bench bench-figures
 
 check: lint test test-recovery test-remote test-fleet compile
 
 # Fast loop: skip the slow-marked full-figure/table benchmarks.
-check-fast: lint test-fast compile
+check-fast: lint test-fast perf-smoke compile
 
 test:
 	$(PYTHON) -m pytest -x -q $(TIMEOUT_OPTS)
@@ -45,6 +45,13 @@ test-fleet:
 soak:
 	REPRO_SOAK=1 $(PYTHON) -m pytest -x -q -s -m soak --timeout=900
 
+# Sub-second guard: every paper-corpus spec must stay on the fast
+# path and qualify for batching. A regression here silently turns
+# sweeps back into event-engine runs (~60x slower), so it rides in
+# check-fast.
+perf-smoke:
+	$(PYTHON) -m pytest -x -q -m perf_smoke $(TIMEOUT_OPTS) tests
+
 # Prefer a real linter when one is installed; fall back to the
 # dependency-free AST checker (configured in [tool.repro.lint]).
 lint:
@@ -64,7 +71,10 @@ compile:
 # BENCH_sweep.json) and the campaign scheduler / adaptive sampler
 # (points/sec, warm-hit rate, sampling ratio; BENCH_campaign.json).
 bench:
-	REPRO_BENCH_CACHE=0 $(PYTHON) -m pytest -q -s benchmarks/perf $(TIMEOUT_OPTS)
+	REPRO_BENCH_CACHE=0 \
+	REPRO_BENCH_COMMIT="$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	REPRO_BENCH_TIMESTAMP="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	$(PYTHON) -m pytest -q -s benchmarks/perf $(TIMEOUT_OPTS)
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

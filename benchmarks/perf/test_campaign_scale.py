@@ -109,7 +109,10 @@ def test_campaign_scale(tmp_path):
     ratio = sampling["ratio"]
     frontier_matches = _frontier(adaptive) == _frontier(uniform)
 
+    from conftest import bench_provenance
+
     payload = {
+        "provenance": bench_provenance(),
         "workload": {
             "clip": "test-300",
             "encoding_mbps": 1.7,

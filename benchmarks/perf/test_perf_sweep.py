@@ -133,7 +133,10 @@ def test_perf_sweep(monkeypatch):
     fast_median = statistics.median(fast_times.values())
     speedup = engine_median / fast_median
 
+    from conftest import bench_provenance
+
     payload = {
+        "provenance": bench_provenance(),
         "workload": {
             "clip": "lost",
             "encoding_mbps": 1.7,

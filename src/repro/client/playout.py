@@ -29,7 +29,7 @@ import numpy as np
 from repro.sim.engine import Engine
 from repro.sim.packet import Packet
 from repro.units import UDP_IP_HEADER
-from repro.video.gop import GopStructure, decodable_frames
+from repro.video.gop import GopStructure, decodable_mask
 from repro.video.mpeg import EncodedClip
 
 
@@ -281,27 +281,27 @@ class PlayoutClient:
         """Close the session and emit the storage-filter record."""
         n = self.clip.n_frames
         t0 = self._first_arrival if self._first_arrival is not None else 0.0
-        complete_ids = [
-            f for f in range(n) if not np.isnan(self._completion[f])
-        ]
+        complete = ~np.isnan(self._completion[:n])
         if self.decode_mode == "gop":
-            decodable = decodable_frames(complete_ids, n, self.gop)
+            decodable = decodable_mask(complete, self.gop)
         else:
-            decodable = np.zeros(n, dtype=bool)
-            decodable[complete_ids] = True
-        records = []
-        for f in range(n):
-            arrival = (
-                None if np.isnan(self._completion[f]) else float(self._completion[f])
+            decodable = complete.copy()
+        # Vectorized bookkeeping with the same float ops as the per-frame
+        # form: presentation is (t0 + startup) + f / fps elementwise, and
+        # arrivals come straight off the completion array.
+        base = t0 + self.startup_delay
+        presentation = (base + np.arange(n) / self.clip.fps).tolist()
+        completion = self._completion[:n].tolist()
+        dec_list = decodable.tolist()
+        records = [
+            FrameRecord(
+                frame_id=f,
+                arrival_time=None if c != c else c,  # NaN -> never arrived
+                presentation_time=presentation[f],
+                decodable=dec_list[f],
             )
-            records.append(
-                FrameRecord(
-                    frame_id=f,
-                    arrival_time=arrival,
-                    presentation_time=t0 + self.startup_delay + f / self.clip.fps,
-                    decodable=bool(decodable[f]),
-                )
-            )
+            for f, c in enumerate(completion)
+        ]
         return ClientRecord(
             n_frames=n,
             fps=self.clip.fps,

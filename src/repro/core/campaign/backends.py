@@ -67,6 +67,11 @@ class WorkerBackend:
     #: leases would be declared stale mid-simulation.
     supports_lease_renewal: bool = False
 
+    #: Whether :meth:`execute_batch` actually coalesces. The scheduler
+    #: only drains batch-mates out of its shard queues when the backend
+    #: can run them as one array program.
+    batch_capable: bool = False
+
     def prepare(self, plan_specs: Optional[Sequence[ExperimentSpec]]) -> None:
         """One-time setup before the first unit (warm plans, pools)."""
 
@@ -74,6 +79,19 @@ class WorkerBackend:
         self, spec: ExperimentSpec, timeout_s: Optional[float] = None
     ) -> "BatchOutcome":
         raise NotImplementedError
+
+    async def execute_batch(
+        self,
+        specs: Sequence[ExperimentSpec],
+        timeout_s: Optional[float] = None,
+    ) -> Optional[list["BatchOutcome"]]:
+        """Run a coalesced grid of qualifying specs as one program.
+
+        Returns one outcome per spec in input order, or ``None`` when
+        this backend does not batch (the scheduler then resolves the
+        members through the per-unit path).
+        """
+        return None
 
     def worker_speeds(self) -> dict:
         """Observed points/sec per execution slot, when tracked.
@@ -127,6 +145,24 @@ class SerialBackend(WorkerBackend):
         if self.keep_details and result is not None:
             self.details.append(result)
         return summary
+
+    @property
+    def batch_capable(self) -> bool:  # type: ignore[override]
+        # The batch lane produces summaries only; a caller keeping
+        # full-detail results needs the per-unit path.
+        return not self.keep_details
+
+    async def execute_batch(
+        self,
+        specs: Sequence[ExperimentSpec],
+        timeout_s: Optional[float] = None,
+    ) -> Optional[list["BatchOutcome"]]:
+        from repro.core.runner import _batch_run
+
+        if self.keep_details:
+            return None
+        with deadline(timeout_s):
+            return _batch_run(list(specs), vqm_tool=self.vqm_tool)
 
 
 class ProcessPoolBackend(WorkerBackend):
@@ -189,10 +225,22 @@ class ProcessPoolBackend(WorkerBackend):
             or (self._total_hint is not None and self._total_hint <= 1)
         )
 
+    def _fold_fastlane(self, delta: Optional[dict]) -> None:
+        """Fold a worker process's fast-lane counter delta into stats.
+
+        Only cross-process deltas are folded here: in-process
+        executions accrue on the parent's own
+        :data:`repro.core.fastlane.stats`, which the scheduler bridge
+        folds once at the end of the run (folding both would double
+        count).
+        """
+        if self.stats is not None:
+            self.stats.fold_fastlane(delta)
+
     async def execute(
         self, spec: ExperimentSpec, timeout_s: Optional[float] = None
     ) -> "BatchOutcome":
-        from repro.core.runner import _pool_worker
+        from repro.core.runner import _pool_worker, _pool_worker_stats
 
         if self.supervised and not self._in_process_mode():
             return await asyncio.to_thread(self._run_supervised, spec, timeout_s)
@@ -202,13 +250,55 @@ class ProcessPoolBackend(WorkerBackend):
 
         loop = asyncio.get_running_loop()
         try:
-            return await loop.run_in_executor(self._ensure_pool(), _pool_worker, spec)
+            outcome, delta = await loop.run_in_executor(
+                self._ensure_pool(), _pool_worker_stats, spec
+            )
+            self._fold_fastlane(delta)
+            return outcome
         except BrokenProcessPool:
             # A worker segfaulted or was OOM-killed. Outcomes are pure
             # functions of their specs, so finish in-process — slower,
             # but the campaign completes.
             self._note_fallback()
             return await asyncio.to_thread(_pool_worker, spec)
+
+    @property
+    def batch_capable(self) -> bool:  # type: ignore[override]
+        # Supervised mode runs one attempt per process under per-unit
+        # hang/crash containment; coalescing would break that unit of
+        # supervision, so batching stays off there.
+        return not self.supervised
+
+    async def execute_batch(
+        self,
+        specs: Sequence[ExperimentSpec],
+        timeout_s: Optional[float] = None,
+    ) -> Optional[list["BatchOutcome"]]:
+        from repro.core.runner import _pool_batch_worker
+
+        if self.supervised:
+            return None
+        specs = list(specs)
+        if self._in_process_mode():
+            outcomes, _delta = await asyncio.to_thread(
+                _pool_batch_worker, specs
+            )
+            return outcomes
+        from concurrent.futures.process import BrokenProcessPool
+
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes, delta = await loop.run_in_executor(
+                self._ensure_pool(), _pool_batch_worker, specs
+            )
+            self._fold_fastlane(delta)
+            return outcomes
+        except BrokenProcessPool:
+            self._note_fallback()
+            outcomes, _delta = await asyncio.to_thread(
+                _pool_batch_worker, specs
+            )
+            return outcomes
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -264,6 +354,10 @@ class ProcessPoolBackend(WorkerBackend):
                     if message is None:
                         raise WorkerCrash("worker pipe closed mid-send")
                     if message[0] == "ok":
+                        # Third element (fast-lane counter delta) is
+                        # optional so older two-element workers parse.
+                        if len(message) > 2:
+                            self._fold_fastlane(message[2])
                         return message[1]
                     _, exc_type, text = message
                     if exc_type == "SpecTimeout":

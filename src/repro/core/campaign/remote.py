@@ -554,6 +554,12 @@ class RemoteBackend(WorkerBackend):
                 if kind == "outcome":
                     future = worker.pending.pop(int(frame.get("unit", -1)), None)
                     if future is not None and not future.done():
+                        delta = frame.get("fastlane")
+                        if self.stats is not None and isinstance(delta, dict):
+                            # Remote fast-lane counters are per-worker-
+                            # process; fold the shipped delta so the
+                            # parent's stats line covers the fleet.
+                            self.stats.fold_fastlane(delta)
                         self._resolve_outcome(future, frame)
                     continue
                 if kind == "bye":

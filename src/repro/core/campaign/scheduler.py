@@ -53,6 +53,11 @@ EmitCallback = Callable[["WorkUnit", "BatchOutcome", str], None]
 #: Poll interval while waiting on another process's lease.
 LEASE_POLL_S = 0.05
 
+#: Upper bound on units coalesced into one batch-lane grid. Keeps a
+#: single batch call's latency (and its lease-hold time) bounded on
+#: huge sweeps; wider grids simply run as several batches.
+MAX_BATCH_UNITS = 64
+
 #: EWMA weight for per-worker speed samples (points/sec). High enough
 #: to track a host that warms up or degrades, low enough that one
 #: outlier point does not whipsaw the shard weights.
@@ -279,11 +284,16 @@ class CampaignScheduler:
                     unit = self._take(wid)
                 self._queued -= 1
                 self._inflight += 1
+                mates = self._drain_batch_mates(unit)
+            group_size = 1 + (len(mates) if mates is not None else 0)
             try:
-                await self._process(unit, emit, wid)
+                if mates is None:
+                    await self._process(unit, emit, wid)
+                else:
+                    await self._process_batch([unit] + mates, emit, wid)
             finally:
                 async with self._cond:
-                    self._inflight -= 1
+                    self._inflight -= group_size
                     self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -368,6 +378,181 @@ class CampaignScheduler:
                     pass
             lease.release()
         emit(unit, outcome, "fresh")
+
+    # ------------------------------------------------------------------
+    # Batch coalescing (the array-program lane)
+
+    def _drain_batch_mates(self, unit: WorkUnit) -> Optional[list[WorkUnit]]:
+        """Pull this unit's batch-mates out of the shard queues.
+
+        Called with ``self._cond`` held, immediately after ``unit`` was
+        taken. Returns ``None`` when coalescing does not apply (mode
+        ``0``, incapable backend, non-qualifying spec, or a singleton
+        in ``auto`` mode); otherwise the list of mates — possibly empty
+        under mode ``1``, which routes even singletons through the
+        batch lane so tests/benches can force it.
+
+        Queued units that share the unit's :func:`~repro.core.fastlane.
+        batch_key` are removed from every shard (relative order of the
+        survivors is preserved) and move to in-flight accounting; the
+        feeder's window sees no change in queued+inflight totals.
+        """
+        from repro.core import fastlane
+
+        mode = fastlane.batchpath_mode()
+        if mode == "0" or not getattr(self.backend, "batch_capable", False):
+            return None
+        if not fastlane.qualifies_for_batch(unit.spec):
+            return None
+        key = fastlane.batch_key(unit.spec)
+        mates: list[WorkUnit] = []
+        for queue in self._queues:
+            if len(mates) >= MAX_BATCH_UNITS - 1:
+                break
+            kept = deque()
+            while queue:
+                candidate = queue.popleft()
+                if (
+                    len(mates) < MAX_BATCH_UNITS - 1
+                    and fastlane.qualifies_for_batch(candidate.spec)
+                    and fastlane.batch_key(candidate.spec) == key
+                ):
+                    mates.append(candidate)
+                else:
+                    kept.append(candidate)
+            queue.extend(kept)
+        self._queued -= len(mates)
+        self._inflight += len(mates)
+        if not mates and mode != "1":
+            return None
+        return mates
+
+    async def _process_batch(
+        self, units: list[WorkUnit], emit: EmitCallback, wid: int
+    ) -> None:
+        """Resolve a coalesced group, per-unit semantics intact.
+
+        Every member keeps the per-unit contract: cache hits never
+        re-simulate, fresh results are published under (and fenced by)
+        single-flight leases, and each member emits exactly once with
+        the same ``source`` labels as the per-unit path. Members that
+        cannot be served by the batch call — lease lost to another
+        process, validation failure under a retry policy, or a batch
+        execution error — are re-routed through :meth:`_process`, which
+        owns waiting, retries, and quarantine.
+        """
+        from repro.core.faults import PoisonResult
+        from repro.core.runner import validate_summary
+
+        store = self.store
+        pending = list(units)
+        rerouted: list[WorkUnit] = []
+
+        if store is not None:
+            remaining = []
+            for unit in pending:
+                cached = store.get(unit.fingerprint)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    self.stats.time_saved_s += cached.elapsed_s
+                    emit(unit, cached, "cache")
+                else:
+                    remaining.append(unit)
+            pending = remaining
+
+        leases: dict[int, object] = {}
+        if store is not None and self.single_flight and pending:
+            held = []
+            for unit in pending:
+                lease = store.acquire_lease(
+                    unit.fingerprint, renewable=self._renewable
+                )
+                if lease is None:
+                    # Another process is simulating this member right
+                    # now; the per-unit path knows how to wait on it.
+                    rerouted.append(unit)
+                    continue
+                cached = store.get(unit.fingerprint)
+                if cached is not None:
+                    # The prior holder published between our miss and
+                    # our acquire.
+                    self.stats.cache_hits += 1
+                    self.stats.time_saved_s += cached.elapsed_s
+                    lease.release()
+                    emit(unit, cached, "cache")
+                    continue
+                leases[unit.index] = lease
+                held.append(unit)
+            pending = held
+
+        renew_tasks = [
+            asyncio.create_task(self._keep_renewed(lease))
+            for lease in leases.values()
+            if getattr(lease, "renew_s", None) is not None
+        ]
+        try:
+            outcomes = None
+            if pending:
+                try:
+                    outcomes = await self._execute_batch_timed(pending, wid)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    # The batch call itself failed (not any one spec).
+                    # Fall back to per-unit execution, where a genuine
+                    # per-spec failure still surfaces with the usual
+                    # retry/quarantine semantics.
+                    outcomes = None
+            if outcomes is None:
+                rerouted.extend(pending)
+            else:
+                for unit, outcome in zip(pending, outcomes):
+                    if self.retry is not None:
+                        try:
+                            validate_summary(outcome)
+                        except PoisonResult:
+                            rerouted.append(unit)
+                            continue
+                    self._count_fresh(outcome)
+                    lease = leases.pop(unit.index, None)
+                    if store is not None and not isinstance(
+                        outcome, FailureRecord
+                    ):
+                        if not store.put(
+                            unit.fingerprint, unit.spec, outcome, lease=lease
+                        ):
+                            self.stats.fenced_publishes += 1
+                    if lease is not None:
+                        lease.release()
+                    emit(unit, outcome, "fresh")
+        finally:
+            for task in renew_tasks:
+                task.cancel()
+            for task in renew_tasks:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            # Leases of rerouted members: released so the per-unit path
+            # (or another process) can contend for them cleanly.
+            for lease in leases.values():
+                lease.release()
+
+        for unit in rerouted:
+            await self._process(unit, emit, wid)
+
+    async def _execute_batch_timed(
+        self, units: list[WorkUnit], wid: int
+    ) -> Optional[list["BatchOutcome"]]:
+        """One coalesced group through the backend, speed sampled."""
+        started = time.perf_counter()
+        outcomes = await self.backend.execute_batch(
+            [unit.spec for unit in units]
+        )
+        if outcomes is not None and units:
+            elapsed = time.perf_counter() - started
+            self._note_speed(wid, elapsed / len(units))
+        return outcomes
 
     async def _keep_renewed(self, lease) -> None:
         """Touch the lease's renewal stamp until cancelled or fenced.
@@ -498,4 +683,16 @@ def run_stream_through_scheduler(
         window=getattr(runner, "window", None),
         single_flight=getattr(runner, "single_flight", True),
     )
-    asyncio.run(scheduler.run(unit_stream(), emit))
+    # Fast-lane dispatch counters are per-process: in-process execution
+    # (serial backend, pool fallbacks) accrues on this process's
+    # fastlane.stats, which we fold as a delta here; worker processes
+    # ship their deltas back with each outcome and the backends fold
+    # those directly. Together the runner's stats line covers the whole
+    # campaign.
+    from repro.core import fastlane
+
+    snapshot = fastlane.stats.as_dict()
+    try:
+        asyncio.run(scheduler.run(unit_stream(), emit))
+    finally:
+        runner.stats.fold_fastlane(fastlane.stats.delta_since(snapshot))

@@ -453,10 +453,10 @@ def _execute_unit(spec, timeout_s) -> dict:
     it still travels so a future worker with per-unit subprocesses can
     enforce locally.
     """
-    from repro.core.runner import _pool_worker
+    from repro.core.runner import _pool_worker_stats
 
     try:
-        outcome = _pool_worker(spec)
+        outcome, fastlane_delta = _pool_worker_stats(spec)
     except BaseException as exc:  # noqa: BLE001 - classified for the wire
         return {
             "status": "error",
@@ -464,7 +464,14 @@ def _execute_unit(spec, timeout_s) -> dict:
             "message": f"{type(exc).__name__}: {exc}",
         }
     if isinstance(outcome, ResultSummary):
-        return {"status": "ok", "summary": outcome.to_dict()}
+        # ``fastlane`` carries this unit's dispatch-counter delta back
+        # to the scheduler (counters are per-process); old schedulers
+        # ignore unknown frame keys, so the field is forward-compatible.
+        return {
+            "status": "ok",
+            "summary": outcome.to_dict(),
+            "fastlane": fastlane_delta,
+        }
     # Chaos garbage (or a future non-summary): ship it raw and let the
     # scheduler's validate_summary quarantine it as poison.
     return {"status": "ok", "summary": outcome}

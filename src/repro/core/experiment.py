@@ -120,6 +120,8 @@ def _build_testbed(spec: ExperimentSpec, engine: Engine):
             bucket_depth_bytes=spec.bucket_depth_bytes,
             policer_action=_policer_action(spec.policer_action),
             cross_traffic_rate_bps=spec.cross_traffic_bps,
+            use_shaper=spec.use_shaper,
+            shaper_rate_bps=spec.shaper_rate_bps,
         )
         return QBoneTestbed(engine, config)
     if spec.testbed == "af":

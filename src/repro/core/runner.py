@@ -237,6 +237,23 @@ class RunnerStats:
     fenced_publishes: int = 0
     stale_leases_reclaimed: int = 0
     worker_speeds: dict = field(default_factory=dict)
+    # Fast-lane counters aggregated across processes. The in-process
+    # :data:`repro.core.fastlane.stats` object is per-process, so pool
+    # and remote workers ship deltas back with their outcomes and the
+    # parent folds them here — the CLI stats line reads these.
+    fastpath_hits: int = 0
+    fastpath_fallbacks: int = 0
+    batch_points: int = 0
+    batch_groups: int = 0
+
+    def fold_fastlane(self, delta: Optional[dict]) -> None:
+        """Fold a worker's fast-lane counter delta into the aggregate."""
+        if not delta:
+            return
+        self.fastpath_hits += int(delta.get("hits", 0))
+        self.fastpath_fallbacks += int(delta.get("fallbacks", 0))
+        self.batch_points += int(delta.get("batch_points", 0))
+        self.batch_groups += int(delta.get("batch_groups", 0))
 
     def describe(self) -> str:
         """One-line cache/throughput report."""
@@ -263,6 +280,16 @@ class RunnerStats:
             line += f", {self.fenced_publishes} fenced publishes"
         if self.stale_leases_reclaimed:
             line += f", {self.stale_leases_reclaimed} stale leases reclaimed"
+        if self.fastpath_hits or self.fastpath_fallbacks:
+            line += (
+                f", {self.fastpath_hits} fast-path"
+                f" ({self.fastpath_fallbacks} engine)"
+            )
+        if self.batch_points:
+            line += (
+                f", {self.batch_points} batched"
+                f" in {self.batch_groups} grids"
+            )
         return line
 
 
@@ -284,6 +311,74 @@ def _pool_worker(spec: ExperimentSpec) -> BatchOutcome:
     """Process-pool entry point: fresh engine and VQM tool per call."""
     summary, _ = _summarize_run(spec)
     return summary
+
+
+def _fastlane_snapshot() -> dict:
+    """Current process's fast-lane counter snapshot."""
+    from repro.core import fastlane
+
+    return fastlane.stats.as_dict()
+
+
+def _fastlane_delta(snapshot: dict) -> dict:
+    """Fast-lane counters accrued since ``snapshot``."""
+    from repro.core import fastlane
+
+    return fastlane.stats.delta_since(snapshot)
+
+
+def _pool_worker_stats(
+    spec: ExperimentSpec,
+) -> tuple[BatchOutcome, dict]:
+    """Pool entry point that also ships the fast-lane counter delta.
+
+    Dispatch counters live in the worker process
+    (:data:`repro.core.fastlane.stats` is per-process); the parent
+    folds the returned delta into its :class:`RunnerStats` so the CLI
+    stats line reports the whole campaign, not just the parent.
+    """
+    snapshot = _fastlane_snapshot()
+    summary, _ = _summarize_run(spec)
+    return summary, _fastlane_delta(snapshot)
+
+
+def _batch_run(
+    specs: Sequence[ExperimentSpec], vqm_tool: Optional[VqmTool] = None
+) -> list[BatchOutcome]:
+    """Run a coalesced grid through the batch lane, chaos rules intact.
+
+    Chaos injection is consulted per member — exactly as the per-unit
+    path does in :func:`_summarize_run` — so fault-injection tests see
+    the same poison outcomes whether or not coalescing is on. The
+    surviving members run as one array program.
+    """
+    outcomes: list[Optional[BatchOutcome]] = [None] * len(specs)
+    live: list[int] = []
+    for i, spec in enumerate(specs):
+        if chaos.enabled():
+            injected = chaos.maybe_inject(spec_fingerprint(spec))
+            if injected is not None:
+                outcomes[i] = injected
+                continue
+        live.append(i)
+    if live:
+        from repro.core.fastlane import run_batchpath
+
+        summaries = run_batchpath(
+            [specs[i] for i in live], vqm_tool=vqm_tool
+        )
+        for i, summary in zip(live, summaries):
+            outcomes[i] = summary
+    return outcomes  # type: ignore[return-value]
+
+
+def _pool_batch_worker(
+    specs: Sequence[ExperimentSpec],
+) -> tuple[list[BatchOutcome], dict]:
+    """Process-pool entry point for a coalesced batch grid."""
+    snapshot = _fastlane_snapshot()
+    outcomes = _batch_run(specs)
+    return outcomes, _fastlane_delta(snapshot)
 
 
 def _warm_plan(specs: Sequence[ExperimentSpec]) -> list[tuple]:
@@ -324,14 +419,16 @@ def _warm_worker_caches(plan: list[tuple]) -> None:
 def _supervised_worker(conn, spec: ExperimentSpec) -> None:
     """Entry point of one supervised worker process.
 
-    Sends ``("ok", summary)`` or ``("error", type_name, message)`` back
-    over the pipe; a worker that dies without sending anything (crash,
-    kill, ``os._exit``) is detected by the supervisor through its exit
-    code, and one that never sends is reaped at the deadline.
+    Sends ``("ok", summary, fastlane_delta)`` or ``("error",
+    type_name, message)`` back over the pipe; a worker that dies
+    without sending anything (crash, kill, ``os._exit``) is detected
+    by the supervisor through its exit code, and one that never sends
+    is reaped at the deadline. The receiver tolerates a two-element
+    ``ok`` tuple, so older workers still parse.
     """
     try:
-        outcome = _pool_worker(spec)
-        conn.send(("ok", outcome))
+        outcome, delta = _pool_worker_stats(spec)
+        conn.send(("ok", outcome, delta))
     except BaseException as exc:  # noqa: BLE001 - must cross the pipe
         try:
             conn.send(("error", type(exc).__name__, str(exc)))

@@ -1,0 +1,354 @@
+"""Batched array execution: a whole sweep grid as one numpy program.
+
+A parameter sweep evaluates the same (clip, encoding) session under
+many policing profiles ``(token_rate_bps, bucket_depth_bytes)`` and
+repeat seeds. Run one spec at a time and almost everything is
+recomputed: the message schedule, the emission and campus-LAN
+recurrences, and the jitter RNG replay depend only on the clip and the
+seed — not on the policing profile. This module exploits that:
+
+1. **Shared front end.** The schedule/emission/campus arrays are
+   computed once per (clip, encoding) group
+   (:func:`repro.sim.fastpath.compute_schedule`), and the jitter
+   replay once per seed — not per grid point.
+2. **Vectorized conformance scan.** The token-bucket recurrence runs
+   over a *lane axis*: one 2-D scan updates every (rate, depth) lane's
+   token level per packet instead of N independent 1-D scans. The
+   arithmetic is arranged so each lane performs the exact IEEE-754
+   operations of the scalar scan (a zero-elapsed refill adds ``0.0``
+   and re-clips at the depth, both bitwise no-ops under the invariant
+   ``tokens <= depth``), keeping the bit-identity contract.
+3. **Outcome dedup.** Downstream of the policer, everything — the
+   backbone traversal, playout, renderer, VQM — is a pure function of
+   the conformance mask (plus the policer-exit times and codepoints).
+   Above the policing cliff every lane produces the same all-conform
+   mask, so a 64-point grid typically collapses to a handful of
+   unique outcomes per seed.
+4. **Vectorized VQM calibration.** The temporal-alignment search (201
+   candidate lags × ~10 segments, the scalar fast path's dominant
+   cost) becomes a sliding-window matrix correlation with row-wise
+   reductions that are bitwise equal to the per-lag scalar loop.
+
+The contract matches :mod:`repro.sim.fastpath`: every
+:class:`~repro.core.runner.ResultSummary` field (except the wall-clock
+``elapsed_s``) is bit-identical to what the event engine or the scalar
+fast path would produce for that spec alone. The equivalence corpus in
+``tests/test_fastpath_equivalence.py`` enforces this three ways.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Optional, Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.diffserv.policer import PolicerAction, PolicerStats
+from repro.sim.fastpath import (
+    ScheduleBundle,
+    build_session,
+    compute_schedule,
+    jitter_releases,
+    shaper_releases,
+)
+from repro.testbeds.qbone import QBoneTestbedConfig
+from repro.video.clips import encode_clip
+from repro.vqm.calibration import CalibrationResult, calibrate_segment
+from repro.vqm.tool import VqmTool
+
+_ACTIONS = {"drop": "drop", "remark": "remark-be"}
+
+
+class BatchVqmTool(VqmTool):
+    """VqmTool whose temporal-alignment search is vectorized over lags.
+
+    The scalar :func:`~repro.vqm.calibration.calibrate_segment` loops
+    over ~201 candidate lags, each computing a Pearson correlation of
+    the fixed reference window against one shifted received window.
+    Here the shifted windows form a ``(n_lags, win)`` matrix (a strided
+    view, materialized as float64 exactly like the scalar's per-window
+    ``astype``) and the correlations fall out of row-wise mean /
+    square-sum / product-sum reductions — which numpy evaluates with
+    the same pairwise summation as the 1-D reductions, so every
+    correlation is bitwise equal to its scalar twin. ``argmax`` returns
+    the *first* maximum, matching the scalar loop's strict ``>``
+    update. Degenerate windows and empty search ranges delegate to the
+    scalar implementation.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._moment_cache: dict = {}
+
+    def _calibrate(self, segment, ref: dict, rcv: dict) -> CalibrationResult:
+        ref_profile = ref["y_mean"]
+        ref_ti = ref["ti"]
+        rcv_profile = rcv["y_mean"]
+        rcv_ti = rcv["ti"]
+        ns = segment.start
+        length = segment.length
+        ref_win_profile = ref_profile[ns : ns + length]
+        win = len(ref_win_profile)
+        n_rcv = len(rcv_profile)
+        u = self.alignment_uncertainty
+        lo = max(0, ns - u)  # the scalar loop's `start < 0: continue`
+        hi = min(ns + u, n_rcv - win)  # its `end > n_rcv: break`
+        if win < 2 or hi < lo:
+            return calibrate_segment(
+                ref_profile=ref_profile,
+                ref_ti=ref_ti,
+                rcv_profile=rcv_profile,
+                rcv_ti=rcv_ti,
+                nominal_start=ns,
+                length=length,
+                uncertainty=u,
+                min_correlation=self.min_correlation,
+            )
+
+        key = (id(ref_profile), id(ref_ti), ns, length)
+        moments = self._moment_cache.get(key)
+        if moments is None:
+            a_profile = ref_win_profile.astype(np.float64)
+            da_profile = a_profile - a_profile.mean()
+            sq_profile = (da_profile * da_profile).sum()
+            a_ti = ref_ti[ns : ns + length].astype(np.float64)
+            da_ti = a_ti - a_ti.mean()
+            sq_ti = (da_ti * da_ti).sum()
+            moments = (da_profile, sq_profile, da_ti, sq_ti)
+            self._moment_cache[key] = moments
+        da_profile, sq_profile, da_ti, sq_ti = moments
+
+        c_profile = _corr_rows(rcv_profile, lo, hi, win, da_profile, sq_profile)
+        c_ti = _corr_rows(rcv_ti, lo, hi, win, da_ti, sq_ti)
+        combined = 0.75 * c_profile + 0.25 * c_ti
+        best = int(np.argmax(combined))
+        best_lag = lo + best - ns
+        best_corr = float(combined[best])
+
+        start = ns + best_lag
+        aligned = rcv_profile[start : start + win]
+        ref_std = ref_win_profile.std()
+        gain = float(aligned.std() / ref_std) if ref_std > 1e-9 else 1.0
+        level_offset = float(aligned.mean() - ref_win_profile.mean())
+        return CalibrationResult(
+            lag=best_lag,
+            correlation=best_corr,
+            succeeded=best_corr >= self.min_correlation,
+            gain=gain,
+            level_offset=level_offset,
+        )
+
+
+def _corr_rows(
+    stream: np.ndarray,
+    lo: int,
+    hi: int,
+    win: int,
+    da: np.ndarray,
+    da_sq_sum: float,
+) -> np.ndarray:
+    """Row-wise twin of :func:`repro.vqm.calibration._corr_against`.
+
+    One row per candidate window start in ``[lo, hi]``. Rows whose
+    denominator underflows the scalar's ``1e-12`` guard are 0.0, same
+    as the scalar's early return.
+    """
+    rows = sliding_window_view(stream, win)[lo : hi + 1].astype(np.float64)
+    db = rows - rows.mean(axis=1)[:, None]
+    denom = np.sqrt(da_sq_sum * (db * db).sum(axis=1))
+    num = (da[None, :] * db).sum(axis=1)
+    out = np.zeros(len(rows))
+    ok = denom >= 1e-12
+    out[ok] = num[ok] / denom[ok]
+    return out
+
+
+def _lane_scan(
+    times: Sequence[float],
+    sizes: Sequence[int],
+    rate_bytes: np.ndarray,
+    depths: np.ndarray,
+) -> np.ndarray:
+    """Token-bucket conformance over a lane axis: one 2-D scan.
+
+    Returns a ``(n_packets, n_lanes)`` boolean matrix whose column
+    ``j`` is bitwise equal to the scalar scan for lane ``j``. The
+    scalar skips the refill when no time has elapsed; here the refill
+    adds ``elapsed * rate == 0.0`` and re-clips at the depth — both
+    exact no-ops (``x + 0.0 == x``; ``min(depth, x) == x`` under the
+    invariant ``x <= depth`` that consumption preserves) — so the
+    unconditional update is bit-identical.
+    """
+    t = np.asarray(times, dtype=np.float64)
+    n = len(t)
+    lanes = len(rate_bytes)
+    conform = np.empty((n, lanes), dtype=bool)
+    if n == 0:
+        return conform
+    gaps = np.diff(t, prepend=0.0)
+    refill = np.outer(gaps, rate_bytes)
+    tokens = depths.astype(np.float64).copy()
+    add, minimum = np.add, np.minimum
+    greater_equal, subtract = np.greater_equal, np.subtract
+    for i in range(n):
+        add(tokens, refill[i], out=tokens)
+        minimum(tokens, depths, out=tokens)
+        row = conform[i]
+        greater_equal(tokens, sizes[i], out=row)
+        subtract(tokens, sizes[i], out=tokens, where=row)
+    return conform
+
+
+def _config_for(spec) -> QBoneTestbedConfig:
+    return QBoneTestbedConfig(
+        token_rate_bps=spec.token_rate_bps,
+        bucket_depth_bytes=spec.bucket_depth_bytes,
+        policer_action=PolicerAction(_ACTIONS[spec.policer_action]),
+        use_shaper=spec.use_shaper,
+        shaper_rate_bps=spec.shaper_rate_bps,
+    )
+
+
+def _summarize_outcome(
+    spec,
+    encoded,
+    sched: ScheduleBundle,
+    pol_times: Sequence[float],
+    pol_ids: Sequence[int],
+    mask: np.ndarray,
+    seen_sizes: np.ndarray,
+    seen_fids: np.ndarray,
+    tool: VqmTool,
+):
+    """Everything downstream of the conformance mask, for one outcome."""
+    from repro.core.runner import ResultSummary
+
+    action = PolicerAction(_ACTIONS[spec.policer_action])
+    stats = PolicerStats()
+    stats.conformant_packets = int(mask.sum())
+    stats.conformant_bytes = int(seen_sizes[mask].sum())
+    if action is PolicerAction.DROP:
+        dropped = ~mask
+        stats.dropped_packets = int(dropped.sum())
+        stats.dropped_bytes = int(seen_sizes[dropped].sum())
+        stats.dropped_frame_ids.update(np.unique(seen_fids[dropped]).tolist())
+        keep = np.flatnonzero(mask).tolist()
+        surviving = [pol_ids[j] for j in keep]
+        arr = [pol_times[j] for j in keep]
+        is_ef = [True] * len(surviving)
+    else:  # REMARK_BE forwards everything, restamped
+        stats.remarked_packets = int((~mask).sum())
+        surviving = list(pol_ids)
+        arr = list(pol_times)
+        is_ef = mask.tolist()
+
+    session = build_session(
+        _config_for(spec), encoded, sched, arr, surviving, is_ef, stats
+    )
+    from repro.core.fastlane import result_from_session
+
+    result = result_from_session(spec, encoded, session, tool)
+    return ResultSummary.from_result(result, elapsed_s=0.0)
+
+
+def _run_group(specs: list, vqm_tool: Optional[VqmTool]) -> list:
+    """One (clip, encoding, …) group: shared front end, per-lane scan."""
+    from repro.recovery.session import validate_recovery
+
+    spec0 = specs[0]
+    for spec in specs:
+        validate_recovery(spec)  # parity with the per-spec paths
+    encoded = encode_clip(spec0.clip, spec0.codec, spec0.encoding_rate_bps)
+    cfg = _config_for(spec0)
+    sched = compute_schedule(encoded, cfg)
+    base = vqm_tool or VqmTool()
+    tool = BatchVqmTool(
+        model=base.model,
+        alignment_uncertainty=base.alignment_uncertainty,
+        min_correlation=base.min_correlation,
+    )
+
+    summaries: list = [None] * len(specs)
+    by_seed: dict = {}
+    for i, spec in enumerate(specs):
+        by_seed.setdefault(spec.seed, []).append(i)
+
+    for seed, members in by_seed.items():
+        releases = jitter_releases(sched.campus_departs, seed, cfg)
+        # Lanes sharing one policer-input packet stream. Unshaped lanes
+        # all see the jitter releases; shaped lanes see their shaper
+        # profile's output, which lanes with equal profiles share.
+        if spec0.use_shaper:
+            profiles: dict = {}
+            for i in members:
+                spec = specs[i]
+                prof = (
+                    spec.shaper_rate_bps or spec.token_rate_bps,
+                    cfg.shaper_depth_bytes,
+                )
+                profiles.setdefault(prof, []).append(i)
+            streams = []
+            for (srate, sdepth), lanes in profiles.items():
+                pol_times, pol_ids = shaper_releases(
+                    releases, sched.sizes, srate, sdepth
+                )
+                streams.append(((srate, sdepth), pol_times, pol_ids, lanes))
+        else:
+            streams = [(None, releases, list(range(sched.n_packets)), members)]
+
+        outcome_cache: dict = {}
+        for marker, pol_times, pol_ids, lanes in streams:
+            ids_arr = np.asarray(pol_ids, dtype=np.int64)
+            seen_sizes = sched.sizes_arr[ids_arr]
+            seen_fids = sched.fids_arr[ids_arr]
+            scan_sizes = [sched.sizes[k] for k in pol_ids]
+            rate_bytes = np.array(
+                [specs[i].token_rate_bps / 8.0 for i in lanes], dtype=np.float64
+            )
+            depths = np.array(
+                [float(specs[i].bucket_depth_bytes) for i in lanes],
+                dtype=np.float64,
+            )
+            conform = _lane_scan(pol_times, scan_sizes, rate_bytes, depths)
+            for col, i in enumerate(lanes):
+                mask = np.ascontiguousarray(conform[:, col])
+                key = (marker, mask.tobytes())
+                summary = outcome_cache.get(key)
+                if summary is None:
+                    summary = _summarize_outcome(
+                        specs[i], encoded, sched, pol_times, pol_ids,
+                        mask, seen_sizes, seen_fids, tool,
+                    )
+                    outcome_cache[key] = summary
+                summaries[i] = summary
+    return summaries
+
+
+def run_batch_specs(specs: Sequence, vqm_tool: Optional[VqmTool] = None) -> list:
+    """Run a grid of qualifying specs as one batched array program.
+
+    Specs may span multiple (clip, encoding) groups; grouping happens
+    here. Returns one ``ResultSummary`` per spec in input order, each
+    bit-identical to a solo engine or scalar fast-path run of that
+    spec; ``elapsed_s`` carries the batch wall-clock divided evenly
+    across the grid (it feeds the cache's time-saved accounting and is
+    excluded from equality).
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    started = time.perf_counter()
+    from repro.core.fastlane import batch_key
+
+    groups: dict = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(batch_key(spec), []).append(i)
+    out: list = [None] * len(specs)
+    for members in groups.values():
+        results = _run_group([specs[i] for i in members], vqm_tool)
+        for i, summary in zip(members, results):
+            out[i] = summary
+    per_point = (time.perf_counter() - started) / len(specs)
+    return [replace(summary, elapsed_s=per_point) for summary in out]

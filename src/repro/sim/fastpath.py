@@ -154,13 +154,35 @@ def _emission_times(dues: np.ndarray) -> list[float]:
 def _fifo_departs(arrivals: list[float], tx: list[float]) -> list[float]:
     """FIFO link: departure times for in-order arrivals.
 
-    Sequential on purpose: ``d = max(a, d) + t`` must round exactly as
-    the engine's per-event adds; a cumsum reformulation would not.
+    The recurrence is ``d[i] = max(a[i], d[i-1]) + t[i]``. A cumsum
+    reformulation would change rounding, but the recurrence is also
+    the least fixpoint of the *elementwise* map
+    ``d ← maximum(a, shift(d)) + t`` starting from ``d = a + t``, and
+    iterating that map vectorized converges in one round per packet of
+    busy-period depth (a lightly loaded link queues short bursts, so a
+    handful of rounds). At the fixpoint every element satisfies the
+    exact scalar relation against the exact neighbour value — bitwise
+    identical to the sequential scan, which remains as the fallback
+    for short inputs and deep-backlog cases.
     """
+    n = len(arrivals)
+    if n > 512:
+        a = np.asarray(arrivals, dtype=np.float64)
+        t = np.asarray(tx, dtype=np.float64)
+        d = a + t
+        prev = np.empty(n, dtype=np.float64)
+        for _round in range(24):
+            prev[0] = -np.inf
+            prev[1:] = d[:-1]
+            nxt = np.maximum(a, prev)
+            nxt += t
+            if np.array_equal(nxt, d):
+                return d.tolist()
+            d = nxt
     departs: list[float] = []
     free = float("-inf")
-    for a, t in zip(arrivals, tx):
-        free = (a if a > free else free) + t
+    for a_i, t_i in zip(arrivals, tx):
+        free = (a_i if a_i > free else free) + t_i
         departs.append(free)
     return departs
 
@@ -217,44 +239,60 @@ def _priority_link(
     return departs, order
 
 
-def simulate_qbone_session(
-    spec, encoded: EncodedClip, config: Optional[QBoneTestbedConfig] = None
-) -> FastPathSession:
-    """Run one qualifying spec through the analytic pipeline.
+@dataclass
+class ScheduleBundle:
+    """The deterministic front end of a session, up to the jitter box.
 
-    ``spec`` is an :class:`~repro.core.experiment.ExperimentSpec` that
-    passed :func:`repro.core.fastlane.qualifies_for_fastpath`; the
-    caller owns qualification (this function assumes the default QBone
-    topology, a VideoCharger server, and no recovery machinery).
+    Everything here is a pure function of (clip, encoding, campus
+    rate) — independent of the policing profile and the seed — so one
+    bundle is shared across every grid point of a batched sweep.
     """
-    cfg = config or QBoneTestbedConfig(
-        token_rate_bps=spec.token_rate_bps,
-        bucket_depth_bytes=spec.bucket_depth_bytes,
-        policer_action=PolicerAction(
-            {"drop": "drop", "remark": "remark-be"}[spec.policer_action]
-        ),
-    )
-    # ------------------------------------------------------------------
-    # Server: precomputed emission schedule → one packet per message.
-    # ------------------------------------------------------------------
+
+    fids_arr: np.ndarray  # frame id per packet (int64)
+    lens_arr: np.ndarray  # payload bytes per packet (int64)
+    sizes_arr: np.ndarray  # wire bytes per packet (int64)
+    fids: list[int]
+    sizes: list[int]
+    emit_times: list[float]  # server emission instants
+    campus_departs: list[float]  # campus-LAN finish times
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.emit_times)
+
+
+def compute_schedule(encoded: EncodedClip, cfg: QBoneTestbedConfig) -> ScheduleBundle:
+    """Server emission schedule plus the campus-LAN FIFO recurrence."""
     fids_arr, lens_arr, dues = message_schedule(encoded)
     emit_times = _emission_times(dues)
     sizes_arr = lens_arr + UDP_IP_HEADER
-    n_packets = len(emit_times)
-    fids = fids_arr.tolist()
-    sizes = sizes_arr.tolist()
-
-    # ------------------------------------------------------------------
-    # Campus LAN (FIFO, zero propagation) then the jitter element.
-    # ------------------------------------------------------------------
     campus_tx = ((sizes_arr * 8) / cfg.campus_lan_rate_bps).tolist()
     campus_departs = _fifo_departs(emit_times, campus_tx)
+    return ScheduleBundle(
+        fids_arr=fids_arr,
+        lens_arr=lens_arr,
+        sizes_arr=sizes_arr,
+        fids=fids_arr.tolist(),
+        sizes=sizes_arr.tolist(),
+        emit_times=emit_times,
+        campus_departs=campus_departs,
+    )
 
-    # Jitter draws replicate JitterElement.receive against the same
-    # named stream the engine would hand out for this seed.
+
+def jitter_releases(
+    campus_departs: list[float], seed: int, cfg: QBoneTestbedConfig
+) -> list[float]:
+    """Replay the jitter element's RNG stream for this seed.
+
+    The draws replicate ``JitterElement.receive`` against the same
+    named stream the engine would hand out, including the draw *order*
+    (exponential, then the burst Bernoulli, then the conditional
+    uniform) — the stream advances differently depending on outcomes,
+    so this stays a sequential replay.
+    """
     key = zlib.crc32(b"jitter") & 0x7FFFFFFF
     rng = np.random.default_rng(
-        np.random.SeedSequence(entropy=spec.seed, spawn_key=(key,))
+        np.random.SeedSequence(entropy=seed, spawn_key=(key,))
     )
     base = 0.0005  # the QBone testbed's campus base delay
     mean_jitter = cfg.jitter_mean_s
@@ -274,6 +312,133 @@ def simulate_qbone_session(
             release = last_release
         last_release = release
         releases.append(release)
+    return releases
+
+
+def shaper_releases(
+    arrivals: list[float],
+    sizes: list[int],
+    rate_bps: float,
+    depth_bytes: float,
+    max_queue_packets: int = 2000,
+) -> tuple[list[float], list[int]]:
+    """Analytic replay of :class:`repro.diffserv.shaper.Shaper`.
+
+    Returns ``(out_times, out_ids)``: the instants at which packets
+    leave the shaper toward the policer, in release order, and the
+    original packet indices (packets dropped by the bounded backlog or
+    as oversize are absent). Bit-identity demands the token bucket be
+    refilled at exactly the engine's call sites and no others: at a
+    conformance check when the backlog is empty (``try_consume`` after
+    the short-circuit), when a release is (re)scheduled while none is
+    pending (``time_until_conformant``), and at the release instant
+    itself (``force_consume``). While a release is pending, arrivals
+    leave the bucket untouched.
+    """
+    rate_bytes = rate_bps / 8.0
+    depth = float(depth_bytes)
+    tokens = depth
+    last_update = 0.0
+
+    out_times: list[float] = []
+    out_ids: list[int] = []
+    queue: deque[int] = deque()
+    pending_time: Optional[float] = None
+
+    def refill(now: float) -> None:
+        nonlocal tokens, last_update
+        elapsed = now - last_update
+        if elapsed > 0:
+            tokens = min(depth, tokens + elapsed * rate_bytes)
+            last_update = now
+
+    def schedule_release(now: float) -> None:
+        # Mirrors Shaper._schedule_release with no release pending:
+        # oversize heads are dropped (never conformant) and the next
+        # head's wait is the token deficit plus the 1e-7 epsilon.
+        nonlocal pending_time
+        while queue:
+            head = queue[0]
+            refill(now)
+            if sizes[head] > depth:
+                queue.popleft()
+                continue
+            deficit = sizes[head] - tokens
+            wait = 0.0 if deficit <= 0 else deficit / rate_bytes
+            pending_time = now + (wait + 1e-7)
+            return
+        pending_time = None
+
+    def release_head() -> None:
+        nonlocal pending_time, tokens
+        now = pending_time
+        pending_time = None
+        k = queue.popleft()
+        refill(now)  # force_consume refills, then floors at zero
+        t = tokens - sizes[k]
+        tokens = t if t > 0.0 else 0.0
+        out_times.append(now)
+        out_ids.append(k)
+        schedule_release(now)
+
+    for i, a in enumerate(arrivals):
+        while pending_time is not None and pending_time <= a:
+            release_head()
+        if not queue:
+            # Empty backlog: the engine's try_consume refills here even
+            # when the packet turns out non-conformant.
+            refill(a)
+            if tokens >= sizes[i]:
+                tokens -= sizes[i]
+                out_times.append(a)
+                out_ids.append(i)
+                continue
+        if len(queue) >= max_queue_packets:
+            continue  # DropTailQueue: arrival dropped, release pending
+        queue.append(i)
+        if pending_time is None:
+            schedule_release(a)
+    while pending_time is not None:
+        release_head()
+    return out_times, out_ids
+
+
+def simulate_qbone_session(
+    spec, encoded: EncodedClip, config: Optional[QBoneTestbedConfig] = None
+) -> FastPathSession:
+    """Run one qualifying spec through the analytic pipeline.
+
+    ``spec`` is an :class:`~repro.core.experiment.ExperimentSpec` that
+    passed :func:`repro.core.fastlane.qualifies_for_fastpath`; the
+    caller owns qualification (this function assumes the default QBone
+    topology, a VideoCharger server, and no recovery machinery).
+    """
+    cfg = config or QBoneTestbedConfig(
+        token_rate_bps=spec.token_rate_bps,
+        bucket_depth_bytes=spec.bucket_depth_bytes,
+        policer_action=PolicerAction(
+            {"drop": "drop", "remark": "remark-be"}[spec.policer_action]
+        ),
+        use_shaper=spec.use_shaper,
+        shaper_rate_bps=spec.shaper_rate_bps,
+    )
+    sched = compute_schedule(encoded, cfg)
+    n_packets = sched.n_packets
+    fids = sched.fids
+    sizes = sched.sizes
+
+    releases = jitter_releases(sched.campus_departs, spec.seed, cfg)
+
+    # Optional edge shaper between the jitter box and the policer.
+    if cfg.use_shaper:
+        pol_times, pol_ids = shaper_releases(
+            releases,
+            sizes,
+            cfg.shaper_rate_bps or cfg.token_rate_bps,
+            cfg.shaper_depth_bytes,
+        )
+    else:
+        pol_times, pol_ids = releases, list(range(n_packets))
 
     # ------------------------------------------------------------------
     # Border policer: one-pass token-bucket scan at the release times.
@@ -285,13 +450,14 @@ def simulate_qbone_session(
     tokens = depth
     last_update = 0.0
     surviving: list[int] = []
+    arr: list[float] = []  # policer-exit instants of the survivors
     is_ef: list[bool] = []
     capture = bool(getattr(spec, "capture_trace", False))
     pol_cols = {column: [] for column in POLICER_TRACE_COLUMNS} if capture else None
     ef_dscp = int(DSCP.EF)  # QBone premark: every packet arrives EF
-    be_dscp = int(DSCP.BE)
-    for idx in range(n_packets):
-        now = releases[idx]
+    for j in range(len(pol_times)):
+        now = pol_times[j]
+        idx = pol_ids[j]
         size = sizes[idx]
         elapsed = now - last_update
         if elapsed > 0:
@@ -305,6 +471,7 @@ def simulate_qbone_session(
             stats.conformant_packets += 1
             stats.conformant_bytes += size
             surviving.append(idx)
+            arr.append(now)
             is_ef.append(True)
             if pol_cols is not None:
                 _trace_row(
@@ -326,12 +493,44 @@ def simulate_qbone_session(
         else:  # REMARK_BE: forwarded at best-effort priority
             stats.remarked_packets += 1
             surviving.append(idx)
+            arr.append(now)
             is_ef.append(False)
             if pol_cols is not None:
                 _trace_row(
                     pol_cols, now, idx, size, fids[idx], ef_dscp,
                     "remark", None, size - fill, fill,
                 )
+
+    return build_session(
+        cfg, encoded, sched, arr, surviving, is_ef, stats,
+        pol_cols=pol_cols, capture=capture,
+    )
+
+
+def build_session(
+    cfg: QBoneTestbedConfig,
+    encoded: EncodedClip,
+    sched: ScheduleBundle,
+    arr: list[float],
+    surviving: list[int],
+    is_ef: list[bool],
+    stats: PolicerStats,
+    pol_cols: Optional[dict] = None,
+    capture: bool = False,
+) -> FastPathSession:
+    """Backbone traversal and client bookkeeping for policer survivors.
+
+    ``arr`` holds the policer-exit instant of each surviving packet (in
+    exit order), ``surviving`` the original packet ids, ``is_ef`` the
+    post-policer codepoint. Everything downstream of the policer is a
+    pure function of these, so batched execution reuses this tail
+    per *unique* policer outcome rather than per grid point.
+    """
+    fids = sched.fids
+    sizes = sched.sizes
+    fids_arr = sched.fids_arr
+    lens_arr = sched.lens_arr
+    n_packets = sched.n_packets
 
     # ------------------------------------------------------------------
     # Abilene backbone: three identical hops, strict priority, 8 ms
@@ -340,7 +539,7 @@ def simulate_qbone_session(
     # ------------------------------------------------------------------
     hop_prop = cfg.backbone_hop_delay_s
     hop_rate = cfg.backbone_rate_bps
-    arr = [releases[k] for k in surviving]
+    arr = list(arr)
     hop_sizes = [sizes[k] for k in surviving]
     hop_tx = ((np.array(hop_sizes, dtype=np.int64) * 8) / hop_rate).tolist()
     hop_ids = list(surviving)
@@ -401,6 +600,8 @@ def simulate_qbone_session(
         # Receiver point: delivered packets in arrival order, carrying
         # the restamped codepoint (EF conform / BE remark), exactly as
         # the engine's client tap records them.
+        ef_dscp = int(DSCP.EF)
+        be_dscp = int(DSCP.BE)
         ef_by_id = dict(zip(surviving, is_ef))
         recv_cols = {column: [] for column in RECEIVER_TRACE_COLUMNS}
         for pid, t in zip(hop_ids, arr):
@@ -416,13 +617,13 @@ def simulate_qbone_session(
         }
 
     return FastPathSession(
-        send_times=np.asarray(emit_times, dtype=np.float64),
+        send_times=np.asarray(sched.emit_times, dtype=np.float64),
         recv_ids=recv_ids,
         recv_times=recv_times,
         policer_stats=stats,
         server_messages=n_packets,
         server_packets=n_packets,
-        server_bytes=int(np.sum(sizes_arr)) if n_packets else 0,
+        server_bytes=int(np.sum(sched.sizes_arr)) if n_packets else 0,
         received_packets=len(hop_ids),
         received_bytes=received_bytes,
         completion=completion,

@@ -12,9 +12,11 @@ traffic → local campus → client.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.diffserv.policer import Policer, PolicerAction
 from repro.diffserv.scheduler import PriorityScheduler
+from repro.diffserv.shaper import Shaper
 from repro.sim.engine import Engine
 from repro.sim.link import Link
 from repro.sim.node import Host, Router
@@ -38,6 +40,9 @@ class QBoneTestbedConfig:
     jitter_mean_s: float = 0.0004
     jitter_max_s: float = 0.002
     cross_traffic_rate_bps: float = 0.0  # per backbone hop, best effort
+    use_shaper: bool = False
+    shaper_rate_bps: Optional[float] = None  # defaults to token rate
+    shaper_depth_bytes: float = 3000.0
     flow_id: str = "video"
 
 
@@ -57,6 +62,7 @@ class QBoneTestbed:
     policer: Policer = field(init=False)
     server_tap: FlowTracer = field(init=False)
     client_tap: FlowTracer = field(init=False)
+    shaper: Optional[Shaper] = field(init=False, default=None)
     cross_sources: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -103,10 +109,23 @@ class QBoneTestbed:
         border.set_default_route(next_sink)
         self.border_router = border
 
+        # Optional sending-side shaper smoothing the flow into the
+        # policer (paper §: shaping trades policer drops for delay).
+        first_hop: object = border
+        if cfg.use_shaper:
+            self.shaper = Shaper(
+                engine,
+                rate_bps=cfg.shaper_rate_bps or cfg.token_rate_bps,
+                depth_bytes=cfg.shaper_depth_bytes,
+                sink=border,
+                name="edge-shaper",
+            )
+            first_hop = self.shaper
+
         # Remote campus: LAN then jitter, into the border router.
         jitter = JitterElement(
             engine,
-            sink=border,
+            sink=first_hop,
             base_delay=0.0005,
             mean_jitter=cfg.jitter_mean_s,
             max_jitter=cfg.jitter_max_s,

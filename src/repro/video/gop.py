@@ -125,6 +125,55 @@ def decodable_frames(
     return decodable
 
 
+def decodable_mask(
+    received_mask: np.ndarray,
+    gop: GopStructure | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`decodable_frames` for a boolean received mask.
+
+    Equivalent logic, computed GOP-at-a-time: anchor decodability is a
+    running AND along each GOP's anchor chain (I feeds the first P,
+    each P feeds the next), and a B frame needs its surrounding two
+    anchors (the forward anchor of a trailing B is the next GOP's I;
+    anchors beyond the clip end are ignored). Pure integer/boolean
+    logic, so no rounding concerns — the two implementations are
+    exactly interchangeable (asserted by the equivalence tests).
+    """
+    gop = gop or GopStructure()
+    n, m = gop.n, gop.m
+    received_mask = np.asarray(received_mask, dtype=bool)
+    n_frames = len(received_mask)
+    if n_frames == 0:
+        return np.zeros(0, dtype=bool)
+    n_gops = -(-n_frames // n)
+    padded = np.zeros(n_gops * n, dtype=bool)
+    padded[:n_frames] = received_mask
+    per_gop = padded.reshape(n_gops, n)
+
+    anchor_pos = np.arange(0, n, m)
+    anchor_dec = np.logical_and.accumulate(per_gop[:, anchor_pos], axis=1)
+    dec = np.zeros((n_gops, n), dtype=bool)
+    dec[:, anchor_pos] = anchor_dec
+
+    gop_base = np.arange(n_gops) * n
+    for pos in range(1, n):
+        if pos % m == 0:
+            continue  # anchor column, already filled
+        prev_k = pos // m
+        next_pos = (prev_k + 1) * m
+        if next_pos >= n:
+            # trailing B: forward anchor is the next GOP's I frame
+            next_dec = np.zeros(n_gops, dtype=bool)
+            next_dec[:-1] = anchor_dec[1:, 0]
+            next_global = gop_base + n
+        else:
+            next_dec = anchor_dec[:, prev_k + 1]
+            next_global = gop_base + next_pos
+        ok = anchor_dec[:, prev_k] & (next_dec | (next_global >= n_frames))
+        dec[:, pos] = per_gop[:, pos] & ok
+    return dec.reshape(-1)[:n_frames]
+
+
 def loss_amplification(
     lost_packet_frames: Sequence[int],
     n_frames: int,

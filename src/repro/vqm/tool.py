@@ -174,14 +174,14 @@ class VqmTool:
                 corrected[key] = rcv_win[key] / gain
         return corrected
 
-    def _score_segment(
-        self,
-        segment: Segment,
-        ref: dict,
-        rcv: dict,
-        clip_ti_scale: float,
-    ) -> SegmentScore:
-        calibration = calibrate_segment(
+    def _calibrate(self, segment: Segment, ref: dict, rcv: dict):
+        """Temporal alignment for one segment.
+
+        Subclass hook: the batched lane substitutes a vectorized lag
+        search that returns bit-identical
+        :class:`~repro.vqm.calibration.CalibrationResult` objects.
+        """
+        return calibrate_segment(
             ref_profile=ref["y_mean"],
             ref_ti=ref["ti"],
             rcv_profile=rcv["y_mean"],
@@ -191,6 +191,15 @@ class VqmTool:
             uncertainty=self.alignment_uncertainty,
             min_correlation=self.min_correlation,
         )
+
+    def _score_segment(
+        self,
+        segment: Segment,
+        ref: dict,
+        rcv: dict,
+        clip_ti_scale: float,
+    ) -> SegmentScore:
+        calibration = self._calibrate(segment, ref, rcv)
         if not calibration.succeeded:
             return SegmentScore(
                 segment=segment,

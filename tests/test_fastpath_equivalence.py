@@ -34,6 +34,7 @@ class _NullSink:
 def _reset_fastlane(monkeypatch):
     """Isolate dispatch counters and the env override per test."""
     monkeypatch.delenv(fastlane.FASTPATH_ENV, raising=False)
+    monkeypatch.delenv(fastlane.BATCHPATH_ENV, raising=False)
     fastlane.stats.reset()
     yield
     fastlane.stats.reset()
@@ -102,16 +103,24 @@ PAPER_CORPUS = [
     _spec("dark", 1.5, 1.6, 3000.0, "drop", reference="fixed"),
     _spec("lost", 1.7, 1.9, 3000.0, "drop", seed=7),
     _spec("lost", 1.7, 1.9, 3000.0, "remark", seed=11),
+    # Shaped specs: admitted to the fast lane by the analytic shaper
+    # recurrence (repro.sim.fastpath.shaper_releases).
+    _spec("lost", 1.7, 1.7, 3000.0, "drop", use_shaper=True),
+    _spec("lost", 1.7, 1.9, 3000.0, "remark", use_shaper=True, seed=3),
+    _spec("dark", 1.5, 1.55, 4500.0, "drop", use_shaper=True),
 ]
 
 
 def _corpus_id(spec: ExperimentSpec) -> str:
     rate = spec.token_rate_bps / 1e6
     enc = spec.encoding_rate_bps / 1e6
-    return (
+    label = (
         f"{spec.clip}-e{enc:g}-r{rate:g}-b{spec.bucket_depth_bytes:.0f}"
         f"-{spec.policer_action}-{spec.reference}-s{spec.seed}"
     )
+    if spec.use_shaper:
+        label += "-shaped"
+    return label
 
 
 class TestPaperCorpusEquivalence:
@@ -140,6 +149,7 @@ class TestRandomizedEquivalence:
             seed=rng.randrange(1000),
             startup_delay_s=rng.choice([0.5, 2.0, 4.0]),
             decode_mode=rng.choice(["gop", "independent"]),
+            use_shaper=rng.random() < 0.3,
         )
         assert qualifies_for_fastpath(spec)
         engine_side = _summary(spec, "0", monkeypatch)
@@ -175,7 +185,6 @@ NON_QUALIFYING = [
     _spec(clip="test-300", fec_group=4),
     _spec(clip="test-300", adaptation=True, server="adaptive-vc"),
     _spec(clip="test-300", cross_traffic_bps=mbps(10.0)),
-    _spec(clip="test-300", use_shaper=True),
     _spec(clip="test-300", transport="tcp", server="wmt", testbed="local"),
     _spec(clip="test-300", client_buffer_frames=60),
 ]
@@ -185,6 +194,18 @@ class TestDispatch:
     def test_non_qualifying_specs_detected(self):
         for spec in NON_QUALIFYING:
             assert not qualifies_for_fastpath(spec)
+
+    def test_shaped_specs_qualify(self):
+        # Widened coverage: the analytic shaper recurrence admits
+        # use_shaper specs to both the scalar and the batch lane.
+        shaped = _spec(clip="test-300", use_shaper=True)
+        assert qualifies_for_fastpath(shaped)
+        assert fastlane.qualifies_for_batch(shaped)
+
+    def test_trace_capture_excluded_from_batch(self):
+        traced = _spec(clip="test-300", capture_trace=True)
+        assert qualifies_for_fastpath(traced)
+        assert not fastlane.qualifies_for_batch(traced)
 
     def test_auto_mode_falls_back_silently(self, monkeypatch):
         monkeypatch.setenv(fastlane.FASTPATH_ENV, "auto")
@@ -266,3 +287,100 @@ class TestCacheInterchangeability:
         assert fourth.stats.cache_hits == 2
         for a, b in zip(fast_side, replayed):
             _assert_identical(a, b)
+
+
+def _batch_grid(clip="test-300", encoding=1.5, **kwargs):
+    """A small (rate x depth x seed) grid sharing one batch key."""
+    return [
+        _spec(
+            clip=clip,
+            encoding=encoding,
+            rate=rate,
+            depth=depth,
+            seed=seed,
+            **kwargs,
+        )
+        for rate in (1.3, 1.5, 1.8)
+        for depth in (3000.0, 4500.0)
+        for seed in (0, 9)
+    ]
+
+
+class TestBatchEquivalence:
+    """The batch lane's contract: bit-identical to scalar and engine."""
+
+    def test_batch_matches_scalar_over_paper_corpus(self, monkeypatch):
+        batchable = [s for s in PAPER_CORPUS if fastlane.qualifies_for_batch(s)]
+        assert batchable, "paper corpus lost its batchable population"
+        batched = fastlane.run_batchpath(batchable)
+        for spec, batch_side in zip(batchable, batched):
+            _assert_identical(_summary(spec, "1", monkeypatch), batch_side)
+
+    def test_three_way_identity_on_grid(self, monkeypatch):
+        grid = _batch_grid()
+        batched = fastlane.run_batchpath(grid)
+        for spec, batch_side in zip(grid, batched):
+            _assert_identical(_summary(spec, "1", monkeypatch), batch_side)
+        # Engine spot checks pin the chain engine == scalar == batch.
+        for index in (0, 5, 11):
+            _assert_identical(
+                _summary(grid[index], "0", monkeypatch), batched[index]
+            )
+
+    def test_shaped_grid_matches_scalar(self, monkeypatch):
+        grid = _batch_grid(use_shaper=True)
+        batched = fastlane.run_batchpath(grid)
+        for spec, batch_side in zip(grid, batched):
+            _assert_identical(_summary(spec, "1", monkeypatch), batch_side)
+
+    def test_mixed_key_grid_is_grouped_correctly(self, monkeypatch):
+        # Specs from different groups (clip, action, shaper) in one
+        # call: grouping must route each to its own shared front end.
+        mixed = [
+            _spec(clip="test-300", rate=1.6),
+            _spec(clip="test-300", rate=1.8, action="remark"),
+            _spec(clip="test-300", rate=1.9),
+            _spec(clip="test-150", rate=1.7, encoding=1.5),
+            _spec(clip="test-300", rate=1.7, use_shaper=True),
+        ]
+        batched = fastlane.run_batchpath(mixed)
+        for spec, batch_side in zip(mixed, batched):
+            _assert_identical(_summary(spec, "1", monkeypatch), batch_side)
+
+    def test_batch_cache_interchangeable_with_serial(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.core.resultstore import ResultStore
+        from repro.core.runner import CACHE_SCHEMA_VERSION, SerialRunner
+
+        # Batch-produced entries must be read back by serial/engine
+        # runs: same fingerprints, same schema, same summaries.
+        assert CACHE_SCHEMA_VERSION == 3
+
+        grid = _batch_grid()
+        monkeypatch.setenv(fastlane.BATCHPATH_ENV, "1")
+        first = SerialRunner(store=ResultStore(tmp_path), window=len(grid))
+        batch_side = first.run_batch(grid)
+        assert first.stats.simulated == len(grid)
+        assert first.stats.batch_points == len(grid)
+        assert first.stats.batch_groups >= 1
+
+        monkeypatch.setenv(fastlane.BATCHPATH_ENV, "0")
+        monkeypatch.setenv(fastlane.FASTPATH_ENV, "0")
+        second = SerialRunner(store=ResultStore(tmp_path))
+        replayed = second.run_batch(grid)
+        assert second.stats.cache_hits == len(grid)
+        assert second.stats.simulated == 0
+        for a, b in zip(batch_side, replayed):
+            _assert_identical(a, b)
+
+    def test_mode_zero_disables_coalescing(self, tmp_path, monkeypatch):
+        from repro.core.runner import SerialRunner
+
+        grid = _batch_grid()[:4]
+        monkeypatch.setenv(fastlane.BATCHPATH_ENV, "0")
+        runner = SerialRunner(window=len(grid))
+        outcomes = runner.run_batch(grid)
+        assert runner.stats.batch_points == 0
+        assert runner.stats.fastpath_hits == len(grid)
+        assert all(o is not None for o in outcomes)

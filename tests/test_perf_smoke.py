@@ -1,0 +1,55 @@
+"""Fast-path qualification guard (``make perf-smoke``, part of check-fast).
+
+The performance architecture only pays off while the paper corpus
+actually routes through the analytic lanes: a spec that silently falls
+back to the event engine runs ~60x slower and a sweep grid that stops
+batching loses another ~8x. These checks take well under a second and
+catch that class of regression before any bench runs.
+"""
+
+import pytest
+
+from repro.core import fastlane
+from tests.test_fastpath_equivalence import NON_QUALIFYING, PAPER_CORPUS, _corpus_id
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def test_corpus_is_representative():
+    # The corpus spans both policer actions, shaped and unshaped
+    # sessions, and multiple clips/encodings; a shrunken corpus would
+    # weaken every assertion below.
+    assert len(PAPER_CORPUS) >= 20
+    assert {s.policer_action for s in PAPER_CORPUS} == {"drop", "remark"}
+    assert any(s.use_shaper for s in PAPER_CORPUS)
+
+
+@pytest.mark.parametrize("spec", PAPER_CORPUS, ids=_corpus_id)
+def test_paper_corpus_stays_on_fastpath(spec):
+    assert fastlane.qualifies_for_fastpath(spec)
+
+
+@pytest.mark.parametrize("spec", PAPER_CORPUS, ids=_corpus_id)
+def test_paper_corpus_stays_batchable(spec):
+    assert fastlane.qualifies_for_batch(spec)
+
+
+def test_sweep_grids_coalesce_per_axis():
+    # Every (clip, encoding, action, shaper, reference) family of the
+    # corpus must collapse to one batch key, so a rate x depth x seed
+    # sweep over it runs as a single array program.
+    keys = {fastlane.batch_key(s) for s in PAPER_CORPUS}
+    families = {
+        (s.clip, s.encoding_rate_bps, s.policer_action, s.use_shaper,
+         s.reference)
+        for s in PAPER_CORPUS
+    }
+    assert len(keys) == len(families)
+
+
+def test_non_qualifying_specs_still_fenced():
+    # The guard cuts both ways: feature-rich specs (ARQ/FEC, traces,
+    # buffered clients) must keep falling back to the engine.
+    for spec in NON_QUALIFYING:
+        assert not fastlane.qualifies_for_fastpath(spec)
+        assert not fastlane.qualifies_for_batch(spec)
