@@ -7,9 +7,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 TIMEOUT ?= 300
 TIMEOUT_OPTS = --timeout=$(TIMEOUT)
 
-.PHONY: check check-fast test test-fast test-recovery test-detect test-remote test-fleet soak perf-smoke lint compile bench bench-figures
+.PHONY: check check-fast test test-fast test-recovery test-detect test-remote test-fleet test-flows soak perf-smoke lint compile bench bench-figures
 
-check: lint test test-recovery test-remote test-fleet compile
+check: lint test test-recovery test-remote test-fleet test-flows compile
 
 # Fast loop: skip the slow-marked full-figure/table benchmarks.
 check-fast: lint test-fast perf-smoke compile
@@ -44,6 +44,11 @@ test-fleet:
 # check-fast; the gate env var keeps it out of plain pytest runs too.
 soak:
 	REPRO_SOAK=1 $(PYTHON) -m pytest -x -q -s -m soak --timeout=900
+
+# Multi-flow aggregate / admission suite by itself: lane bit-identity,
+# shared-policer semantics, admission frontier (also in tier-1).
+test-flows:
+	$(PYTHON) -m pytest -x -q -m flows $(TIMEOUT_OPTS)
 
 # Sub-second guard: every paper-corpus spec must stay on the fast
 # path and qualify for batching. A regression here silently turns

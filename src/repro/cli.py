@@ -204,6 +204,27 @@ def _cmd_sweep(args) -> int:
     depths = [float(d) for d in args.depths.split(",")]
     rates, depths = validate_grid(rates, depths)
     base = _spec_from_args(args, to_mbps(rates[0]), depths[0])
+    if args.flows:
+        # Multi-flow sweep: every grid point polices an N-flow
+        # aggregate instead of a single flow. Flow-level shaping is
+        # not expressible inside an aggregate; cross traffic moves to
+        # the aggregate (backbone) level.
+        import dataclasses as _dc
+
+        from repro.flows.aggregate import AggregateSpec
+
+        if args.flows < 1:
+            raise ValueError(f"--flows must be at least 1 (got {args.flows})")
+        if args.shaper:
+            raise ValueError("--flows does not support --shaper")
+        member = _dc.replace(base, cross_traffic_bps=0.0)
+        base = AggregateSpec.homogeneous(
+            member,
+            args.flows,
+            spacing_s=args.flow_spacing,
+            policing=args.flow_policing,
+            cross_traffic_bps=mbps(args.cross),
+        )
     use_cache = (
         args.cache if args.cache is not None else args.cache_dir is not None
     )
@@ -461,6 +482,91 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _cmd_admit(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.flows.admission import admission_frontier
+
+    if args.jobs < 1:
+        raise ValueError(f"--jobs must be at least 1 (got {args.jobs})")
+    if args.max_flows < 1:
+        raise ValueError(
+            f"--max-flows must be at least 1 (got {args.max_flows})"
+        )
+    if args.shaper:
+        raise ValueError("admit does not support --shaper")
+    base = dataclasses.replace(
+        _spec_from_args(args, args.rate, args.depth), cross_traffic_bps=0.0
+    )
+    use_cache = (
+        args.cache if args.cache is not None else args.cache_dir is not None
+    )
+    store = None
+    if use_cache:
+        store = ResultStore(args.cache_dir or default_cache_dir())
+    runner = make_runner(jobs=args.jobs, store=store)
+    frontier = admission_frontier(
+        base,
+        args.max_flows,
+        token_rate_bps=mbps(args.rate),
+        bucket_depth_bytes=args.depth,
+        floor_score=args.floor_score,
+        floor_loss=args.floor_loss,
+        budget_bps=mbps(args.budget) if args.budget is not None else None,
+        runner=runner,
+        spacing_s=args.flow_spacing,
+        policing=args.flow_policing,
+        policer_action=args.policer_action,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(frontier.to_dict(), indent=2))
+        return 0
+    print(
+        f"admission frontier: {args.clip} ({args.codec}) "
+        f"r={args.rate} Mbps b={args.depth:.0f} B "
+        f"(nominal {to_mbps(frontier.nominal_rate_bps):.3f} Mbps/flow, "
+        f"budget {to_mbps(frontier.budget_bps):.3f} Mbps)"
+    )
+    rows = [
+        (
+            f"{p.n_flows}",
+            f"{p.worst_quality_score:.3f}",
+            f"{100 * p.worst_lost_frame_fraction:.1f}%",
+            f"{100 * p.packet_drop_fraction:.1f}%",
+            f"{to_mbps(p.measured_peak_rate_bps):.2f}",
+            "yes" if p.qoe_admissible else "no",
+            "yes" if p.bandwidth_admissible else "no",
+        )
+        for p in frontier.points
+    ]
+    print(
+        render_table(
+            [
+                "flows",
+                "worst VQM",
+                "worst loss",
+                "drops",
+                "peak (Mbps)",
+                "QoE ok",
+                "budget ok",
+            ],
+            rows,
+        )
+    )
+    verdict = "disagree" if frontier.policies_disagree else "agree"
+    print(
+        f"qoe-floor admits {frontier.qoe_admitted} flow(s) "
+        f"(score <= {frontier.floor_score}, loss <= {frontier.floor_loss}); "
+        f"bandwidth budget admits {frontier.bandwidth_admitted} — "
+        f"policies {verdict}"
+    )
+    if store is not None:
+        print(f"cache [{store.cache_dir}]: {runner.stats.describe()}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.core.campaign import CampaignService
 
@@ -561,6 +667,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--depths", default="3000,4500", help="comma-separated bucket depths (bytes)"
     )
     sweep_parser.add_argument("--csv", help="also write raw CSV here")
+    sweep_parser.add_argument(
+        "--flows", type=int, default=0, metavar="N",
+        help="sweep N-flow aggregates sharing each grid point's "
+        "profile instead of a single flow (see repro.flows)",
+    )
+    sweep_parser.add_argument(
+        "--flow-spacing", type=float, default=0.0, metavar="S",
+        help="stagger aggregate flow starts by S seconds (with --flows)",
+    )
+    sweep_parser.add_argument(
+        "--flow-policing", default="aggregate",
+        choices=["aggregate", "per-flow"],
+        help="one shared bucket vs one identical bucket per flow "
+        "(with --flows)",
+    )
     sweep_parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the sweep batch (1 = in-process)",
@@ -711,6 +832,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recommend_parser.add_argument("--json", action="store_true", help="emit JSON")
     recommend_parser.set_defaults(func=_cmd_recommend)
+
+    admit_parser = commands.add_parser(
+        "admit",
+        help="admitted-flows-vs-QoE frontier: QoE-floor vs bandwidth budget",
+    )
+    _add_spec_arguments(admit_parser)
+    admit_parser.add_argument(
+        "--rate", type=float, required=True,
+        help="aggregate token rate (Mbps)",
+    )
+    admit_parser.add_argument(
+        "--depth", type=float, default=3000.0,
+        help="aggregate bucket depth (bytes)",
+    )
+    admit_parser.add_argument(
+        "--max-flows", type=int, default=4, metavar="N",
+        help="probe aggregates of 1..N flows",
+    )
+    admit_parser.add_argument(
+        "--floor-score", type=float, default=0.25,
+        help="per-flow VQM score each admitted flow must stay within",
+    )
+    admit_parser.add_argument(
+        "--floor-loss", type=float, default=0.05,
+        help="per-flow lost-frame fraction each admitted flow must stay within",
+    )
+    admit_parser.add_argument(
+        "--budget", type=float, default=None,
+        help="naive bandwidth budget (Mbps; default: the token rate)",
+    )
+    admit_parser.add_argument(
+        "--policer-action", dest="policer_action", default="drop",
+        choices=["drop", "remark"],
+        help="treatment of excess aggregate traffic",
+    )
+    admit_parser.add_argument(
+        "--flow-spacing", type=float, default=0.0, metavar="S",
+        help="stagger probe flow starts by S seconds",
+    )
+    admit_parser.add_argument(
+        "--flow-policing", default="aggregate",
+        choices=["aggregate", "per-flow"],
+        help="one shared bucket vs one identical bucket per flow",
+    )
+    admit_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the probe batch (1 = in-process)",
+    )
+    admit_parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="reuse/store probe results in the on-disk cache",
+    )
+    admit_parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"cache location (default {default_cache_dir()}; implies --cache)",
+    )
+    admit_parser.add_argument("--json", action="store_true", help="emit JSON")
+    admit_parser.set_defaults(func=_cmd_admit)
 
     serve_parser = commands.add_parser(
         "serve",

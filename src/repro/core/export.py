@@ -23,8 +23,20 @@ def spec_to_dict(spec) -> dict:
 
     Recovery fields only appear when engaged, so documents for
     recovery-free specs are byte-identical to what earlier versions
-    emitted (regression baselines keep matching).
+    emitted (regression baselines keep matching). Multi-flow aggregate
+    specs nest one flat document per member flow.
     """
+    if getattr(spec, "is_aggregate", False):
+        return {
+            "flows": [spec_to_dict(flow) for flow in spec.flows],
+            "start_offsets": list(spec.start_offsets),
+            "token_rate_bps": spec.token_rate_bps,
+            "bucket_depth_bytes": spec.bucket_depth_bytes,
+            "policing": spec.policing,
+            "policer_action": spec.policer_action,
+            "cross_traffic_bps": spec.cross_traffic_bps,
+            "seed": spec.seed,
+        }
     data = {
         "clip": spec.clip,
         "codec": spec.codec,

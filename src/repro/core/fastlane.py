@@ -144,6 +144,10 @@ def qualifies_for_fastpath(spec: ExperimentSpec) -> bool:
     bounded client buffers) that needs the event loop's feedback
     cycles.
     """
+    if getattr(spec, "is_aggregate", False):
+        # Multi-flow aggregates have their own lanes (repro.flows);
+        # guard first — AggregateSpec lacks the flat spec fields.
+        return False
     return (
         spec.testbed == "qbone"
         and spec.server == "videocharger"
@@ -190,6 +194,8 @@ def qualifies_for_batch(spec: ExperimentSpec) -> bool:
     (per-packet traces are inherently per-point and would defeat the
     shared-outcome dedup).
     """
+    if getattr(spec, "is_aggregate", False):
+        return False
     return qualifies_for_fastpath(spec) and not spec.capture_trace
 
 

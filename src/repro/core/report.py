@@ -36,11 +36,19 @@ def render_sweep(sweep: SweepResult, title: str = "") -> str:
     if title:
         blocks.append(title)
     spec = sweep.base_spec
-    blocks.append(
-        f"clip={spec.clip} codec={spec.codec} server={spec.server} "
-        f"transport={spec.transport} testbed={spec.testbed} "
-        f"reference={spec.reference}"
-    )
+    if getattr(spec, "is_aggregate", False):
+        flow = spec.flows[0]
+        blocks.append(
+            f"aggregate of {spec.n_flows} flows ({spec.policing} policing, "
+            f"{spec.policer_action} action) "
+            f"clip={flow.clip} codec={flow.codec} server={flow.server}"
+        )
+    else:
+        blocks.append(
+            f"clip={spec.clip} codec={spec.codec} server={spec.server} "
+            f"transport={spec.transport} testbed={spec.testbed} "
+            f"reference={spec.reference}"
+        )
     for depth in sweep.depths():
         rates, losses, scores = sweep.series(depth)
         rows = [

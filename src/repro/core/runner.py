@@ -86,10 +86,14 @@ def spec_fingerprint(spec: ExperimentSpec) -> str:
     Fields are serialized canonically (sorted names, compact JSON) and
     salted with :data:`CACHE_SCHEMA_VERSION`; the digest is identical
     across processes and interpreter restarts, unlike ``hash()``.
+
+    ``dataclasses.asdict`` recurses into nested dataclasses, so a
+    multi-flow :class:`~repro.flows.aggregate.AggregateSpec` (whose
+    ``flows`` tuple holds :class:`ExperimentSpec` members) fingerprints
+    the same way; for a flat spec the payload is byte-identical to the
+    historical field-by-field form.
     """
-    payload = {
-        f.name: getattr(spec, f.name) for f in dataclasses.fields(spec)
-    }
+    payload = dataclasses.asdict(spec)
     canonical = json.dumps(
         {"schema": CACHE_SCHEMA_VERSION, "spec": payload},
         sort_keys=True,
@@ -180,7 +184,17 @@ class ResultSummary:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ResultSummary":
-        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        """Inverse of :meth:`to_dict`; ignores unknown keys.
+
+        Aggregate payloads (multi-flow runs) carry a
+        ``flow_summaries`` key; dispatch those to the subclass so a
+        cache entry written by a multi-flow run deserializes back to
+        the same type it was stored as.
+        """
+        if cls is ResultSummary and "flow_summaries" in data:
+            from repro.flows.aggregate import AggregateSummary
+
+            return AggregateSummary.from_dict(data)
         names = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in names})
 
@@ -302,6 +316,15 @@ def _summarize_run(
         if injected is not None:
             # A garbage rule: hand the poison to the caller's validator.
             return injected, None
+    if getattr(spec, "is_aggregate", False):
+        # Multi-flow aggregate unit: the flows layer owns execution
+        # (engine fan-in or interleaved fast lane) and returns a
+        # summary directly — there is no single ExperimentResult.
+        from repro.flows.aggregate import run_aggregate
+
+        summary = run_aggregate(spec, vqm_tool=vqm_tool)
+        elapsed = time.perf_counter() - started
+        return dataclasses.replace(summary, elapsed_s=elapsed), None
     result = run_experiment(spec, vqm_tool=vqm_tool)
     elapsed = time.perf_counter() - started
     return ResultSummary.from_result(result, elapsed_s=elapsed), result
@@ -398,7 +421,11 @@ def _warm_plan(specs: Sequence[ExperimentSpec]) -> list[tuple]:
             seen.add(entry)
             plan.append(entry)
 
-    for spec in specs:
+    def expand(spec) -> None:
+        if getattr(spec, "is_aggregate", False):
+            for flow in spec.flows:
+                expand(flow)
+            return
         add((spec.clip, None, None))
         add((spec.clip, spec.codec, spec.encoding_rate_bps))
         if spec.reference == "fixed":
@@ -406,6 +433,9 @@ def _warm_plan(specs: Sequence[ExperimentSpec]) -> list[tuple]:
         if spec.adaptation:
             for rate in MPEG_RATES_BPS:
                 add((spec.clip, "mpeg1", rate))
+
+    for spec in specs:
+        expand(spec)
     return plan
 
 

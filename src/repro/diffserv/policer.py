@@ -55,6 +55,17 @@ class PolicerDrop:
     token_deficit: float  # tokens the packet was short by (> 0)
     bucket_fill: float  # tokens available at the drop instant
 
+    @property
+    def flow_id(self) -> Optional[str]:
+        """Owning flow of the discarded packet.
+
+        Multi-flow aggregates share one policer across tagged flows;
+        surfacing the flow id on the record lets per-flow consumers
+        (loss attribution, admission probes) filter without reaching
+        into the packet.
+        """
+        return self.packet.flow_id
+
 
 @dataclass
 class PolicerStats:
@@ -117,6 +128,9 @@ class Policer:
         self.demote_dscp = demote_dscp
         self.stats = PolicerStats()
         self._on_drop = on_drop
+        self._drop_listeners: list[
+            tuple[Optional[str], Callable[[PolicerDrop], None]]
+        ] = []
         self._trace: Optional[Callable[[PacketTraceEvent], None]] = None
 
     def set_drop_listener(
@@ -129,6 +143,26 @@ class Policer:
         with ``on_drop`` is equivalent.
         """
         self._on_drop = listener
+
+    def add_drop_listener(
+        self,
+        listener: Callable[[PolicerDrop], None],
+        flow_id: Optional[str] = None,
+    ) -> None:
+        """Register an additional drop callback, optionally flow-filtered.
+
+        Unlike :meth:`set_drop_listener` (a single slot, kept for the
+        single-flow experiments), added listeners accumulate: a shared
+        aggregate policer carries one per flow. With ``flow_id`` set,
+        the listener fires only for drops whose packet belongs to that
+        flow — how each flow's client attributes its own losses on a
+        bucket it shares with N-1 neighbours.
+        """
+        self._drop_listeners.append((flow_id, listener))
+
+    def clear_drop_listeners(self) -> None:
+        """Remove every listener added via :meth:`add_drop_listener`."""
+        self._drop_listeners.clear()
 
     def set_trace_sink(
         self, sink: Optional[Callable[[PacketTraceEvent], None]]
@@ -164,7 +198,11 @@ class Policer:
                     self._trace_event(packet, now, dscp_in, "conform", fill)
                 )
             return packet
-        if fill is None and (self._on_drop is not None or self._trace is not None):
+        if fill is None and (
+            self._on_drop is not None
+            or self._drop_listeners
+            or self._trace is not None
+        ):
             # try_consume already refilled at ``now``; this only reads.
             fill = self.bucket.tokens_at(now)
         if self.action is PolicerAction.DROP:
@@ -176,17 +214,20 @@ class Policer:
                 self._trace(
                     self._trace_event(packet, now, dscp_in, "drop", fill)
                 )
-            if self._on_drop is not None:
-                self._on_drop(
-                    PolicerDrop(
-                        packet=packet,
-                        time=now,
-                        reason=self._drop_reason(packet),
-                        dscp=dscp_in,
-                        token_deficit=packet.size - fill,
-                        bucket_fill=fill,
-                    )
+            if self._on_drop is not None or self._drop_listeners:
+                drop = PolicerDrop(
+                    packet=packet,
+                    time=now,
+                    reason=self._drop_reason(packet),
+                    dscp=dscp_in,
+                    token_deficit=packet.size - fill,
+                    bucket_fill=fill,
                 )
+                if self._on_drop is not None:
+                    self._on_drop(drop)
+                for want_flow, listener in self._drop_listeners:
+                    if want_flow is None or want_flow == packet.flow_id:
+                        listener(drop)
             return None
         if self.action is PolicerAction.REMARK_BE:
             self.stats.remarked_packets += 1

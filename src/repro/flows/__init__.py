@@ -1,0 +1,71 @@
+"""Multi-flow aggregates and QoE-aware admission control.
+
+The paper polices *one* video flow against its negotiated token
+bucket; real DiffServ deployments police an EF *aggregate* — many
+concurrent sessions sharing one profile at the ingress. This package
+scales the reproduction from one flow to N:
+
+* :mod:`repro.flows.aggregate` — :class:`AggregateSpec` (N member
+  flows sharing one policer), the engine fan-in lane (bit-checked
+  oracle), and the shared per-flow summary rollup.
+* :mod:`repro.flows.multipath` — the vectorized fast lane: per-flow
+  schedules merged into one interleaved arrival stream scanned by a
+  single speculative token-bucket pass; bit-identical to the engine
+  lane and tractable at 100–1000 flows.
+* :mod:`repro.flows.measure` — windowed aggregate-rate measurement
+  from the same arrival arrays.
+* :mod:`repro.flows.admission` — session-schedule replay comparing
+  QoE-floor admission against a naive bandwidth budget.
+"""
+
+from repro.flows.aggregate import (
+    AggregateSpec,
+    AggregateSummary,
+    contended_flow_specs,
+    derive_flow_seed,
+    flow_jitter_delays,
+    rollup_summaries,
+    run_aggregate,
+    run_engine_aggregate,
+)
+from repro.flows.admission import (
+    AdmissionController,
+    AdmissionFrontier,
+    BandwidthBudgetPolicy,
+    QoeFloorPolicy,
+    SessionEvent,
+    admission_frontier,
+)
+from repro.flows.measure import RateMeasurement, measure_aggregate, measure_rate
+from repro.flows.multipath import (
+    FLOWPATH_ENV,
+    FlowpathUnsupported,
+    qualifies_for_flowpath,
+    run_multipath,
+    use_flowpath,
+)
+
+__all__ = [
+    "AggregateSpec",
+    "AggregateSummary",
+    "contended_flow_specs",
+    "derive_flow_seed",
+    "flow_jitter_delays",
+    "rollup_summaries",
+    "run_aggregate",
+    "run_engine_aggregate",
+    "FLOWPATH_ENV",
+    "FlowpathUnsupported",
+    "qualifies_for_flowpath",
+    "run_multipath",
+    "use_flowpath",
+    "AdmissionController",
+    "AdmissionFrontier",
+    "BandwidthBudgetPolicy",
+    "QoeFloorPolicy",
+    "SessionEvent",
+    "admission_frontier",
+    "RateMeasurement",
+    "measure_aggregate",
+    "measure_rate",
+]

@@ -132,18 +132,23 @@ class FastPathSession:
         }
 
 
-def _emission_times(dues: np.ndarray) -> list[float]:
+def _emission_times(dues: np.ndarray, start: float = 0.0) -> list[float]:
     """Replay the server's self-scheduling recurrence.
 
     The event engine fires message ``m`` at
-    ``t_m = t_{m-1} + max(0.0, due_m - t_{m-1})`` (``schedule(delay)``
-    adds the clamped delay to the previous firing time), which is *not*
-    bitwise the same as ``max(t_{m-1}, due_m)``; keep the exact chain.
+    ``t_m = t_{m-1} + max(0.0, (start + due_m) - t_{m-1})`` (the
+    server's batch recurrence computes ``start + due - t`` left to
+    right and ``schedule_at`` fires at the clamped chain), which is
+    *not* bitwise the same as ``max(t_{m-1}, start + due_m)``; keep
+    the exact chain. ``start`` is the server's ``start(at=...)``
+    instant — multi-flow aggregates stagger flows with it; at the
+    default 0.0 the arithmetic is bitwise the historical single-flow
+    form (``0.0 + due == due``).
     """
     times: list[float] = []
-    t = 0.0
+    t = start
     for due in dues.tolist():
-        delay = due - t
+        delay = start + due - t
         if delay < 0.0:
             delay = 0.0
         t = t + delay
@@ -155,36 +160,67 @@ def _fifo_departs(arrivals: list[float], tx: list[float]) -> list[float]:
     """FIFO link: departure times for in-order arrivals.
 
     The recurrence is ``d[i] = max(a[i], d[i-1]) + t[i]``. A cumsum
-    reformulation would change rounding, but the recurrence is also
-    the least fixpoint of the *elementwise* map
-    ``d ← maximum(a, shift(d)) + t`` starting from ``d = a + t``, and
-    iterating that map vectorized converges in one round per packet of
-    busy-period depth (a lightly loaded link queues short bursts, so a
-    handful of rounds). At the fixpoint every element satisfies the
-    exact scalar relation against the exact neighbour value — bitwise
-    identical to the sequential scan, which remains as the fallback
-    for short inputs and deep-backlog cases.
+    reformulation would change rounding, so the vectorized form works
+    in *runs* that reproduce the scalar chain's exact operations:
+
+    * **idle runs** — while each packet arrives at or after the
+      previous departure, ``d[k] = a[k] + t[k]`` elementwise; run
+      membership is itself elementwise (``a[k] >= a[k-1] + t[k-1]``),
+      precomputed once. Lightly loaded links are one long idle run.
+    * **busy runs** — while each packet arrives before the previous
+      departure, ``d[k] = d[k-1] + t[k]``; ``np.add.accumulate`` *is*
+      that strictly sequential chain. Validity (``a[k] <= cand[k-1]``)
+      is checked against the candidates, which are exact up to the
+      first violation. Saturated links are one long busy run.
+
+    A deterministic scalar scan remains for short inputs. At an exact
+    arrival/departure tie both branches of the scalar ``max`` yield
+    the same float, so either run may absorb the tie.
     """
     n = len(arrivals)
-    if n > 512:
-        a = np.asarray(arrivals, dtype=np.float64)
-        t = np.asarray(tx, dtype=np.float64)
-        d = a + t
-        prev = np.empty(n, dtype=np.float64)
-        for _round in range(24):
-            prev[0] = -np.inf
-            prev[1:] = d[:-1]
-            nxt = np.maximum(a, prev)
-            nxt += t
-            if np.array_equal(nxt, d):
-                return d.tolist()
-            d = nxt
-    departs: list[float] = []
+    if n <= 512:
+        departs: list[float] = []
+        free = float("-inf")
+        for a_i, t_i in zip(arrivals, tx):
+            free = (a_i if a_i > free else free) + t_i
+            departs.append(free)
+        return departs
+
+    a = np.asarray(arrivals, dtype=np.float64)
+    t = np.asarray(tx, dtype=np.float64)
+    d = np.empty(n, dtype=np.float64)
+    idle = a + t  # departure when the link is found idle
+    idle_ok = np.zeros(n, dtype=bool)
+    np.greater_equal(a[1:], idle[:-1], out=idle_ok[1:])
+    idle_stop = np.flatnonzero(~idle_ok)  # includes 0
+
     free = float("-inf")
-    for a_i, t_i in zip(arrivals, tx):
-        free = (a_i if a_i > free else free) + t_i
-        departs.append(free)
-    return departs
+    chunk = 8192
+    i = 0
+    while i < n:
+        if a[i] > free or i == 0:
+            # Idle entry: commit the maximal idle run wholesale.
+            k = int(np.searchsorted(idle_stop, i + 1))
+            stop = int(idle_stop[k]) if k < idle_stop.size else n
+            d[i:stop] = idle[i:stop]
+            free = float(idle[stop - 1])
+            i = stop
+            continue
+        # Busy entry: speculate a backlogged stretch.
+        j = min(i + chunk, n)
+        inc = t[i:j].copy()
+        inc[0] = free + t[i]
+        cand = np.add.accumulate(inc)
+        bad = np.flatnonzero(a[i + 1 : j] > cand[:-1])
+        stop = i + (int(bad[0]) + 1 if bad.size else j - i)
+        d[i:stop] = cand[: stop - i]
+        free = float(cand[stop - i - 1])
+        if bad.size:
+            chunk = max(chunk // 2, 512)
+        else:
+            chunk = min(chunk * 2, 65536)
+        i = stop
+    return d.tolist()
 
 
 def _trace_row(
@@ -261,10 +297,20 @@ class ScheduleBundle:
         return len(self.emit_times)
 
 
-def compute_schedule(encoded: EncodedClip, cfg: QBoneTestbedConfig) -> ScheduleBundle:
-    """Server emission schedule plus the campus-LAN FIFO recurrence."""
+def compute_schedule(
+    encoded: EncodedClip,
+    cfg: QBoneTestbedConfig,
+    start: float = 0.0,
+) -> ScheduleBundle:
+    """Server emission schedule plus the campus-LAN FIFO recurrence.
+
+    ``start`` offsets the whole session (the server's ``start(at=...)``
+    instant); multi-flow aggregates replay the recurrence per flow per
+    offset because the emission chain is a clamped recurrence, not a
+    shiftable array (``t + (s - t) != s`` in floats).
+    """
     fids_arr, lens_arr, dues = message_schedule(encoded)
-    emit_times = _emission_times(dues)
+    emit_times = _emission_times(dues, start=start)
     sizes_arr = lens_arr + UDP_IP_HEADER
     campus_tx = ((sizes_arr * 8) / cfg.campus_lan_rate_bps).tolist()
     campus_departs = _fifo_departs(emit_times, campus_tx)
@@ -507,6 +553,56 @@ def simulate_qbone_session(
     )
 
 
+def client_frame_arrays(
+    encoded: EncodedClip,
+    fids_arr: np.ndarray,
+    lens_arr: np.ndarray,
+    recv_ids: np.ndarray,
+    recv_times: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Playout-buffer bookkeeping from delivered-packet tap arrays.
+
+    ``recv_ids`` indexes the flow's own schedule arrays (``fids_arr``,
+    ``lens_arr``), in arrival order; ``recv_times`` are the matching
+    arrival instants. Returns ``(received_bytes, completion)`` per
+    frame — the exact arrays the event-driven PlayoutClient accumulates
+    packet by packet. Shared by the single-flow fast path and the
+    multi-flow interleaved lane (which calls it once per flow with
+    flow-local ids).
+    """
+    n_frames = encoded.n_frames
+    received_bytes = np.zeros(n_frames, dtype=np.int64)
+    completion = np.full(n_frames, np.nan)
+    if len(recv_ids):
+        d_fid = fids_arr[recv_ids]
+        d_pay = lens_arr[recv_ids]
+        d_time = recv_times
+        received_bytes = np.bincount(
+            d_fid, weights=d_pay, minlength=n_frames
+        ).astype(np.int64)
+        # First crossing of the expected byte count, per frame, in
+        # arrival order: stable-group by frame, running sum within the
+        # group, first index meeting the frame's expected payload.
+        expected = np.array(
+            [f.size_bytes for f in encoded.frames], dtype=np.int64
+        )
+        order = np.argsort(d_fid, kind="stable")
+        fid_s = d_fid[order]
+        pay_s = d_pay[order]
+        t_s = d_time[order]
+        cum = np.cumsum(pay_s)
+        _uniq, starts = np.unique(fid_s, return_index=True)
+        counts = np.diff(np.append(starts, len(fid_s)))
+        group_base = cum[starts] - pay_s[starts]
+        within = cum - np.repeat(group_base, counts)
+        done = within >= expected[fid_s]
+        done_fids = fid_s[done]
+        done_times = t_s[done]
+        crossed, first_idx = np.unique(done_fids, return_index=True)
+        completion[crossed] = done_times[first_idx]
+    return received_bytes, completion
+
+
 def build_session(
     cfg: QBoneTestbedConfig,
     encoded: EncodedClip,
@@ -562,38 +658,10 @@ def build_session(
     recv_ids = np.asarray(hop_ids, dtype=np.int64)
     recv_times = np.asarray(arr, dtype=np.float64)
 
-    n_frames = encoded.n_frames
-    received_bytes = np.zeros(n_frames, dtype=np.int64)
-    completion = np.full(n_frames, np.nan)
-    first_arrival: Optional[float] = None
-    if hop_ids:
-        first_arrival = arr[0]
-        d_fid = fids_arr[recv_ids]
-        d_pay = lens_arr[recv_ids]
-        d_time = recv_times
-        received_bytes = np.bincount(
-            d_fid, weights=d_pay, minlength=n_frames
-        ).astype(np.int64)
-        # First crossing of the expected byte count, per frame, in
-        # arrival order: stable-group by frame, running sum within the
-        # group, first index meeting the frame's expected payload.
-        expected = np.array(
-            [f.size_bytes for f in encoded.frames], dtype=np.int64
-        )
-        order = np.argsort(d_fid, kind="stable")
-        fid_s = d_fid[order]
-        pay_s = d_pay[order]
-        t_s = d_time[order]
-        cum = np.cumsum(pay_s)
-        _uniq, starts = np.unique(fid_s, return_index=True)
-        counts = np.diff(np.append(starts, len(fid_s)))
-        group_base = cum[starts] - pay_s[starts]
-        within = cum - np.repeat(group_base, counts)
-        done = within >= expected[fid_s]
-        done_fids = fid_s[done]
-        done_times = t_s[done]
-        crossed, first_idx = np.unique(done_fids, return_index=True)
-        completion[crossed] = done_times[first_idx]
+    first_arrival: Optional[float] = arr[0] if hop_ids else None
+    received_bytes, completion = client_frame_arrays(
+        encoded, fids_arr, lens_arr, recv_ids, recv_times
+    )
 
     trace_payload = None
     if capture:

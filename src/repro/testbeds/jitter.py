@@ -36,6 +36,8 @@ class JitterElement:
         burst_probability: float = 0.004,
         burst_delay_range: tuple = (0.001, 0.004),
         rng_stream: str = "jitter",
+        rng=None,
+        delays=None,
     ):
         if base_delay < 0 or mean_jitter < 0 or max_jitter < 0:
             raise ValueError("delays cannot be negative")
@@ -49,6 +51,16 @@ class JitterElement:
         self.burst_probability = burst_probability
         self.burst_delay_range = burst_delay_range
         self.rng_stream = rng_stream
+        # Injected generator (multi-flow aggregates give each flow its
+        # own, derived from the flow seed); None keeps the historical
+        # engine-owned per-stream generator.
+        self._rng = rng
+        # Precomputed per-packet total delay sequence (base + jitter,
+        # indexed by arrival order). When set, no RNG is consulted at
+        # receive time — the aggregate lanes draw each flow's whole
+        # delay vector up front so the vectorized fast lane can replay
+        # it with array arithmetic, bit-identically.
+        self._delays = delays
         self._last_release = 0.0
         self.delayed_packets = 0
 
@@ -60,7 +72,17 @@ class JitterElement:
         """Accept a packet (PacketSink interface)."""
         if self._sink is None:
             raise RuntimeError("jitter element not connected")
-        rng = self.engine.rng(self.rng_stream)
+        if self._delays is not None:
+            # Precomputed mode: delays[k] is the *total* delay (base
+            # included) of the k-th packet through this element.
+            delay = float(self._delays[self.delayed_packets])
+            release = max(self.engine.now + delay, self._last_release)
+            self._last_release = release
+            self.delayed_packets += 1
+            sink = self._sink
+            self.engine.schedule_at(release, lambda p=packet: sink.receive(p))
+            return
+        rng = self._rng if self._rng is not None else self.engine.rng(self.rng_stream)
         jitter = 0.0
         if self.mean_jitter > 0:
             jitter = min(

@@ -363,6 +363,69 @@ class TestRecommendCommand:
         assert "rate_min" in capsys.readouterr().err
 
 
+ADMIT_ARGS = [
+    "admit",
+    "--clip", "test-300",
+    "--encoding", "1.7",
+    "--rate", "3.5",
+    "--depth", "3000",
+    "--max-flows", "2",
+]
+
+
+class TestAdmitCommand:
+    def test_table_and_verdict_line(self, capsys):
+        assert main(ADMIT_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "admission frontier: test-300" in out
+        assert "worst VQM" in out and "budget ok" in out
+        assert "qoe-floor admits 1 flow(s)" in out
+        assert "bandwidth budget admits 2" in out
+        assert "policies disagree" in out
+
+    def test_json_shape(self, capsys):
+        assert main(ADMIT_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["qoe_admitted"] == 1
+        assert payload["bandwidth_admitted"] == 2
+        assert payload["policies_disagree"] is True
+        assert [p["n_flows"] for p in payload["points"]] == [1, 2]
+        assert payload["points"][0]["qoe_admissible"] is True
+        assert payload["points"][1]["qoe_admissible"] is False
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        args = ADMIT_ARGS + ["--cache-dir", str(tmp_path / "c"), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert len(list((tmp_path / "c").glob("*.json"))) > 0
+
+    def test_bad_max_flows_exits_2(self, capsys):
+        args = list(ADMIT_ARGS)
+        args[args.index("--max-flows") + 1] = "0"
+        assert main(args) == 2
+        assert "--max-flows" in capsys.readouterr().err
+
+    def test_shaper_rejected(self, capsys):
+        assert main(ADMIT_ARGS + ["--shaper"]) == 2
+        assert "shaper" in capsys.readouterr().err
+
+
+class TestFlowsSweep:
+    def test_sweep_flows_renders_aggregate_header(self, capsys):
+        args = sweep_args("--flows", "2")
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "aggregate of 2 flows (aggregate policing" in out
+        assert "VQM score" in out
+
+    def test_sweep_flows_rejects_shaper(self, capsys):
+        assert main(sweep_args("--flows", "2", "--shaper")) == 2
+        assert "shaper" in capsys.readouterr().err
+
+
 class TestClipsCommand:
     def test_lists_registered_clips(self, capsys):
         assert main(["clips"]) == 0
